@@ -1,0 +1,67 @@
+// F10 — Scheduling and fault recovery operating together: goodput of a
+// failing machine with and without checkpointing, as scale explodes.
+//
+// The integrated form of the talk's system-software thesis: at small scale
+// the two curves coincide (failures are rare); as the machine grows, the
+// no-checkpoint goodput collapses (every kill restarts a long job from
+// scratch) while Daly-interval checkpointing gives most of the machine
+// back to the users.
+#include <iostream>
+
+#include "polaris/sched/fault_aware.hpp"
+#include "polaris/sched/trace.hpp"
+#include "polaris/support/table.hpp"
+#include "polaris/support/units.hpp"
+
+int main() {
+  using namespace polaris;
+
+  support::Table t("F10: goodput on a failing machine (node MTBF 0.5 y, "
+                   "1 h repair, 1-4 day jobs, load ~0.8)");
+  t.header({"nodes", "failures", "kills naked", "kills ckpt",
+            "goodput naked", "goodput ckpt", "waste/node naked",
+            "waste/node ckpt"});
+
+  for (std::size_t nodes : {64u, 256u, 1024u, 4096u}) {
+    sched::TraceConfig tc;
+    tc.jobs = 600;
+    tc.max_width_exp = 5;  // up to 32-node jobs
+    tc.min_runtime = 24.0 * 3600.0;
+    tc.max_runtime = 96.0 * 3600.0;
+    // Scale arrivals so offered load stays ~0.8 as the machine grows.
+    tc.mean_interarrival = 2.75e6 / static_cast<double>(nodes);
+    const auto jobs = sched::generate_trace(tc, 77);
+
+    sched::FaultAwareConfig cfg;
+    cfg.nodes = nodes;
+    cfg.node_mtbf = 0.5 * 365 * 86400.0;
+    cfg.repair_time = 3600.0;
+
+    auto naked = cfg;
+    naked.checkpointing = false;
+    auto ckpt = cfg;
+    ckpt.checkpointing = true;
+
+    const auto mn = sched::run_fault_aware(jobs, naked);
+    const auto mc = sched::run_fault_aware(jobs, ckpt);
+    t.add(static_cast<unsigned long long>(nodes),
+          static_cast<unsigned long long>(mn.failures),
+          static_cast<unsigned long long>(mn.job_kills),
+          static_cast<unsigned long long>(mc.job_kills),
+          support::Table::to_cell(mn.goodput),
+          support::Table::to_cell(mc.goodput),
+          support::format_time(mn.wasted_node_seconds /
+                               static_cast<double>(nodes)),
+          support::format_time(mc.wasted_node_seconds /
+                               static_cast<double>(nodes)));
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape: failures scale with node count; without "
+               "checkpointing, each kill\nrestarts a day-scale job from "
+               "zero and goodput collapses with scale;\nDaly checkpointing "
+               "bounds the loss per failure to one interval and holds\n"
+               "goodput — the management software carrying the burden, as "
+               "the talk says.\n";
+  return 0;
+}

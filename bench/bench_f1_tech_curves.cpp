@@ -1,0 +1,79 @@
+// F1 — Device-technology projections, 2002 -> 2010.
+//
+// Regenerates the talk's promised "performance, capacity, power, size, and
+// cost curves of future commodity clusters": per-node technology points,
+// then two cluster views (fixed $1M budget, fixed 1024 nodes), ending with
+// the trans-Petaflops horizon question.
+#include <iostream>
+
+#include "polaris/hw/cluster.hpp"
+#include "polaris/support/table.hpp"
+#include "polaris/support/units.hpp"
+
+int main() {
+  using namespace polaris;
+  hw::TechnologyModel tech;
+
+  support::Table node_t("F1a: commodity node technology point by year");
+  node_t.header({"year", "peak/node", "DRAM/node", "mem BW", "disk", "cost",
+                 "power", "NIC BW", "NIC lat", "B/flop"});
+  for (double y = 2002.0; y <= 2010.0; y += 1.0) {
+    const auto p = tech.at(y);
+    node_t.add(static_cast<int>(y), support::format_flops(p.flops_per_node),
+               support::format_bytes(
+                   static_cast<std::uint64_t>(p.mem_bytes_per_node)),
+               support::format_rate(p.mem_bw_per_node),
+               support::format_bytes(
+                   static_cast<std::uint64_t>(p.disk_bytes_per_node)),
+               support::format_dollars(p.node_cost_usd),
+               support::format_watts(p.node_power_w),
+               support::format_rate(p.nic_bw_bytes),
+               support::format_time(p.nic_latency_s),
+               support::Table::to_cell(tech.bytes_per_flop(y)));
+  }
+  node_t.print(std::cout);
+
+  hw::ClusterDesigner designer;
+  std::cout << "\n";
+  support::Table budget_t("F1b: what $1M buys (conventional nodes)");
+  budget_t.header({"year", "nodes", "peak", "memory", "power", "racks",
+                   "floor m^2"});
+  for (double y = 2002.0; y <= 2010.0; y += 2.0) {
+    const auto c =
+        designer.fixed_budget(hw::NodeArch::kConventional, y, 1e6);
+    budget_t.add(static_cast<int>(y),
+                 static_cast<unsigned long long>(c.node_count),
+                 support::format_flops(c.peak_flops()),
+                 support::format_bytes(
+                     static_cast<std::uint64_t>(c.memory_bytes())),
+                 support::format_watts(c.power_w()),
+                 support::Table::to_cell(c.racks()),
+                 support::Table::to_cell(c.floor_area_m2()));
+  }
+  budget_t.print(std::cout);
+
+  std::cout << "\n";
+  support::Table size_t_("F1c: a fixed 1024-node machine through time");
+  size_t_.header({"year", "peak", "power", "Mflops/W", "cost"});
+  for (double y = 2002.0; y <= 2010.0; y += 2.0) {
+    const auto c =
+        designer.fixed_size(hw::NodeArch::kConventional, y, 1024);
+    size_t_.add(static_cast<int>(y), support::format_flops(c.peak_flops()),
+                support::format_watts(c.power_w()),
+                support::Table::to_cell(c.mflops_per_watt()),
+                support::format_dollars(c.cost_usd()));
+  }
+  size_t_.print(std::cout);
+
+  std::cout << "\nF1d: year a $1M cluster reaches ...  (conventional nodes)\n";
+  for (double target : {1e12, 1e13, 1e14, 1e15}) {
+    const double y = tech.year_reaching(target, 1e6);
+    std::cout << "  " << polaris::support::format_flops(target) << ": "
+              << (y > 2015.0 ? std::string("beyond 2015")
+                             : polaris::support::Table::to_cell(y))
+              << "\n";
+  }
+  std::cout << "(The trans-Petaflops regime needs the F5 node-architecture "
+               "revolutions, not Moore alone.)\n";
+  return 0;
+}

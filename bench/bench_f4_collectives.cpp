@@ -1,0 +1,97 @@
+// F4 — Collective algorithm scaling.
+//
+// Simulated allreduce/broadcast/barrier across node counts and payloads,
+// per algorithm, over InfiniBand fat trees; shows the linear->log->ring
+// crossovers and that automatic selection tracks the per-regime winner.
+#include <iostream>
+
+#include "polaris/coll/cost.hpp"
+#include "polaris/simrt/sim_world.hpp"
+#include "polaris/support/table.hpp"
+#include "polaris/support/units.hpp"
+
+namespace {
+
+double timed(std::size_t ranks, const polaris::coll::Schedule& schedule,
+             std::size_t elem_bytes) {
+  polaris::simrt::SimWorld world(ranks,
+                                 polaris::fabric::fabrics::infiniband_4x());
+  world.launch(
+      [&](polaris::simrt::SimComm& c) -> polaris::des::Task<void> {
+        co_await c.run_schedule(schedule, elem_bytes);
+      });
+  return world.run();
+}
+
+}  // namespace
+
+int main() {
+  using namespace polaris;
+  const std::size_t rank_set[] = {4, 16, 64, 256};
+
+  support::Table ar8("F4a: allreduce, 8 B payload (latency regime)");
+  support::Table ar1m("F4b: allreduce, 1 MiB payload (bandwidth regime)");
+  for (auto* t : {&ar8, &ar1m}) {
+    t->header({"ranks", "binomial", "ring", "recursive-doubling",
+               "rabenseifner", "selected"});
+  }
+  for (std::size_t p : rank_set) {
+    for (auto [table, count] :
+         {std::pair<support::Table*, std::size_t>{&ar8, 1},
+          {&ar1m, 128 * 1024}}) {
+      std::vector<std::string> row{std::to_string(p)};
+      for (coll::Algorithm a :
+           {coll::Algorithm::kBinomial, coll::Algorithm::kRing,
+            coll::Algorithm::kRecursiveDoubling,
+            coll::Algorithm::kRabenseifner}) {
+        row.push_back(support::format_time(
+            timed(p, coll::allreduce(p, count, a), 8)));
+      }
+      // Selection column.
+      simrt::SimWorld probe(p, fabric::fabrics::infiniband_4x());
+      const auto best = coll::select_algorithm(
+          coll::Collective::kAllreduce, p, count, 8, probe.loggp());
+      row.push_back(coll::to_string(best));
+      table->row(row);
+    }
+  }
+  ar8.print(std::cout);
+  std::cout << "\n";
+  ar1m.print(std::cout);
+
+  std::cout << "\n";
+  support::Table bc("F4c: broadcast 64 KiB by algorithm");
+  bc.header({"ranks", "linear", "binomial", "ring-pipelined"});
+  for (std::size_t p : rank_set) {
+    bc.add(static_cast<unsigned long long>(p),
+           support::format_time(
+               timed(p, coll::broadcast(p, 64 * 1024, 0,
+                                        coll::Algorithm::kLinear), 1)),
+           support::format_time(
+               timed(p, coll::broadcast(p, 64 * 1024, 0,
+                                        coll::Algorithm::kBinomial), 1)),
+           support::format_time(timed(
+               p, coll::broadcast(p, 64 * 1024, 0, coll::Algorithm::kRing),
+               1)));
+  }
+  bc.print(std::cout);
+
+  std::cout << "\n";
+  support::Table ba("F4d: barrier");
+  ba.header({"ranks", "dissemination", "linear"});
+  for (std::size_t p : {4u, 16u, 64u, 256u, 1024u}) {
+    ba.add(static_cast<unsigned long long>(p),
+           support::format_time(
+               timed(p, coll::barrier(p, coll::Algorithm::kDissemination),
+                     1)),
+           support::format_time(
+               timed(p, coll::barrier(p, coll::Algorithm::kLinear), 1)));
+  }
+  ba.print(std::cout);
+
+  std::cout << "\nShape: log-depth algorithms beat linear beyond ~8 nodes;"
+               "\nring wins large-message allreduce (bandwidth-optimal), "
+               "recursive\ndoubling wins tiny payloads; selection tracks "
+               "the winner per regime.\n";
+  return 0;
+}

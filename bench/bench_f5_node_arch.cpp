@@ -1,0 +1,82 @@
+// F5 — Node architecture comparison: conventional vs blade vs SMP-on-chip
+// vs processor-in-memory ("the revolutionary structures embodied by the
+// nodes").
+//
+// Roofline sweep over arithmetic intensity, density/power per rack, and
+// the per-architecture evolution of the figures of merit through the
+// decade.
+#include <iostream>
+
+#include "polaris/hw/cluster.hpp"
+#include "polaris/support/table.hpp"
+#include "polaris/support/units.hpp"
+
+int main() {
+  using namespace polaris;
+  hw::NodeDesigner designer;
+
+  support::Table rf("F5a: roofline attained Gflops by arithmetic intensity "
+                    "(2002 nodes)");
+  std::vector<std::string> header{"flop/byte"};
+  for (auto a : hw::all_node_archs()) header.push_back(hw::to_string(a));
+  rf.header(header);
+  for (double ai : {0.05, 0.25, 1.0, 4.0, 16.0, 64.0}) {
+    std::vector<std::string> row{support::Table::to_cell(ai)};
+    for (auto a : hw::all_node_archs()) {
+      const auto n = designer.design(a, 2002.0);
+      row.push_back(support::Table::to_cell(n.attained_flops(ai) / 1e9));
+    }
+    rf.row(row);
+  }
+  rf.print(std::cout);
+
+  std::cout << "\n";
+  support::Table dm("F5b: 2002 node figures of merit");
+  dm.header({"arch", "peak", "mem BW", "ridge (F/B)", "power", "cost",
+             "nodes/rack", "Gflops/rack", "Mflops/W"});
+  for (auto a : hw::all_node_archs()) {
+    const auto n = designer.design(a, 2002.0);
+    dm.add(hw::to_string(a), support::format_flops(n.peak_flops),
+           support::format_rate(n.mem_bw),
+           support::Table::to_cell(n.ridge_point()),
+           support::format_watts(n.power_w),
+           support::format_dollars(n.cost_usd),
+           support::Table::to_cell(n.nodes_per_rack()),
+           support::Table::to_cell(n.peak_flops * n.nodes_per_rack() / 1e9),
+           support::Table::to_cell(n.flops_per_watt() / 1e6));
+  }
+  dm.print(std::cout);
+
+  std::cout << "\n";
+  support::Table ev("F5c: peak per node through the decade (Gflops)");
+  ev.header(header);
+  for (double y : {2002.0, 2004.0, 2006.0, 2008.0, 2010.0}) {
+    std::vector<std::string> row{support::Table::to_cell(y)};
+    for (auto a : hw::all_node_archs()) {
+      row.push_back(support::Table::to_cell(
+          designer.design(a, y).peak_flops / 1e9));
+    }
+    ev.row(row);
+  }
+  ev.print(std::cout);
+
+  std::cout << "\n";
+  support::Table mk("F5d: memory-bound kernel (0.1 F/B) time for 1 Tflop "
+                    "of work, one node, by year");
+  mk.header(header);
+  for (double y : {2002.0, 2006.0, 2010.0}) {
+    std::vector<std::string> row{support::Table::to_cell(y)};
+    for (auto a : hw::all_node_archs()) {
+      const auto n = designer.design(a, y);
+      row.push_back(
+          support::format_time(n.kernel_time(1e12, 1e12 / 0.1)));
+    }
+    mk.row(row);
+  }
+  mk.print(std::cout);
+
+  std::cout << "\nShape: PIM dominates low-intensity (memory-bound) work;"
+               "\nCMP pulls away on peak as cores-per-die compound; blades "
+               "win density\nand flops/W at some peak cost per node.\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// F6 — Application scaling on Beowulf-class systems.
+//
+// The 2-D halo-exchange stencil (weak scaling) and the CG-like solver
+// (strong-scaling behaviour of its latency-bound allreduces) across
+// fabrics and rank counts.
+#include <iostream>
+
+#include "polaris/support/table.hpp"
+#include "polaris/support/units.hpp"
+#include "polaris/workload/apps.hpp"
+
+int main() {
+  using namespace polaris;
+  const std::size_t rank_set[] = {4, 16, 64, 256};
+  const std::vector<fabric::FabricParams> fabrics = {
+      fabric::fabrics::gig_ethernet(), fabric::fabrics::myrinet2000(),
+      fabric::fabrics::infiniband_4x()};
+
+  support::Table halo("F6a: halo2d weak scaling (256^2 per rank, 10 iter): "
+                      "time and comm%");
+  std::vector<std::string> header{"ranks"};
+  for (const auto& f : fabrics) {
+    header.push_back(f.name + " time");
+    header.push_back(f.name + " comm%");
+  }
+  halo.header(header);
+  workload::Halo2DConfig hcfg;
+  hcfg.iterations = 10;
+  for (std::size_t p : rank_set) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto& f : fabrics) {
+      workload::AppResult res;
+      simrt::SimWorld world(p, f);
+      world.launch(workload::make_halo2d(hcfg, p, &res));
+      world.run();
+      row.push_back(support::format_time(res.elapsed));
+      row.push_back(support::Table::to_cell(100.0 * res.comm_fraction));
+    }
+    halo.row(row);
+  }
+  halo.print(std::cout);
+
+  std::cout << "\n";
+  support::Table cg("F6b: CG-like solver, 20 iterations (allreduce-bound): "
+                    "time and comm%");
+  cg.header(header);
+  workload::CgConfig ccfg;
+  ccfg.iterations = 20;
+  for (std::size_t p : rank_set) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto& f : fabrics) {
+      workload::AppResult res;
+      simrt::SimWorld world(p, f);
+      world.launch(workload::make_cg(ccfg, p, &res));
+      world.run();
+      row.push_back(support::format_time(res.elapsed));
+      row.push_back(support::Table::to_cell(100.0 * res.comm_fraction));
+    }
+    cg.row(row);
+  }
+  cg.print(std::cout);
+
+  std::cout << "\n";
+  support::Table ep("F6c: embarrassingly parallel sweep (1 Gflop/rank) — "
+                    "the easy case");
+  ep.header({"ranks", "gig-ethernet", "infiniband-4x"});
+  workload::EpConfig ecfg;
+  for (std::size_t p : rank_set) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto& f :
+         {fabric::fabrics::gig_ethernet(), fabric::fabrics::infiniband_4x()}) {
+      workload::AppResult res;
+      simrt::SimWorld world(p, f);
+      world.launch(workload::make_ep(ecfg, &res));
+      world.run();
+      row.push_back(support::format_time(res.elapsed));
+    }
+    ep.row(row);
+  }
+  ep.print(std::cout);
+
+  std::cout << "\n";
+  support::Table d3(
+      "F6d: 3-D halo exchange (64^3 per rank, 5 iter) and N-to-1 incast "
+      "(64 KiB x 3 rounds), InfiniBand");
+  d3.header({"ranks", "halo3d time", "halo3d comm%", "incast time"});
+  workload::Halo3DConfig h3cfg;
+  h3cfg.iterations = 5;
+  workload::IncastConfig icfg;
+  icfg.rounds = 3;
+  for (std::size_t p : {8u, 27u, 64u, 125u}) {
+    workload::AppResult hres, ires;
+    {
+      simrt::SimWorld world(p, fabric::fabrics::infiniband_4x());
+      world.launch(workload::make_halo3d(h3cfg, p, &hres));
+      world.run();
+    }
+    {
+      simrt::SimWorld world(p, fabric::fabrics::infiniband_4x());
+      world.launch(workload::make_incast(icfg, &ires));
+      world.run();
+    }
+    d3.add(static_cast<unsigned long long>(p),
+           support::format_time(hres.elapsed),
+           support::Table::to_cell(100.0 * hres.comm_fraction),
+           support::format_time(ires.elapsed));
+  }
+  d3.print(std::cout);
+
+  std::cout << "\nShape: halo exchange weak-scales everywhere (comm% grows "
+               "mildly);\nCG's tiny allreduces are where kernel Ethernet "
+               "collapses as ranks grow\n(comm%% -> dominant) while "
+               "user-level fabrics hold; EP scales anywhere; the\nincast "
+               "column grows ~linearly in senders (rank 0's downlink "
+               "serializes),\nthe commercial-workload pattern the talk's "
+               "new customer base brings.\n";
+  return 0;
+}

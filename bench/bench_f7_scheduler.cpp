@@ -1,0 +1,73 @@
+// F7 — Resource management: FCFS vs SJF vs EASY backfill.
+//
+// A 10k-job Feitelson-style synthetic trace replayed under each policy on
+// 128-1024 node machines, plus a load sweep showing where backfilling's
+// advantage opens up.
+#include <iostream>
+
+#include "polaris/sched/scheduler.hpp"
+#include "polaris/sched/trace.hpp"
+#include "polaris/support/table.hpp"
+#include "polaris/support/units.hpp"
+
+int main() {
+  using namespace polaris;
+
+  support::Table main_t("F7a: 10k-job trace by machine size and policy");
+  main_t.header({"nodes", "policy", "load", "utilization", "mean wait",
+                 "p95 wait", "mean bsld", "backfilled"});
+  for (std::size_t nodes : {128u, 256u, 512u, 1024u}) {
+    sched::TraceConfig cfg;
+    cfg.jobs = 10000;
+    cfg.max_width_exp = 7;  // jobs up to 128 nodes
+    // Keep offered load ~0.85 as the machine grows (mean job is ~40
+    // nodes x ~3.3 h).
+    cfg.mean_interarrival = 4400.0 * 128.0 / static_cast<double>(nodes);
+    const auto base = sched::generate_trace(cfg, 42);
+    const double load = sched::offered_load(base, nodes);
+    for (auto policy : {sched::Policy::kFcfs, sched::Policy::kSjf,
+                        sched::Policy::kEasyBackfill,
+                        sched::Policy::kConservative}) {
+      auto jobs = base;
+      const auto m = sched::run_scheduler(jobs, nodes, policy);
+      main_t.add(static_cast<unsigned long long>(nodes),
+                 sched::to_string(policy), support::Table::to_cell(load),
+                 support::Table::to_cell(m.utilization),
+                 support::format_time(m.mean_wait),
+                 support::format_time(m.p95_wait),
+                 support::Table::to_cell(m.mean_bounded_slowdown),
+                 static_cast<unsigned long long>(m.backfilled));
+    }
+  }
+  main_t.print(std::cout);
+
+  std::cout << "\n";
+  support::Table sweep("F7b: load sweep on 256 nodes — mean bounded "
+                       "slowdown");
+  sweep.header({"offered load", "fcfs", "sjf", "easy-backfill",
+                "conservative"});
+  for (double inter : {2650.0, 2320.0, 2060.0, 1855.0, 1686.0}) {
+    sched::TraceConfig cfg;
+    cfg.jobs = 6000;
+    cfg.max_width_exp = 7;
+    cfg.mean_interarrival = inter;
+    const auto base = sched::generate_trace(cfg, 7);
+    std::vector<std::string> row{
+        support::Table::to_cell(sched::offered_load(base, 256))};
+    for (auto policy : {sched::Policy::kFcfs, sched::Policy::kSjf,
+                        sched::Policy::kEasyBackfill,
+                        sched::Policy::kConservative}) {
+      auto jobs = base;
+      const auto m = sched::run_scheduler(jobs, 256, policy);
+      row.push_back(support::Table::to_cell(m.mean_bounded_slowdown));
+    }
+    sweep.row(row);
+  }
+  sweep.print(std::cout);
+
+  std::cout << "\nShape: EASY backfill sustains markedly lower waits and "
+               "bounded slowdown\nthan FCFS at the same utilization, and "
+               "the gap widens with offered load\n— the talk's 'resource "
+               "management ... high productivity' tooling at work.\n";
+  return 0;
+}

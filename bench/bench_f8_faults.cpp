@@ -1,0 +1,110 @@
+// F8 — Fault recovery as system scale explodes.
+//
+// System MTBF vs node count (exponential and infant-mortality Weibull),
+// the no-checkpoint collapse, Daly-interval checkpointing efficiency vs
+// scale (analytic + Monte-Carlo), and detector tuning.
+#include <cmath>
+#include <iostream>
+
+#include "polaris/fault/checkpoint.hpp"
+#include "polaris/fault/detector.hpp"
+#include "polaris/fault/failure.hpp"
+#include "polaris/support/table.hpp"
+#include "polaris/support/units.hpp"
+
+int main() {
+  using namespace polaris;
+  const double node_mtbf = 5.0 * 365 * 86400.0;  // 5-year commodity node
+
+  support::Table mtbf("F8a: system MTBF vs node count (node MTBF 5 y)");
+  mtbf.header({"nodes", "exponential", "weibull k=0.7 (sampled)"});
+  support::Random rng(99);
+  for (std::size_t n : {10u, 100u, 1000u, 10000u, 100000u}) {
+    const double exp_m = fault::system_mtbf_exponential(node_mtbf, n);
+    const double weib_m = fault::system_mtbf_sampled(
+        fault::FailureModel::weibull(node_mtbf, 0.7), n,
+        n > 10000 ? 200 : 1000, rng);
+    mtbf.add(static_cast<unsigned long long>(n),
+             support::format_time(exp_m), support::format_time(weib_m));
+  }
+  mtbf.print(std::cout);
+
+  std::cout << "\n";
+  support::Table wall("F8b: 24 h of work vs machine scale "
+                      "(ckpt 300 s, restart 120 s)");
+  wall.header({"nodes", "system MTBF", "no-ckpt wall", "Daly interval",
+               "Daly wall", "efficiency"});
+  for (std::size_t n : {128u, 1024u, 4096u, 16384u, 65536u}) {
+    const auto out =
+        fault::wall_time_at_scale(86400.0, node_mtbf, n, 300.0, 120.0);
+    fault::CheckpointConfig c;
+    c.checkpoint_cost = 300.0;
+    c.restart_cost = 120.0;
+    c.system_mtbf = out.system_mtbf_s;
+    wall.add(static_cast<unsigned long long>(n),
+             support::format_time(out.system_mtbf_s),
+             std::isinf(out.no_checkpoint_wall)
+                 ? std::string("never")
+                 : support::format_time(out.no_checkpoint_wall),
+             support::format_time(out.daly_interval_s),
+             support::format_time(out.daly_wall),
+             support::Table::to_cell(fault::optimal_efficiency(c)));
+  }
+  wall.print(std::cout);
+
+  std::cout << "\n";
+  support::Table iv("F8c: checkpoint-interval sweep at 4096 nodes: analytic "
+                    "vs Monte-Carlo efficiency");
+  iv.header({"interval", "analytic", "simulated"});
+  {
+    fault::CheckpointConfig c;
+    c.checkpoint_cost = 300.0;
+    c.restart_cost = 120.0;
+    c.system_mtbf = fault::system_mtbf_exponential(node_mtbf, 4096);
+    const double tau = fault::daly_interval(c);
+    for (double f : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      const double t = tau * f;
+      iv.add(support::format_time(t),
+             support::Table::to_cell(fault::analytic_efficiency(c, t)),
+             support::Table::to_cell(
+                 fault::simulate_efficiency(c, t, 3e7, 11)));
+    }
+  }
+  iv.print(std::cout);
+
+  std::cout << "\n";
+  support::Table det("F8d: heartbeat detector tuning (1 s period, "
+                     "lognormal jitter sigma 0.8)");
+  det.header({"timeout", "false positives/hb", "detection latency"});
+  for (double timeout : {1.5, 2.0, 3.0, 5.0, 10.0}) {
+    const auto q =
+        fault::evaluate_timeout_detector(1.0, 0.8, timeout, 200000, 5);
+    det.add(support::format_time(timeout),
+            support::Table::to_cell(q.false_positive_rate),
+            support::format_time(q.detection_latency));
+  }
+  det.print(std::cout);
+
+  std::cout << "\n";
+  support::Table phi("F8e: phi-accrual detector (same heartbeat stream): "
+                     "threshold sweep");
+  phi.header({"phi threshold", "false positives/hb", "detection latency"});
+  for (double threshold : {2.0, 4.0, 8.0, 12.0}) {
+    const auto q = fault::evaluate_phi_detector(1.0, 0.8, threshold,
+                                                100000, 5);
+    phi.add(support::Table::to_cell(threshold),
+            support::Table::to_cell(q.false_positive_rate),
+            support::format_time(q.detection_latency));
+  }
+  phi.print(std::cout);
+
+  std::cout << "\nShape: MTBF falls ~1/N (worse with infant mortality); "
+               "running naked\nstops working around 10^3-10^4 nodes; Daly "
+               "checkpointing holds efficiency\nhigh but visibly decays as "
+               "scale explodes — the fault-recovery software\nresponsibility "
+               "the talk predicts.  Monte-Carlo validates the analytic "
+               "curve;\nthe phi-accrual detector adapts its effective "
+               "timeout to observed jitter\ninstead of requiring manual "
+               "tuning.\n";
+  return 0;
+}

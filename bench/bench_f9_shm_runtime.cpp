@@ -1,0 +1,155 @@
+// F9 — The REAL user-level messaging runtime, measured with
+// google-benchmark: small-message rate and latency through the lock-free
+// shared-memory transport, eager vs rendezvous bandwidth, and collective
+// latency over OS threads.  This is the laptop-scale "intra-node NIC" half
+// of the reproduction (see DESIGN.md).
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "polaris/rt/runtime.hpp"
+#include "polaris/rt/spsc_ring.hpp"
+
+namespace {
+
+using polaris::rt::Communicator;
+using polaris::rt::ShmOptions;
+using polaris::rt::ShmWorld;
+
+// -- raw ring ---------------------------------------------------------------
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  polaris::rt::SpscRing<std::uint64_t> ring(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ring.try_push(v);
+    std::uint64_t out = 0;
+    ring.try_pop(out);
+    benchmark::DoNotOptimize(out);
+    ++v;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscRingPushPop);  // single-threaded: CPU time is fine
+
+// -- ping-pong latency by size -----------------------------------------------
+
+void BM_PingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  ShmWorld world(2);
+  std::vector<std::byte> buf0(bytes), buf1(bytes);
+  for (auto _ : state) {
+    world.run([&](Communicator& c) {
+      constexpr int kReps = 64;
+      if (c.rank() == 0) {
+        for (int i = 0; i < kReps; ++i) {
+          c.send(1, 0, buf0);
+          c.recv(1, 0, buf0);
+        }
+      } else {
+        for (int i = 0; i < kReps; ++i) {
+          c.recv(0, 0, buf1);
+          c.send(0, 0, buf1);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 128);  // messages
+  state.SetBytesProcessed(state.iterations() * 128 *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PingPong)
+    ->Arg(8)
+    ->Arg(512)
+    ->Arg(8 * 1024)
+    ->Arg(256 * 1024)
+    ->UseRealTime();  // ranks are threads: wall time is the honest rate
+
+// -- one-way message rate ------------------------------------------------------
+
+void BM_MessageRate(benchmark::State& state) {
+  ShmWorld world(2);
+  for (auto _ : state) {
+    world.run([&](Communicator& c) {
+      constexpr int kMsgs = 2048;
+      int payload = 7;
+      std::byte buf[sizeof(int)];
+      if (c.rank() == 0) {
+        for (int i = 0; i < kMsgs; ++i) {
+          c.send(1, 0,
+                 {reinterpret_cast<const std::byte*>(&payload),
+                  sizeof(payload)});
+        }
+      } else {
+        for (int i = 0; i < kMsgs; ++i) c.recv(0, 0, buf);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_MessageRate)->UseRealTime();
+
+// -- eager vs rendezvous bandwidth ----------------------------------------------
+
+void BM_LargeTransfer(benchmark::State& state) {
+  const bool rendezvous = state.range(0) != 0;
+  const std::size_t bytes = 4 << 20;
+  ShmOptions opts;
+  opts.eager_threshold = rendezvous ? 1024 : (8 << 20);
+  ShmWorld world(2, opts);
+  std::vector<std::byte> src(bytes), dst(bytes);
+  for (auto _ : state) {
+    world.run([&](Communicator& c) {
+      if (c.rank() == 0) {
+        c.send(1, 0, src);
+      } else {
+        c.recv(0, 0, dst);
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+  state.SetLabel(rendezvous ? "rendezvous(zero-copy)" : "eager(one-copy)");
+}
+BENCHMARK(BM_LargeTransfer)->Arg(0)->Arg(1)->UseRealTime();
+
+// -- collectives over threads -----------------------------------------------------
+
+void BM_Allreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  ShmWorld world(ranks);
+  for (auto _ : state) {
+    world.run([&](Communicator& c) {
+      std::vector<double> buf(count, 1.0);
+      for (int i = 0; i < 8; ++i) {
+        c.allreduce(buf, polaris::coll::ReduceOp::kSum);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Allreduce)
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({4, 4096})
+    ->Args({8, 4096})
+    ->UseRealTime();
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  ShmWorld world(ranks);
+  for (auto _ : state) {
+    world.run([&](Communicator& c) {
+      for (int i = 0; i < 16; ++i) c.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

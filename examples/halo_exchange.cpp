@@ -1,0 +1,46 @@
+// A Beowulf-class 2-D stencil (Jacobi heat equation) run across the
+// commodity fabrics of 2002, at several cluster sizes.
+//
+// Demonstrates the workload library + simulated runtime: the same SPMD
+// program, swapped across interconnects, shows where the kernel-TCP
+// Ethernet path stops scaling and user-level fabrics keep going.
+//
+//   ./halo_exchange
+#include <cstdio>
+#include <iostream>
+
+#include "polaris/support/table.hpp"
+#include "polaris/support/units.hpp"
+#include "polaris/workload/apps.hpp"
+
+int main() {
+  using namespace polaris;
+
+  workload::Halo2DConfig cfg;
+  cfg.nx = cfg.ny = 256;  // per-rank grid: weak scaling
+  cfg.iterations = 20;
+
+  support::Table table("2-D halo exchange, weak scaling, 20 iterations");
+  table.header({"fabric", "ranks", "time", "comm%", "Mpoints/s"});
+
+  for (const auto& params : fabric::fabrics::all()) {
+    for (std::size_t ranks : {4, 16, 64}) {
+      workload::AppResult res;
+      simrt::SimWorld world(ranks, params);
+      world.launch(workload::make_halo2d(cfg, ranks, &res));
+      world.run();
+      const double points = static_cast<double>(cfg.nx) * cfg.ny *
+                            cfg.iterations * ranks;
+      table.add(params.name, ranks, support::format_time(res.elapsed),
+                support::Table::to_cell(100.0 * res.comm_fraction),
+                support::Table::to_cell(points / res.elapsed / 1e6));
+    }
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nReading: on all fabrics weak scaling holds (time ~flat with rank\n"
+      "count); the comm%% column shows the kernel-TCP fabrics paying an\n"
+      "order of magnitude more of their time in communication.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// "Launching into the future": when does a commodity cluster reach the
+// trans-Petaflops regime, and what does it look like when it does?
+//
+// Uses the technology-projection and node-architecture models to answer
+// the plenary's headline question for several budgets and node archetypes.
+//
+//   ./petaflops_roadmap [budget_musd]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "polaris/hw/cluster.hpp"
+#include "polaris/support/table.hpp"
+#include "polaris/support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace polaris;
+  const double budget =
+      (argc > 1 ? std::atof(argv[1]) : 4.0) * 1e6;  // default $4M
+
+  hw::ClusterDesigner designer;
+
+  std::printf("Commodity cluster roadmap for a %s budget\n\n",
+              support::format_dollars(budget).c_str());
+
+  support::Table table("fixed-budget cluster by year and node architecture");
+  table.header({"year", "arch", "nodes", "peak", "memory", "power", "racks",
+                "Gflops/$"});
+  for (double year : {2002.0, 2005.0, 2008.0, 2010.0}) {
+    for (hw::NodeArch arch : hw::all_node_archs()) {
+      const auto c = designer.fixed_budget(arch, year, budget);
+      table.add(static_cast<int>(year), hw::to_string(arch),
+                static_cast<unsigned long long>(c.node_count),
+                support::format_flops(c.peak_flops()),
+                support::format_bytes(
+                    static_cast<std::uint64_t>(c.memory_bytes())),
+                support::format_watts(c.power_w()),
+                support::Table::to_cell(c.racks()),
+                support::Table::to_cell(c.flops_per_dollar() / 1e9));
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\nFirst year each architecture reaches 1 Pflops peak at this "
+              "budget (horizon 2015):\n");
+  for (hw::NodeArch arch : hw::all_node_archs()) {
+    double year = 2016.0;
+    for (double y = 2002.0; y <= 2015.0; y += 0.1) {
+      if (designer.fixed_budget(arch, y, budget).peak_flops() >= 1e15) {
+        year = y;
+        break;
+      }
+    }
+    if (year > 2015.0) {
+      std::printf("  %-14s not within the horizon\n", hw::to_string(arch));
+    } else {
+      std::printf("  %-14s %.1f\n", hw::to_string(arch), year);
+    }
+  }
+  std::printf(
+      "\nThe talk's claim, quantified: Moore's law alone (conventional\n"
+      "nodes) does not deliver a petaflops this decade at commodity\n"
+      "budgets; the node-level revolutions (chip multiprocessors, PIM)\n"
+      "do.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Collective algorithm schedule generators.
+//
+// Algorithms implemented (validity in parentheses):
+//   barrier    — dissemination (any p), linear fan-in/fan-out (any p)
+//   broadcast  — linear (any p), binomial tree (any p),
+//                ring-pipelined segments (any p; large messages)
+//   reduce     — linear (any p), binomial tree (any p)
+//   allreduce  — binomial reduce+broadcast (any p),
+//                recursive doubling (p = 2^k),
+//                ring reduce-scatter + allgather (any p; bandwidth-optimal),
+//                Rabenseifner recursive-halving + doubling (p = 2^k)
+//   allgather  — ring (any p), recursive doubling (p = 2^k),
+//                pairwise cyclic exchange (any p),
+//                Bruck dissemination (any p, ceil(log2 p) rounds)
+//   reduce-scatter — ring (any p; bandwidth-optimal),
+//                recursive halving (p = 2^k),
+//                binomial reduce + scatter composition (any p)
+//   scan       — Hillis-Steele inclusive prefix (any p)
+//   alltoall   — pairwise cyclic exchange (any p)
+//   gather     — linear (any p), binomial (root 0)
+//   scatter    — linear (any p), binomial (root 0)
+//
+// Element counts are datatype-agnostic; executors bind the element size.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "polaris/coll/schedule.hpp"
+
+namespace polaris::coll {
+
+enum class Algorithm {
+  kLinear,
+  kBinomial,
+  kRecursiveDoubling,
+  kRing,
+  kRabenseifner,
+  kPairwise,
+  kDissemination,
+  kBruck,
+  kRecursiveHalving,
+};
+
+const char* to_string(Algorithm a);
+
+enum class Collective {
+  kBarrier,
+  kBroadcast,
+  kReduce,
+  kAllreduce,
+  kAllgather,
+  kAlltoall,
+  kGather,
+  kScatter,
+  kReduceScatter,
+  kScan,
+};
+
+const char* to_string(Collective c);
+
+constexpr bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Splits `count` elements into `parts` near-equal chunks; returns
+/// (offset, length) of chunk `index`.  Leading chunks absorb the remainder.
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t count,
+                                                std::size_t parts,
+                                                std::size_t index);
+
+// -- generators --------------------------------------------------------------
+
+Schedule barrier(std::size_t ranks, Algorithm a = Algorithm::kDissemination);
+
+Schedule broadcast(std::size_t ranks, std::size_t count, int root,
+                   Algorithm a = Algorithm::kBinomial);
+
+Schedule reduce(std::size_t ranks, std::size_t count, int root,
+                Algorithm a = Algorithm::kBinomial);
+
+Schedule allreduce(std::size_t ranks, std::size_t count,
+                   Algorithm a = Algorithm::kRing);
+
+/// Allgather of `block` elements per rank; buffer holds ranks*block.
+Schedule allgather(std::size_t ranks, std::size_t block,
+                   Algorithm a = Algorithm::kRing);
+
+/// Alltoall of `block` elements per (src, dst) pair; buffers hold
+/// ranks*block.  Sends read the input buffer (send_from_input).
+Schedule alltoall(std::size_t ranks, std::size_t block,
+                  Algorithm a = Algorithm::kPairwise);
+
+/// Reduce-scatter of `block` elements per rank over a ranks*block buffer:
+/// afterwards rank r holds block r of the elementwise reduction.
+Schedule reduce_scatter(std::size_t ranks, std::size_t block,
+                        Algorithm a = Algorithm::kRing);
+
+/// Inclusive prefix reduction over `count` elements: afterwards rank r
+/// holds combine(inputs of ranks 0..r).
+Schedule scan(std::size_t ranks, std::size_t count);
+
+Schedule gather(std::size_t ranks, std::size_t block, int root,
+                Algorithm a = Algorithm::kLinear);
+
+Schedule scatter(std::size_t ranks, std::size_t block, int root,
+                 Algorithm a = Algorithm::kLinear);
+
+/// The algorithms valid for `kind` at `ranks` (used by selection, tests
+/// and benchmark sweeps).
+std::vector<Algorithm> algorithms_for(Collective kind, std::size_t ranks);
+
+/// Generates the schedule for any (kind, algorithm) pair.  For barrier,
+/// count is ignored; for per-block collectives, count is the block size.
+Schedule make_schedule(Collective kind, Algorithm a, std::size_t ranks,
+                       std::size_t count, int root = 0);
+
+}  // namespace polaris::coll

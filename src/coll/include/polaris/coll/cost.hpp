@@ -1,0 +1,34 @@
+// LogGP timing executor and algorithm selection.
+//
+// Replays a schedule against a LogGP fabric characterization, tracking one
+// clock per rank and message-arrival times per pairwise FIFO channel.  The
+// result predicts collective completion time on an uncongested fabric —
+// enough to rank algorithms against each other, which is all selection
+// needs (the full simulator adds congestion).
+#pragma once
+
+#include <cstddef>
+
+#include "polaris/coll/algorithms.hpp"
+#include "polaris/fabric/loggp.hpp"
+
+namespace polaris::coll {
+
+/// Completion time (seconds, max over ranks) of `schedule` with elements
+/// of `elem_bytes` under `net`.  Zero-count steps cost an envelope-only
+/// message (header of ~kEnvelopeBytes).
+double predicted_seconds(const Schedule& schedule,
+                         const fabric::LogGPParams& net,
+                         std::size_t elem_bytes);
+
+/// Envelope bytes charged for zero-payload messages (barrier, RTS/CTS).
+inline constexpr std::size_t kEnvelopeBytes = 32;
+
+/// Picks the fastest valid algorithm for (kind, ranks, count elements of
+/// elem_bytes) under `net` by exhaustive prediction.  Binomial
+/// gather/scatter are skipped unless root == 0.
+Algorithm select_algorithm(Collective kind, std::size_t ranks,
+                           std::size_t count, std::size_t elem_bytes,
+                           const fabric::LogGPParams& net, int root = 0);
+
+}  // namespace polaris::coll

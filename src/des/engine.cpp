@@ -1,0 +1,97 @@
+#include "polaris/des/engine.hpp"
+
+#include "polaris/des/task.hpp"
+#include "polaris/support/check.hpp"
+
+namespace polaris::des {
+
+EventId Engine::schedule_at(SimTime t, Callback cb) {
+  POLARIS_CHECK_MSG(t >= now_, "cannot schedule into the simulated past");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{t, seq, std::move(cb)});
+  return EventId{seq};
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    if (stopped_) return false;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.t;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run() {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (step()) ++n;
+  maybe_rethrow();
+  return n;
+}
+
+std::size_t Engine::run_until(SimTime until) {
+  POLARIS_CHECK(until >= now_);
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.top().t > until) break;
+    if (!step()) break;
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  maybe_rethrow();
+  return n;
+}
+
+void Engine::maybe_rethrow() {
+  if (error_) {
+    auto e = std::move(error_);
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+namespace {
+
+/// Root coroutine that drives a detached Task and reports its outcome to
+/// the engine.  The frame self-destroys on completion (final_suspend never
+/// suspends), which is safe because nothing awaits a DetachedProcess.
+struct DetachedProcess {
+  struct promise_type {
+    DetachedProcess get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }  // drive() catches all
+  };
+};
+
+DetachedProcess drive(Engine& engine, Task<void> task) {
+  engine.note_process_started();
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    engine.report_error(std::current_exception());
+  }
+  engine.note_process_finished();
+}
+
+}  // namespace
+
+void Engine::spawn(Task<void> task) {
+  // Start the root on a zero-delay event so spawn() itself never reenters
+  // user code; all execution happens inside run().
+  schedule_after(0, [this, t = std::move(task)]() mutable {
+    drive(*this, std::move(t));
+  });
+}
+
+}  // namespace polaris::des

@@ -1,0 +1,111 @@
+// Sequential discrete-event simulation engine.
+//
+// A binary heap of (time, sequence) ordered events drives the simulation;
+// ties break on insertion order so runs are deterministic.  Coroutine-based
+// processes (see task.hpp) are resumed exclusively through scheduled events,
+// which bounds recursion depth and gives every resumption a well-defined
+// simulated time.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "polaris/des/time.hpp"
+#include "polaris/support/function.hpp"
+
+namespace polaris::des {
+
+template <typename T>
+class Task;
+
+/// Handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t seq = 0;
+};
+
+class Engine {
+ public:
+  using Callback = support::UniqueFunction<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` at now() + dt (dt >= 0).
+  EventId schedule_after(SimTime dt, Callback cb) {
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Cancels a pending event.  Cancelling an already-fired or already-
+  /// cancelled event is a no-op.
+  void cancel(EventId id) { cancelled_.insert(id.seq); }
+
+  /// Runs until the event queue is empty or stop() is called.  Returns the
+  /// number of events executed.  Rethrows the first exception that escaped
+  /// a process.
+  std::size_t run();
+
+  /// Runs events with time <= `until`.  The clock is advanced to `until`
+  /// if the queue drains earlier.  Returns events executed.
+  std::size_t run_until(SimTime until);
+
+  /// Requests run() to return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// Starts a detached coroutine process (defined in task.hpp).
+  void spawn(Task<void> task);
+
+  /// Number of spawned processes that have not yet completed.
+  std::size_t live_processes() const { return live_processes_; }
+
+  /// Total events executed since construction.
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// True when no events remain queued.  A queue holding only cancelled
+  /// events reports non-empty until run() skips past them.
+  bool empty() const { return queue_.empty(); }
+
+  // -- internal (used by task.hpp/sync.hpp) --------------------------------
+  void note_process_started() { ++live_processes_; }
+  void note_process_finished() { --live_processes_; }
+  void report_error(std::exception_ptr e) {
+    if (!error_) error_ = std::move(e);
+    stopped_ = true;
+  }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool step();  ///< Executes one event; returns false when drained/stopped.
+  void maybe_rethrow();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_processes_ = 0;
+  bool stopped_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace polaris::des

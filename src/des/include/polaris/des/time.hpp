@@ -1,0 +1,34 @@
+// Simulated time.
+//
+// The event engine counts integer nanoseconds (int64: ~292 simulated years)
+// so that event ordering is exact and runs replay deterministically; model
+// code works in double seconds and converts at the boundary.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace polaris::des {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Converts seconds to SimTime, rounding to the nearest nanosecond.
+inline SimTime from_seconds(double s) {
+  return static_cast<SimTime>(std::llround(s * 1e9));
+}
+
+inline double to_seconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+
+inline SimTime from_micros(double us) {
+  return static_cast<SimTime>(std::llround(us * 1e3));
+}
+
+inline double to_micros(SimTime t) { return static_cast<double>(t) * 1e-3; }
+
+}  // namespace polaris::des

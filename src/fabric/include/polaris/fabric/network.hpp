@@ -1,0 +1,106 @@
+// Packet-level simulated network.
+//
+// A SimNetwork carries byte payloads between hosts of a Topology under a
+// FabricParams wire model.  Messages are split into at most kMaxPackets
+// MTU-or-larger packets; each packet holds each directed link on its path
+// for its serialization time (FIFO semaphore per link), then pays wire and
+// switch-forwarding latency.  This yields cut-through pipelining —
+//     T(uncongested) ~ path_latency + bytes/link_bw + (hops-1)*pkt/link_bw
+// — while modelling congestion exactly where it occurs: on shared links.
+//
+// Optical circuit switching (FabricParams::circuit_setup > 0) adds a
+// per-source LRU circuit cache: a transfer to a destination without an
+// established light path first pays the reconfiguration delay.  Setup is
+// modelled optimistically (concurrent transfers to the same destination
+// wait only once); see ensure_circuit().
+//
+// Host-side overheads (o_send, o_recv, gap, copies, registration) are NOT
+// applied here — they belong to the messaging layer (polaris::msg), which
+// composes them around transfer().
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "polaris/des/engine.hpp"
+#include "polaris/des/sync.hpp"
+#include "polaris/des/task.hpp"
+#include "polaris/fabric/params.hpp"
+#include "polaris/fabric/topology.hpp"
+
+namespace polaris::fabric {
+
+/// Aggregate traffic statistics for a SimNetwork.
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t circuit_hits = 0;
+  std::uint64_t circuit_misses = 0;
+  double total_link_busy_s = 0.0;  ///< summed over links
+};
+
+class SimNetwork {
+ public:
+  /// Maximum packets a single message is split into.  Bounds event count
+  /// per message while preserving pipelining behaviour.
+  static constexpr std::uint32_t kMaxPackets = 16;
+
+  /// Light paths a source NIC can keep established concurrently.
+  static constexpr std::size_t kCircuitsPerSource = 4;
+
+  SimNetwork(des::Engine& engine, FabricParams params,
+             const Topology& topology);
+
+  /// Moves `bytes` from src to dst; completes when the last byte lands.
+  /// Self-transfers cost one host copy.  Does not include host overheads.
+  des::Task<void> transfer(NodeId src, NodeId dst, std::uint64_t bytes);
+
+  /// Closed-form transfer time assuming an idle network (for tests and
+  /// analytic baselines).  Includes circuit setup on a cold cache if
+  /// `assume_circuit` is false.
+  double uncongested_seconds(NodeId src, NodeId dst, std::uint64_t bytes,
+                             bool assume_circuit = true) const;
+
+  const FabricParams& params() const { return params_; }
+  const Topology& topology() const { return topo_; }
+  des::Engine& engine() { return engine_; }
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Busy seconds accumulated on one link (serialization occupancy).
+  double link_busy_seconds(LinkId id) const;
+
+ private:
+  struct PacketPlan {
+    std::uint32_t count;
+    std::uint64_t bytes_per_packet;  // last packet may be smaller
+  };
+  PacketPlan plan_packets(std::uint64_t bytes) const;
+
+  des::Task<void> send_packet(std::vector<LinkId> path,
+                              std::uint64_t pkt_bytes);
+  des::Task<void> ensure_circuit(NodeId src, NodeId dst);
+
+  des::SimTime serialize_time(std::uint64_t bytes) const {
+    return des::from_seconds(static_cast<double>(bytes) / params_.link_bw);
+  }
+
+  des::Engine& engine_;
+  FabricParams params_;
+  const Topology& topo_;
+  std::vector<std::unique_ptr<des::Semaphore>> links_;
+  std::vector<double> link_busy_s_;
+  NetworkStats stats_;
+
+  // Optical circuit cache: per source, LRU list of destinations.
+  struct CircuitCache {
+    std::list<NodeId> lru;  // front = most recent
+    std::unordered_map<NodeId, std::list<NodeId>::iterator> index;
+  };
+  std::vector<CircuitCache> circuits_;
+};
+
+}  // namespace polaris::fabric

@@ -1,0 +1,143 @@
+// Interconnect topologies.
+//
+// A topology maps (source host, destination host) to a deterministic path
+// of directed links.  Hosts and switches are devices; every directed edge
+// between adjacent devices is one LinkId, which the packet-level network
+// model serializes independently (full-duplex links are two LinkIds).
+//
+// Provided topologies: single-switch crossbar, three-level k-ary fat tree
+// (the Clos build of Myrinet/InfiniBand clusters), and 2-D/3-D tori (the
+// "mesh of commodity nodes" alternative).  Routing is deterministic —
+// destination-mod uplink selection in the fat tree, dimension-order with
+// shortest wrap in the torus — so simulations replay identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace polaris::fabric {
+
+using NodeId = std::uint32_t;    ///< host index, 0..node_count-1
+using LinkId = std::uint32_t;    ///< directed link index
+using DeviceId = std::uint32_t;  ///< host or switch
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual std::string name() const = 0;
+  std::size_t node_count() const { return node_count_; }
+  std::size_t link_count() const { return link_ends_.size(); }
+  std::size_t switch_count() const { return switch_count_; }
+
+  /// Directed link path from src to dst.  Empty for src == dst.
+  /// The result reference is invalidated by the next route() call only if
+  /// the pair was not yet cached; callers inside coroutines should copy.
+  const std::vector<LinkId>& route(NodeId src, NodeId dst) const;
+
+  /// Number of links traversed (0 for self).
+  std::size_t hop_count(NodeId src, NodeId dst) const {
+    return route(src, dst).size();
+  }
+
+  /// Switch devices traversed between two distinct hosts (links - 1).
+  std::size_t switch_hops(NodeId src, NodeId dst) const {
+    const auto h = hop_count(src, dst);
+    return h == 0 ? 0 : h - 1;
+  }
+
+  /// Diameter in links over a sample of host pairs (exact for <= 128 hosts).
+  std::size_t diameter() const;
+
+ protected:
+  Topology(std::size_t nodes, std::size_t switches)
+      : node_count_(nodes), switch_count_(switches) {}
+
+  /// Creates (or returns) the LinkId for directed edge u->v.  Constructors
+  /// build the full link set eagerly; compute_route only looks links up.
+  LinkId link(DeviceId u, DeviceId v);
+
+  /// Looks up an existing directed link; throws if absent (routing bug).
+  LinkId link_between(DeviceId u, DeviceId v) const;
+
+  /// Subclasses produce the path; the base class caches it.
+  virtual std::vector<LinkId> compute_route(NodeId src, NodeId dst) const = 0;
+
+  std::size_t node_count_;
+  std::size_t switch_count_;
+
+ private:
+  mutable std::unordered_map<std::uint64_t, std::vector<LinkId>> route_cache_;
+  std::unordered_map<std::uint64_t, LinkId> link_ids_;
+  std::vector<std::pair<DeviceId, DeviceId>> link_ends_;
+};
+
+/// All hosts attached to one ideal central switch.  The model for a single
+/// large crossbar (or an optical switch's electronic control plane).
+class Crossbar final : public Topology {
+ public:
+  explicit Crossbar(std::size_t nodes);
+  std::string name() const override { return "crossbar"; }
+
+ private:
+  std::vector<LinkId> compute_route(NodeId src, NodeId dst) const override;
+};
+
+/// Three-level k-ary fat tree: k pods of k/2 edge + k/2 aggregation
+/// switches, (k/2)^2 cores, k^3/4 hosts.  k must be even.
+class FatTree final : public Topology {
+ public:
+  explicit FatTree(std::size_t k);
+  std::string name() const override;
+
+  std::size_t radix() const { return k_; }
+
+  /// Smallest even k such that a k-ary fat tree holds >= nodes hosts.
+  static std::size_t radix_for(std::size_t nodes);
+
+ private:
+  std::vector<LinkId> compute_route(NodeId src, NodeId dst) const override;
+
+  // Device numbering helpers (hosts are 0..k^3/4-1).
+  DeviceId edge_switch(std::size_t pod, std::size_t idx) const;
+  DeviceId agg_switch(std::size_t pod, std::size_t idx) const;
+  DeviceId core_switch(std::size_t idx) const;
+
+  std::size_t k_;
+};
+
+/// 2-D torus, one host per router, dimension-order (x then y) routing with
+/// shortest wraparound direction.
+class Torus2D final : public Topology {
+ public:
+  Torus2D(std::size_t width, std::size_t height);
+  std::string name() const override;
+
+ private:
+  std::vector<LinkId> compute_route(NodeId src, NodeId dst) const override;
+  DeviceId router(std::size_t x, std::size_t y) const;
+
+  std::size_t w_, h_;
+};
+
+/// 3-D torus with dimension-order routing.
+class Torus3D final : public Topology {
+ public:
+  Torus3D(std::size_t x, std::size_t y, std::size_t z);
+  std::string name() const override;
+
+ private:
+  std::vector<LinkId> compute_route(NodeId src, NodeId dst) const override;
+  DeviceId router(std::size_t x, std::size_t y, std::size_t z) const;
+
+  std::size_t nx_, ny_, nz_;
+};
+
+/// Factory: builds the conventional topology for a fabric class and node
+/// count — fat tree for switched fabrics, sized-up crossbar for tiny runs.
+std::unique_ptr<Topology> make_default_topology(std::size_t nodes);
+
+}  // namespace polaris::fabric

@@ -1,0 +1,130 @@
+#include "polaris/fabric/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::fabric {
+
+SimNetwork::SimNetwork(des::Engine& engine, FabricParams params,
+                       const Topology& topology)
+    : engine_(engine), params_(std::move(params)), topo_(topology) {
+  POLARIS_CHECK(params_.link_bw > 0 && params_.mtu > 0);
+  links_.reserve(topo_.link_count());
+  for (std::size_t i = 0; i < topo_.link_count(); ++i) {
+    links_.push_back(std::make_unique<des::Semaphore>(engine_, 1));
+  }
+  link_busy_s_.assign(topo_.link_count(), 0.0);
+  if (params_.circuit_setup > 0.0) {
+    circuits_.resize(topo_.node_count());
+  }
+}
+
+SimNetwork::PacketPlan SimNetwork::plan_packets(std::uint64_t bytes) const {
+  PacketPlan plan;
+  const std::uint64_t raw =
+      (bytes + params_.mtu - 1) / params_.mtu;  // ceil-div
+  plan.count = static_cast<std::uint32_t>(
+      std::clamp<std::uint64_t>(raw, 1, kMaxPackets));
+  plan.bytes_per_packet = (bytes + plan.count - 1) / plan.count;
+  if (plan.bytes_per_packet == 0) plan.bytes_per_packet = 1;
+  return plan;
+}
+
+des::Task<void> SimNetwork::transfer(NodeId src, NodeId dst,
+                                     std::uint64_t bytes) {
+  POLARIS_CHECK(src < topo_.node_count() && dst < topo_.node_count());
+  ++stats_.messages;
+  stats_.bytes += bytes;
+
+  if (src == dst) {
+    // Intra-node: one host copy.
+    const double t = static_cast<double>(bytes) / params_.copy_bw;
+    co_await des::delay(engine_, des::from_seconds(t));
+    co_return;
+  }
+
+  if (params_.circuit_setup > 0.0) {
+    co_await ensure_circuit(src, dst);
+  }
+
+  const std::vector<LinkId> path = topo_.route(src, dst);  // copy: coroutine
+  const PacketPlan plan = plan_packets(bytes);
+  stats_.packets += plan.count;
+
+  // Launch one sub-process per packet; they pipeline through the per-link
+  // FIFO semaphores.  `remaining`/`done` live in this frame, which outlives
+  // the packets because we await `done` below.
+  std::uint32_t remaining = plan.count;
+  des::Trigger done(engine_);
+  for (std::uint32_t i = 0; i < plan.count; ++i) {
+    engine_.spawn([](SimNetwork& net, std::vector<LinkId> p,
+                     std::uint64_t pkt, std::uint32_t& rem,
+                     des::Trigger& trig) -> des::Task<void> {
+      co_await net.send_packet(std::move(p), pkt);
+      if (--rem == 0) trig.fire();
+    }(*this, path, plan.bytes_per_packet, remaining, done));
+  }
+  co_await done.wait();
+}
+
+des::Task<void> SimNetwork::send_packet(std::vector<LinkId> path,
+                                        std::uint64_t pkt_bytes) {
+  const des::SimTime ser = serialize_time(pkt_bytes);
+  const auto hops = path.size();
+  for (std::size_t j = 0; j < hops; ++j) {
+    const LinkId l = path[j];
+    co_await links_[l]->acquire();
+    co_await des::delay(engine_, ser);
+    links_[l]->release();
+    link_busy_s_[l] += des::to_seconds(ser);
+    stats_.total_link_busy_s += des::to_seconds(ser);
+    // Propagation: wire always; switch forwarding except after final link.
+    double prop = params_.wire_latency;
+    if (j + 1 < hops) prop += params_.switch_latency;
+    co_await des::delay(engine_, des::from_seconds(prop));
+  }
+}
+
+des::Task<void> SimNetwork::ensure_circuit(NodeId src, NodeId dst) {
+  CircuitCache& cache = circuits_[src];
+  if (auto it = cache.index.find(dst); it != cache.index.end()) {
+    cache.lru.splice(cache.lru.begin(), cache.lru, it->second);
+    ++stats_.circuit_hits;
+    co_return;
+  }
+  ++stats_.circuit_misses;
+  // Install before the delay so concurrent senders to the same destination
+  // pay setup once (optimistic: their data rides the path being set up).
+  cache.lru.push_front(dst);
+  cache.index[dst] = cache.lru.begin();
+  if (cache.lru.size() > kCircuitsPerSource) {
+    cache.index.erase(cache.lru.back());
+    cache.lru.pop_back();
+  }
+  co_await des::delay(engine_, des::from_seconds(params_.circuit_setup));
+}
+
+double SimNetwork::uncongested_seconds(NodeId src, NodeId dst,
+                                       std::uint64_t bytes,
+                                       bool assume_circuit) const {
+  if (src == dst) return static_cast<double>(bytes) / params_.copy_bw;
+  const auto h = topo_.hop_count(src, dst);
+  const PacketPlan plan = plan_packets(bytes);
+  const double ser =
+      static_cast<double>(plan.bytes_per_packet) / params_.link_bw;
+  double t = static_cast<double>(plan.count + h - 1) * ser +
+             params_.path_latency(static_cast<int>(h) - 1);
+  if (params_.circuit_setup > 0.0 && !assume_circuit) {
+    t += params_.circuit_setup;
+  }
+  return t;
+}
+
+double SimNetwork::link_busy_seconds(LinkId id) const {
+  POLARIS_CHECK(id < link_busy_s_.size());
+  return link_busy_s_[id];
+}
+
+}  // namespace polaris::fabric

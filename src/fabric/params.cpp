@@ -1,0 +1,128 @@
+#include "polaris/fabric/params.hpp"
+
+#include <stdexcept>
+
+namespace polaris::fabric::fabrics {
+
+FabricParams fast_ethernet() {
+  FabricParams p;
+  p.name = "fast-ethernet";
+  p.link_bw = 12.5e6;  // 100 Mb/s
+  p.wire_latency = 500e-9;
+  p.switch_latency = 10e-6;  // store-and-forward commodity switch
+  p.mtu = 1500;
+  p.o_send = 30e-6;  // kernel TCP stack traversal
+  p.o_recv = 35e-6;
+  p.gap = 40e-6;
+  p.os_bypass = false;
+  p.rdma = false;
+  p.copy_bw = 800e6;  // socket-buffer copy bandwidth
+  p.eager_threshold = 64 * 1024;  // rendezvous pointless: always copies
+  return p;
+}
+
+FabricParams gig_ethernet() {
+  FabricParams p;
+  p.name = "gig-ethernet";
+  p.link_bw = 125e6;  // 1 Gb/s
+  p.wire_latency = 300e-9;
+  p.switch_latency = 4e-6;
+  p.mtu = 1500;
+  p.o_send = 22e-6;
+  p.o_recv = 25e-6;
+  p.gap = 28e-6;
+  p.os_bypass = false;
+  p.rdma = false;
+  p.copy_bw = 800e6;
+  p.eager_threshold = 64 * 1024;
+  return p;
+}
+
+FabricParams myrinet2000() {
+  FabricParams p;
+  p.name = "myrinet-2000";
+  p.link_bw = 250e6;  // 2 Gb/s
+  p.wire_latency = 100e-9;
+  p.switch_latency = 500e-9;  // cut-through Clos element
+  p.mtu = 4096;
+  p.o_send = 1.0e-6;  // user-level GM-style injection
+  p.o_recv = 1.2e-6;
+  p.gap = 2.5e-6;
+  p.os_bypass = true;
+  p.rdma = false;  // GM-era: remote writes via host agent, model two-sided
+  p.copy_bw = 1.2e9;
+  p.reg_base = 10e-6;  // pin-down cost (GM registration)
+  p.reg_per_page = 0.8e-6;
+  p.eager_threshold = 16 * 1024;
+  return p;
+}
+
+FabricParams quadrics_qsnet() {
+  FabricParams p;
+  p.name = "quadrics-qsnet";
+  p.link_bw = 340e6;
+  p.wire_latency = 50e-9;
+  p.switch_latency = 300e-9;
+  p.mtu = 4096;
+  p.o_send = 0.8e-6;
+  p.o_recv = 0.9e-6;
+  p.gap = 1.8e-6;
+  p.os_bypass = true;
+  p.rdma = true;  // Elan3 remote DMA
+  p.copy_bw = 1.2e9;
+  p.reg_base = 0.0;  // Elan MMU: no explicit pin-down
+  p.reg_per_page = 0.0;
+  p.eager_threshold = 8 * 1024;
+  return p;
+}
+
+FabricParams infiniband_4x() {
+  FabricParams p;
+  p.name = "infiniband-4x";
+  p.link_bw = 1.0e9;  // 8 Gb/s data rate after 8b/10b
+  p.wire_latency = 50e-9;
+  p.switch_latency = 200e-9;
+  p.mtu = 2048;
+  p.o_send = 0.7e-6;
+  p.o_recv = 0.8e-6;
+  p.gap = 1.5e-6;
+  p.os_bypass = true;
+  p.rdma = true;
+  p.copy_bw = 1.5e9;
+  p.reg_base = 25e-6;  // verbs memory registration
+  p.reg_per_page = 0.5e-6;
+  p.eager_threshold = 8 * 1024;
+  return p;
+}
+
+FabricParams optical_ocs() {
+  FabricParams p;
+  p.name = "optical-ocs";
+  p.link_bw = 1.25e9;  // 10 Gb/s light path
+  p.wire_latency = 100e-9;
+  p.switch_latency = 0.0;  // transparent light path once established
+  p.mtu = 4096;
+  p.o_send = 0.7e-6;
+  p.o_recv = 0.8e-6;
+  p.gap = 1.5e-6;
+  p.os_bypass = true;
+  p.rdma = true;
+  p.copy_bw = 1.5e9;
+  p.circuit_setup = 500e-6;  // MEMS mirror reconfiguration
+  p.eager_threshold = 8 * 1024;
+  return p;
+}
+
+std::vector<FabricParams> all() {
+  return {fast_ethernet(), gig_ethernet(),  myrinet2000(),
+          quadrics_qsnet(), infiniband_4x(), optical_ocs()};
+}
+
+FabricParams by_name(const std::string& name) {
+  for (auto& p : all()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("unknown fabric preset: " + name);
+}
+
+}  // namespace polaris::fabric::fabrics

@@ -1,0 +1,313 @@
+#include "polaris/fabric/topology.hpp"
+
+#include <algorithm>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::fabric {
+
+namespace {
+std::uint64_t pair_key(DeviceId u, DeviceId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+}  // namespace
+
+const std::vector<LinkId>& Topology::route(NodeId src, NodeId dst) const {
+  POLARIS_CHECK(src < node_count_ && dst < node_count_);
+  const auto key = pair_key(src, dst);
+  if (auto it = route_cache_.find(key); it != route_cache_.end()) {
+    return it->second;
+  }
+  auto [it, inserted] = route_cache_.emplace(key, compute_route(src, dst));
+  return it->second;
+}
+
+std::size_t Topology::diameter() const {
+  const std::size_t n = std::min<std::size_t>(node_count_, 128);
+  std::size_t d = 0;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a != b) d = std::max(d, hop_count(a, b));
+    }
+  }
+  return d;
+}
+
+LinkId Topology::link(DeviceId u, DeviceId v) {
+  POLARIS_CHECK_MSG(u != v, "self-links are not allowed");
+  const auto key = pair_key(u, v);
+  if (auto it = link_ids_.find(key); it != link_ids_.end()) return it->second;
+  const auto id = static_cast<LinkId>(link_ends_.size());
+  link_ids_.emplace(key, id);
+  link_ends_.emplace_back(u, v);
+  return id;
+}
+
+LinkId Topology::link_between(DeviceId u, DeviceId v) const {
+  const auto it = link_ids_.find(pair_key(u, v));
+  POLARIS_CHECK_MSG(it != link_ids_.end(),
+                    "routing produced a non-existent link");
+  return it->second;
+}
+
+// ------------------------------------------------------------------ Crossbar
+
+Crossbar::Crossbar(std::size_t nodes) : Topology(nodes, 1) {
+  POLARIS_CHECK(nodes >= 2);
+  const DeviceId sw = static_cast<DeviceId>(nodes);  // the single switch
+  for (DeviceId h = 0; h < nodes; ++h) {
+    link(h, sw);
+    link(sw, h);
+  }
+}
+
+std::vector<LinkId> Crossbar::compute_route(NodeId src, NodeId dst) const {
+  if (src == dst) return {};
+  const DeviceId sw = static_cast<DeviceId>(node_count_);
+  return {link_between(src, sw), link_between(sw, dst)};
+}
+
+// ------------------------------------------------------------------- FatTree
+
+FatTree::FatTree(std::size_t k)
+    : Topology(k * k * k / 4, k * k + k * k / 4), k_(k) {
+  POLARIS_CHECK_MSG(k >= 2 && k % 2 == 0, "fat-tree radix must be even");
+  const std::size_t half = k / 2;
+  // Hosts <-> edge switches.
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    for (std::size_t e = 0; e < half; ++e) {
+      const DeviceId edge = edge_switch(pod, e);
+      for (std::size_t h = 0; h < half; ++h) {
+        const auto host = static_cast<DeviceId>(
+            pod * half * half + e * half + h);
+        link(host, edge);
+        link(edge, host);
+      }
+      // Edge <-> aggregation within the pod (full bipartite).
+      for (std::size_t a = 0; a < half; ++a) {
+        const DeviceId agg = agg_switch(pod, a);
+        link(edge, agg);
+        link(agg, edge);
+      }
+    }
+    // Aggregation <-> core: agg a connects to cores [a*half, (a+1)*half).
+    for (std::size_t a = 0; a < half; ++a) {
+      const DeviceId agg = agg_switch(pod, a);
+      for (std::size_t c = 0; c < half; ++c) {
+        const DeviceId core = core_switch(a * half + c);
+        link(agg, core);
+        link(core, agg);
+      }
+    }
+  }
+}
+
+std::string FatTree::name() const {
+  return "fat-tree-k" + std::to_string(k_);
+}
+
+std::size_t FatTree::radix_for(std::size_t nodes) {
+  std::size_t k = 2;
+  while (k * k * k / 4 < nodes) k += 2;
+  return k;
+}
+
+DeviceId FatTree::edge_switch(std::size_t pod, std::size_t idx) const {
+  return static_cast<DeviceId>(node_count_ + pod * (k_ / 2) + idx);
+}
+
+DeviceId FatTree::agg_switch(std::size_t pod, std::size_t idx) const {
+  return static_cast<DeviceId>(node_count_ + k_ * (k_ / 2) + pod * (k_ / 2) +
+                               idx);
+}
+
+DeviceId FatTree::core_switch(std::size_t idx) const {
+  return static_cast<DeviceId>(node_count_ + 2 * k_ * (k_ / 2) + idx);
+}
+
+std::vector<LinkId> FatTree::compute_route(NodeId src, NodeId dst) const {
+  if (src == dst) return {};
+  const std::size_t half = k_ / 2;
+  const std::size_t hosts_per_edge = half;
+  const std::size_t hosts_per_pod = half * half;
+
+  const std::size_t src_pod = src / hosts_per_pod;
+  const std::size_t dst_pod = dst / hosts_per_pod;
+  const std::size_t src_edge = (src % hosts_per_pod) / hosts_per_edge;
+  const std::size_t dst_edge = (dst % hosts_per_pod) / hosts_per_edge;
+
+  std::vector<LinkId> path;
+  const DeviceId se = edge_switch(src_pod, src_edge);
+  path.push_back(link_between(src, se));
+
+  if (src_pod == dst_pod && src_edge == dst_edge) {
+    path.push_back(link_between(se, dst));
+    return path;
+  }
+
+  // Destination-based deterministic uplink selection spreads flows.
+  const std::size_t agg_idx = dst % half;
+  if (src_pod == dst_pod) {
+    const DeviceId agg = agg_switch(src_pod, agg_idx);
+    const DeviceId de = edge_switch(dst_pod, dst_edge);
+    path.push_back(link_between(se, agg));
+    path.push_back(link_between(agg, de));
+    path.push_back(link_between(de, dst));
+    return path;
+  }
+
+  const std::size_t core_idx =
+      agg_idx * half + (dst / half) % half;  // within agg's uplink group
+  const DeviceId up_agg = agg_switch(src_pod, agg_idx);
+  const DeviceId core = core_switch(core_idx);
+  const DeviceId down_agg = agg_switch(dst_pod, agg_idx);
+  const DeviceId de = edge_switch(dst_pod, dst_edge);
+  path.push_back(link_between(se, up_agg));
+  path.push_back(link_between(up_agg, core));
+  path.push_back(link_between(core, down_agg));
+  path.push_back(link_between(down_agg, de));
+  path.push_back(link_between(de, dst));
+  return path;
+}
+
+// -------------------------------------------------------------------- Torus2D
+
+Torus2D::Torus2D(std::size_t width, std::size_t height)
+    : Topology(width * height, width * height), w_(width), h_(height) {
+  POLARIS_CHECK(width >= 2 && height >= 2);
+  for (std::size_t y = 0; y < h_; ++y) {
+    for (std::size_t x = 0; x < w_; ++x) {
+      const DeviceId r = router(x, y);
+      const auto host = static_cast<DeviceId>(y * w_ + x);
+      link(host, r);
+      link(r, host);
+      const DeviceId xp = router((x + 1) % w_, y);
+      const DeviceId yp = router(x, (y + 1) % h_);
+      link(r, xp);
+      link(xp, r);
+      link(r, yp);
+      link(yp, r);
+    }
+  }
+}
+
+std::string Torus2D::name() const {
+  return "torus2d-" + std::to_string(w_) + "x" + std::to_string(h_);
+}
+
+DeviceId Torus2D::router(std::size_t x, std::size_t y) const {
+  return static_cast<DeviceId>(node_count_ + y * w_ + x);
+}
+
+namespace {
+/// Steps from a to b along a ring of size n, shortest direction.
+/// Returns +1/-1 step and count.
+std::pair<int, std::size_t> ring_steps(std::size_t a, std::size_t b,
+                                       std::size_t n) {
+  if (a == b) return {0, 0};
+  const std::size_t fwd = (b + n - a) % n;
+  const std::size_t bwd = n - fwd;
+  if (fwd <= bwd) return {+1, fwd};
+  return {-1, bwd};
+}
+}  // namespace
+
+std::vector<LinkId> Torus2D::compute_route(NodeId src, NodeId dst) const {
+  if (src == dst) return {};
+  std::size_t x = src % w_, y = src / w_;
+  const std::size_t dx = dst % w_, dy = dst / w_;
+
+  std::vector<LinkId> path;
+  path.push_back(link_between(src, router(x, y)));
+
+  auto [sx, nx] = ring_steps(x, dx, w_);
+  for (std::size_t i = 0; i < nx; ++i) {
+    const std::size_t x2 = (x + w_ + static_cast<std::size_t>(sx)) % w_;
+    path.push_back(link_between(router(x, y), router(x2, y)));
+    x = x2;
+  }
+  auto [sy, ny] = ring_steps(y, dy, h_);
+  for (std::size_t i = 0; i < ny; ++i) {
+    const std::size_t y2 = (y + h_ + static_cast<std::size_t>(sy)) % h_;
+    path.push_back(link_between(router(x, y), router(x, y2)));
+    y = y2;
+  }
+  path.push_back(link_between(router(x, y), dst));
+  return path;
+}
+
+// -------------------------------------------------------------------- Torus3D
+
+Torus3D::Torus3D(std::size_t x, std::size_t y, std::size_t z)
+    : Topology(x * y * z, x * y * z), nx_(x), ny_(y), nz_(z) {
+  POLARIS_CHECK(x >= 2 && y >= 2 && z >= 2);
+  for (std::size_t k = 0; k < nz_; ++k) {
+    for (std::size_t j = 0; j < ny_; ++j) {
+      for (std::size_t i = 0; i < nx_; ++i) {
+        const DeviceId r = router(i, j, k);
+        const auto host =
+            static_cast<DeviceId>((k * ny_ + j) * nx_ + i);
+        link(host, r);
+        link(r, host);
+        const DeviceId xp = router((i + 1) % nx_, j, k);
+        const DeviceId yp = router(i, (j + 1) % ny_, k);
+        const DeviceId zp = router(i, j, (k + 1) % nz_);
+        link(r, xp);
+        link(xp, r);
+        link(r, yp);
+        link(yp, r);
+        link(r, zp);
+        link(zp, r);
+      }
+    }
+  }
+}
+
+std::string Torus3D::name() const {
+  return "torus3d-" + std::to_string(nx_) + "x" + std::to_string(ny_) + "x" +
+         std::to_string(nz_);
+}
+
+DeviceId Torus3D::router(std::size_t x, std::size_t y, std::size_t z) const {
+  return static_cast<DeviceId>(node_count_ + (z * ny_ + y) * nx_ + x);
+}
+
+std::vector<LinkId> Torus3D::compute_route(NodeId src, NodeId dst) const {
+  if (src == dst) return {};
+  std::size_t x = src % nx_;
+  std::size_t y = (src / nx_) % ny_;
+  std::size_t z = src / (nx_ * ny_);
+  const std::size_t dx = dst % nx_;
+  const std::size_t dy = (dst / nx_) % ny_;
+  const std::size_t dz = dst / (nx_ * ny_);
+
+  std::vector<LinkId> path;
+  path.push_back(link_between(src, router(x, y, z)));
+
+  auto walk = [&](std::size_t& cur, std::size_t target, std::size_t n,
+                  auto make_router) {
+    auto [step, count] = ring_steps(cur, target, n);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t nxt =
+          (cur + n + static_cast<std::size_t>(step)) % n;
+      const DeviceId from = make_router(cur);
+      const DeviceId to = make_router(nxt);
+      path.push_back(link_between(from, to));
+      cur = nxt;
+    }
+  };
+  walk(x, dx, nx_, [&](std::size_t v) { return router(v, y, z); });
+  walk(y, dy, ny_, [&](std::size_t v) { return router(x, v, z); });
+  walk(z, dz, nz_, [&](std::size_t v) { return router(x, y, v); });
+
+  path.push_back(link_between(router(x, y, z), dst));
+  return path;
+}
+
+std::unique_ptr<Topology> make_default_topology(std::size_t nodes) {
+  POLARIS_CHECK(nodes >= 2);
+  if (nodes <= 16) return std::make_unique<Crossbar>(nodes);
+  return std::make_unique<FatTree>(FatTree::radix_for(nodes));
+}
+
+}  // namespace polaris::fabric

@@ -1,0 +1,106 @@
+#include "polaris/fault/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::fault {
+
+PhiAccrualDetector::PhiAccrualDetector(std::size_t window, double min_stddev)
+    : window_(window), min_stddev_(min_stddev) {
+  POLARIS_CHECK(window >= 2 && min_stddev > 0);
+}
+
+void PhiAccrualDetector::heartbeat(double now) {
+  if (last_ >= 0.0) {
+    intervals_.push_back(now - last_);
+    if (intervals_.size() > window_) intervals_.pop_front();
+  }
+  last_ = now;
+}
+
+double PhiAccrualDetector::phi(double now) const {
+  if (intervals_.empty()) return 0.0;
+  double mean = 0.0;
+  for (double x : intervals_) mean += x;
+  mean /= static_cast<double>(intervals_.size());
+  double var = 0.0;
+  for (double x : intervals_) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(intervals_.size());
+  const double sd = std::max(std::sqrt(var), min_stddev_);
+
+  const double t = now - last_;
+  // P(interval > t) under Normal(mean, sd), via the complementary CDF.
+  const double z = (t - mean) / sd;
+  const double p_later = 0.5 * std::erfc(z / std::sqrt(2.0));
+  if (p_later <= 0.0) return 40.0;  // saturate instead of infinity
+  return -std::log10(p_later);
+}
+
+DetectorQuality evaluate_timeout_detector(double period, double jitter_sigma,
+                                          double timeout,
+                                          std::size_t heartbeats,
+                                          std::uint64_t seed) {
+  POLARIS_CHECK(period > 0 && timeout > 0 && heartbeats > 1);
+  support::Random rng(seed);
+  // Heartbeats sent every `period`; delivery delayed by lognormal jitter
+  // with median ~period/20 and the given sigma.
+  const double mu = std::log(period / 20.0);
+
+  DetectorQuality q;
+  std::size_t false_positives = 0;
+  double prev_arrival = 0.0;
+  for (std::size_t i = 1; i < heartbeats; ++i) {
+    const double sent = static_cast<double>(i) * period;
+    const double arrival = sent + rng.lognormal(mu, jitter_sigma);
+    // False positive if the gap since the previous arrival exceeded the
+    // timeout (the node was healthy the whole time).
+    if (arrival - prev_arrival > timeout) ++false_positives;
+    prev_arrival = std::max(prev_arrival, arrival);
+  }
+  q.false_positive_rate =
+      static_cast<double>(false_positives) /
+      static_cast<double>(heartbeats - 1);
+  // Crash just after the last heartbeat was sent: detected `timeout` after
+  // the last arrival.
+  q.detection_latency = timeout + (prev_arrival -
+                                   static_cast<double>(heartbeats - 1) *
+                                       period);
+  return q;
+}
+
+DetectorQuality evaluate_phi_detector(double period, double jitter_sigma,
+                                      double threshold,
+                                      std::size_t heartbeats,
+                                      std::uint64_t seed) {
+  POLARIS_CHECK(period > 0 && threshold > 0 && heartbeats > 10);
+  support::Random rng(seed);
+  const double mu = std::log(period / 20.0);
+
+  PhiAccrualDetector det(/*window=*/100, /*min_stddev=*/period / 100.0);
+  DetectorQuality q;
+  std::size_t false_positives = 0;
+  double last_arrival = 0.0;
+  det.heartbeat(0.0);
+  for (std::size_t i = 1; i < heartbeats; ++i) {
+    const double sent = static_cast<double>(i) * period;
+    const double arrival =
+        std::max(sent + rng.lognormal(mu, jitter_sigma), last_arrival);
+    // Healthy node: did the silence before this arrival cross threshold?
+    if (i > 10 && det.phi(arrival) > threshold) ++false_positives;
+    det.heartbeat(arrival);
+    last_arrival = arrival;
+  }
+  q.false_positive_rate = static_cast<double>(false_positives) /
+                          static_cast<double>(heartbeats - 1);
+  // Crash after the last heartbeat: scan forward for the phi crossing.
+  double t = last_arrival;
+  while (det.phi(t) <= threshold && t < last_arrival + 1000.0 * period) {
+    t += period / 50.0;
+  }
+  q.detection_latency = t - last_arrival;
+  return q;
+}
+
+}  // namespace polaris::fault

@@ -1,0 +1,80 @@
+#include "polaris/fault/failure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::fault {
+
+FailureModel FailureModel::exponential(double mtbf) {
+  POLARIS_CHECK(mtbf > 0);
+  return FailureModel(FailureLaw::kExponential, mtbf, 1.0, mtbf);
+}
+
+FailureModel FailureModel::weibull(double mtbf, double shape) {
+  POLARIS_CHECK(mtbf > 0 && shape > 0);
+  // mean = scale * Gamma(1 + 1/k)  =>  scale = mtbf / Gamma(1 + 1/k).
+  const double scale = mtbf / std::tgamma(1.0 + 1.0 / shape);
+  return FailureModel(FailureLaw::kWeibull, mtbf, shape, scale);
+}
+
+double FailureModel::sample_ttf(support::Random& rng) const {
+  switch (law_) {
+    case FailureLaw::kExponential:
+      return rng.exponential(1.0 / mtbf_);
+    case FailureLaw::kWeibull:
+      return rng.weibull(shape_, scale_);
+  }
+  return mtbf_;
+}
+
+double system_mtbf_exponential(double node_mtbf, std::size_t nodes) {
+  POLARIS_CHECK(node_mtbf > 0 && nodes > 0);
+  return node_mtbf / static_cast<double>(nodes);
+}
+
+double system_mtbf_sampled(const FailureModel& node, std::size_t nodes,
+                           std::size_t trials, support::Random& rng) {
+  POLARIS_CHECK(nodes > 0 && trials > 0);
+  double sum = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    double first = node.sample_ttf(rng);
+    for (std::size_t n = 1; n < nodes; ++n) {
+      first = std::min(first, node.sample_ttf(rng));
+    }
+    sum += first;
+  }
+  return sum / static_cast<double>(trials);
+}
+
+FailureTimeline::FailureTimeline(const FailureModel& node, std::size_t nodes,
+                                 std::uint64_t seed)
+    : model_(node), rng_(seed) {
+  POLARIS_CHECK(nodes > 0);
+  heap_.reserve(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    heap_.push_back({model_.sample_ttf(rng_), n});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+FailureTimeline::Event FailureTimeline::next() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  const Pending p = heap_.back();
+  heap_.pop_back();
+  // Repaired immediately: schedule the replacement's failure.
+  heap_.push_back({p.time + model_.sample_ttf(rng_), p.node});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  return {p.time, p.node};
+}
+
+std::vector<FailureTimeline::Event> FailureTimeline::until(double horizon) {
+  std::vector<Event> out;
+  while (heap_.front().time < horizon) {
+    out.push_back(next());
+  }
+  return out;
+}
+
+}  // namespace polaris::fault

@@ -1,0 +1,87 @@
+// Failure detectors.
+//
+// The resource-management layer needs to notice dead nodes before it can
+// recover them.  Two classic detectors over periodic heartbeats:
+//   - fixed-timeout: suspect after `timeout` seconds of silence.  Simple,
+//     but the timeout trades detection latency against false alarms from
+//     late heartbeats.
+//   - phi-accrual (Hayashibara et al.): maintains a window of inter-arrival
+//     times and outputs a suspicion level
+//         phi(t) = -log10( P(next heartbeat later than t) )
+//     under a normal fit of the window; threshold on phi instead of on a
+//     fixed timeout, adapting to observed jitter.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "polaris/support/rng.hpp"
+
+namespace polaris::fault {
+
+/// Fixed-timeout heartbeat detector for one monitored node.
+class TimeoutDetector {
+ public:
+  TimeoutDetector(double timeout) : timeout_(timeout) {}
+
+  void heartbeat(double now) { last_ = now; }
+  bool suspect(double now) const { return now - last_ > timeout_; }
+  double timeout() const { return timeout_; }
+  double last_heartbeat() const { return last_; }
+
+ private:
+  double timeout_;
+  double last_ = 0.0;
+};
+
+/// Phi-accrual detector for one monitored node.
+class PhiAccrualDetector {
+ public:
+  /// `window`: inter-arrival samples kept; `min_stddev` floors the jitter
+  /// estimate to avoid phi exploding on perfectly regular streams.
+  explicit PhiAccrualDetector(std::size_t window = 100,
+                              double min_stddev = 1e-3);
+
+  void heartbeat(double now);
+
+  /// Suspicion level at `now` (0 until two heartbeats arrive).
+  double phi(double now) const;
+
+  bool suspect(double now, double threshold = 8.0) const {
+    return phi(now) > threshold;
+  }
+
+  std::size_t samples() const { return intervals_.size(); }
+
+ private:
+  std::size_t window_;
+  double min_stddev_;
+  double last_ = -1.0;
+  std::deque<double> intervals_;
+};
+
+/// Monte-Carlo characterization of a detector policy against heartbeats
+/// with lognormal network jitter: returns the false-positive rate (fraction
+/// of healthy observation windows wrongly suspected) and the detection
+/// latency after a real crash.
+struct DetectorQuality {
+  double false_positive_rate = 0.0;
+  double detection_latency = 0.0;  ///< seconds after crash until suspected
+};
+
+DetectorQuality evaluate_timeout_detector(double period, double jitter_sigma,
+                                          double timeout,
+                                          std::size_t heartbeats,
+                                          std::uint64_t seed);
+
+/// Same characterization for a phi-accrual detector at `threshold`:
+/// heartbeats with lognormal jitter feed the detector; a false positive is
+/// an inter-arrival gap whose phi crosses the threshold while the node is
+/// healthy; detection latency is the silence needed after a crash for phi
+/// to cross it (given the trained window).
+DetectorQuality evaluate_phi_detector(double period, double jitter_sigma,
+                                      double threshold,
+                                      std::size_t heartbeats,
+                                      std::uint64_t seed);
+
+}  // namespace polaris::fault

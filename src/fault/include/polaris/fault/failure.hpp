@@ -1,0 +1,87 @@
+// Failure-time models for commodity clusters.
+//
+// The talk's scaling argument: a node that fails once a decade is fine —
+// ten thousand of them fail daily, so "the software tools to manage them
+// will take on new responsibilities".  These models quantify exactly that:
+// per-node time-to-failure distributions (memoryless exponential, and
+// Weibull with infant-mortality or wear-out shapes) composed into
+// system-level failure processes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "polaris/support/rng.hpp"
+
+namespace polaris::fault {
+
+enum class FailureLaw {
+  kExponential,  ///< constant hazard (steady-state hardware)
+  kWeibull,      ///< shape < 1: infant mortality; > 1: wear-out
+};
+
+/// Per-node time-to-failure distribution.
+class FailureModel {
+ public:
+  /// Exponential with the given mean time between failures (seconds).
+  static FailureModel exponential(double mtbf);
+
+  /// Weibull with shape k; `scale` chosen so the mean equals `mtbf`.
+  static FailureModel weibull(double mtbf, double shape);
+
+  FailureLaw law() const { return law_; }
+  double mtbf() const { return mtbf_; }
+
+  /// Samples one time-to-failure.
+  double sample_ttf(support::Random& rng) const;
+
+ private:
+  FailureModel(FailureLaw law, double mtbf, double shape, double scale)
+      : law_(law), mtbf_(mtbf), shape_(shape), scale_(scale) {}
+
+  FailureLaw law_;
+  double mtbf_;
+  double shape_ = 1.0;
+  double scale_ = 0.0;
+};
+
+/// System MTBF of `nodes` independent exponential nodes: node_mtbf / n.
+double system_mtbf_exponential(double node_mtbf, std::size_t nodes);
+
+/// Monte-Carlo system MTBF under any per-node law: mean time to FIRST
+/// failure among `nodes` fresh nodes, over `trials` samples.
+double system_mtbf_sampled(const FailureModel& node, std::size_t nodes,
+                           std::size_t trials, support::Random& rng);
+
+/// The failure timeline of a whole machine: a merged, time-ordered stream
+/// of (time, node) failure events, assuming failed nodes are repaired
+/// (replaced fresh) immediately.
+class FailureTimeline {
+ public:
+  FailureTimeline(const FailureModel& node, std::size_t nodes,
+                  std::uint64_t seed);
+
+  struct Event {
+    double time;
+    std::size_t node;
+  };
+
+  /// Next failure event at or after the internal cursor; advances it.
+  Event next();
+
+  /// Failures with time < horizon, consuming them.
+  std::vector<Event> until(double horizon);
+
+ private:
+  struct Pending {
+    double time;
+    std::size_t node;
+    bool operator>(const Pending& o) const { return time > o.time; }
+  };
+
+  FailureModel model_;
+  support::Random rng_;
+  std::vector<Pending> heap_;  // min-heap by time
+};
+
+}  // namespace polaris::fault

@@ -1,0 +1,81 @@
+// Node architecture models.
+//
+// The talk names the node-level "revolutionary structures" expected to
+// redefine commodity clusters: blade packaging, SMP/system-on-a-chip (chip
+// multiprocessors), and processor-in-memory.  Each archetype here is a
+// multiplicative transform of the baseline commodity TechPoint — peak
+// flops, memory bandwidth, power, cost, and packaging density — plus a
+// roofline evaluator so archetypes can be compared on compute-bound vs
+// memory-bound kernels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "polaris/hw/tech.hpp"
+
+namespace polaris::hw {
+
+enum class NodeArch {
+  kConventional,  ///< 1U dual-socket "pizza box" Beowulf node
+  kBlade,         ///< dense blade: lower-power parts, shared chassis
+  kCmpSoc,        ///< SMP-on-a-chip: chip multiprocessor node
+  kPim,           ///< processor-in-memory: logic on the DRAM die
+};
+
+const char* to_string(NodeArch arch);
+std::vector<NodeArch> all_node_archs();
+
+/// A concrete node design at a given technology year.
+struct NodeModel {
+  NodeArch arch = NodeArch::kConventional;
+  double year = 2002.0;
+  double peak_flops = 0.0;
+  double mem_bytes = 0.0;
+  double mem_bw = 0.0;       ///< B/s
+  double cost_usd = 0.0;
+  double power_w = 0.0;
+  double rack_units = 1.0;   ///< fraction of a 42U rack slot occupied
+
+  /// Roofline-attainable flop rate for a kernel with the given arithmetic
+  /// intensity (flops per byte of DRAM traffic).
+  double attained_flops(double arithmetic_intensity) const;
+
+  /// Time to execute `flops` of work moving `bytes` through memory,
+  /// overlap assumed (max, not sum) as in the roofline model.
+  double kernel_time(double flops, double bytes) const;
+
+  /// Arithmetic intensity at which the node transitions from memory-bound
+  /// to compute-bound (the roofline ridge point).
+  double ridge_point() const { return peak_flops / mem_bw; }
+
+  double flops_per_watt() const { return peak_flops / power_w; }
+  double flops_per_dollar() const { return peak_flops / cost_usd; }
+  double nodes_per_rack() const { return 42.0 / rack_units; }
+};
+
+/// Builds a node design of the given archetype from the commodity baseline
+/// at `year`.
+///
+/// Archetype transforms (relative to the conventional node of that year):
+///   blade:  0.75x peak (low-power parts), 0.9x mem BW, 0.55x power,
+///           0.85x cost, 1/3 rack units (14 blades per 7U chassis->~0.5U,
+///           modelled as 0.33U including chassis overhead)
+///   cmp:    cores-on-die scaling adds a second Moore term: peak x2 at
+///           2002 growing 1.25x/yr further; shared on-die interconnect
+///           gives 1.5x mem BW; 1.2x power; 1.3x cost; 1U
+///   pim:    logic in DRAM: 8x mem BW at 2002 growing 1.15x/yr further,
+///           0.4x peak, 0.5x power, 1.2x cost (low-volume part), 1U
+class NodeDesigner {
+ public:
+  explicit NodeDesigner(TechnologyModel tech = TechnologyModel())
+      : tech_(std::move(tech)) {}
+
+  NodeModel design(NodeArch arch, double year) const;
+  const TechnologyModel& technology() const { return tech_; }
+
+ private:
+  TechnologyModel tech_;
+};
+
+}  // namespace polaris::hw

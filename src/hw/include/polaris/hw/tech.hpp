@@ -1,0 +1,73 @@
+// Device-technology projection model.
+//
+// Encodes the 2002-era roadmap exponentials the talk builds its
+// "performance, capacity, power, size, and cost curves" from: Moore-law
+// transistor growth feeding per-socket flops, DRAM density quadrupling
+// roughly every three years, memory bandwidth lagging compute (the memory
+// wall), near-flat commodity node pricing, and slowly rising per-node power
+// (the coming power wall).  All curves are smooth exponentials anchored at
+// calendar year 2002 — exactly the kind of projection a 2002 plenary would
+// plot.
+#pragma once
+
+namespace polaris::hw {
+
+/// Per-node commodity technology snapshot at some calendar year.
+struct TechPoint {
+  double year = 2002.0;
+  double flops_per_node = 0.0;      ///< peak double-precision flop/s
+  double mem_bytes_per_node = 0.0;  ///< DRAM capacity
+  double mem_bw_per_node = 0.0;     ///< sustainable memory bandwidth, B/s
+  double disk_bytes_per_node = 0.0;
+  double node_cost_usd = 0.0;       ///< node incl. chassis share
+  double node_power_w = 0.0;
+  double nic_bw_bytes = 0.0;        ///< commodity NIC bandwidth, B/s
+  double nic_latency_s = 0.0;       ///< end-to-end small-message latency
+};
+
+/// Annual growth multipliers for each technology curve.
+struct GrowthRates {
+  double flops = 1.59;     ///< doubling every ~18 months (Moore)
+  double mem_cap = 1.50;   ///< DRAM ~4x per 3 years, slightly derated
+  double mem_bw = 1.26;    ///< doubling every ~3 years (memory wall)
+  double disk = 1.60;      ///< areal density boom of the era
+  double cost = 1.00;      ///< commodity node price roughly flat
+  double power = 1.08;     ///< creeping clock/thermal growth
+  double nic_bw = 1.45;    ///< Ethernet/IB generation cadence
+  double nic_lat = 0.80;   ///< latency shrinking ~20%/year
+};
+
+/// Projects commodity-node technology from a 2002 anchor point.
+///
+/// The default anchor is a Beowulf-class dual-socket IA-32 node of mid-2002:
+/// 2x 2.4 GHz Xeon with SSE2 (2 flops/clock/socket), 1 GiB DDR, ~1.6 GB/s
+/// streaming memory bandwidth, 80 GB IDE disk, ~$2,500, ~250 W, with a
+/// Fast/GigE-class commodity NIC.
+class TechnologyModel {
+ public:
+  TechnologyModel();
+  TechnologyModel(TechPoint anchor, GrowthRates rates);
+
+  /// Technology point at a calendar year (fractional years interpolate on
+  /// the exponential).  Valid for year >= anchor year.
+  TechPoint at(double year) const;
+
+  const TechPoint& anchor() const { return anchor_; }
+  const GrowthRates& rates() const { return rates_; }
+
+  /// First calendar year (to 0.1y resolution) at which a cluster of
+  /// `budget_usd` reaches `target_flops` peak, assuming the whole budget
+  /// buys nodes at that year's price.  Returns a year > horizon as "never
+  /// within horizon".
+  double year_reaching(double target_flops, double budget_usd,
+                       double horizon_year = 2015.0) const;
+
+  /// Bytes-per-flop ratio at a year: the canonical memory-wall indicator.
+  double bytes_per_flop(double year) const;
+
+ private:
+  TechPoint anchor_;
+  GrowthRates rates_;
+};
+
+}  // namespace polaris::hw

@@ -1,0 +1,84 @@
+#include "polaris/hw/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::hw {
+
+const char* to_string(NodeArch arch) {
+  switch (arch) {
+    case NodeArch::kConventional:
+      return "conventional";
+    case NodeArch::kBlade:
+      return "blade";
+    case NodeArch::kCmpSoc:
+      return "cmp-soc";
+    case NodeArch::kPim:
+      return "pim";
+  }
+  return "?";
+}
+
+std::vector<NodeArch> all_node_archs() {
+  return {NodeArch::kConventional, NodeArch::kBlade, NodeArch::kCmpSoc,
+          NodeArch::kPim};
+}
+
+double NodeModel::attained_flops(double arithmetic_intensity) const {
+  POLARIS_CHECK(arithmetic_intensity > 0);
+  return std::min(peak_flops, arithmetic_intensity * mem_bw);
+}
+
+double NodeModel::kernel_time(double flops, double bytes) const {
+  POLARIS_CHECK(flops >= 0 && bytes >= 0);
+  const double compute = flops / peak_flops;
+  const double memory = bytes / mem_bw;
+  return std::max(compute, memory);
+}
+
+NodeModel NodeDesigner::design(NodeArch arch, double year) const {
+  const TechPoint base = tech_.at(year);
+  const double dy = year - tech_.anchor().year;
+
+  NodeModel n;
+  n.arch = arch;
+  n.year = year;
+  n.peak_flops = base.flops_per_node;
+  n.mem_bytes = base.mem_bytes_per_node;
+  n.mem_bw = base.mem_bw_per_node;
+  n.cost_usd = base.node_cost_usd;
+  n.power_w = base.node_power_w;
+  n.rack_units = 1.0;
+
+  switch (arch) {
+    case NodeArch::kConventional:
+      break;
+    case NodeArch::kBlade:
+      n.peak_flops *= 0.75;
+      n.mem_bw *= 0.9;
+      n.power_w *= 0.55;
+      n.cost_usd *= 0.85;
+      n.rack_units = 1.0 / 3.0;
+      break;
+    case NodeArch::kCmpSoc:
+      // Chip multiprocessing adds a second exponential on top of the
+      // per-core Moore term: more cores per die each generation.
+      n.peak_flops *= 2.0 * std::pow(1.25, dy);
+      n.mem_bw *= 1.5;
+      n.power_w *= 1.2;
+      n.cost_usd *= 1.3;
+      break;
+    case NodeArch::kPim:
+      // Logic on the DRAM die: bandwidth is the point.
+      n.mem_bw *= 8.0 * std::pow(1.15, dy);
+      n.peak_flops *= 0.4;
+      n.power_w *= 0.5;
+      n.cost_usd *= 1.2;
+      break;
+  }
+  return n;
+}
+
+}  // namespace polaris::hw

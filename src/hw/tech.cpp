@@ -1,0 +1,74 @@
+#include "polaris/hw/tech.hpp"
+
+#include <cmath>
+
+#include "polaris/support/check.hpp"
+#include "polaris/support/units.hpp"
+
+namespace polaris::hw {
+
+namespace {
+
+/// Mid-2002 Beowulf-class dual-Xeon node (see class comment).
+TechPoint default_anchor() {
+  TechPoint p;
+  p.year = 2002.0;
+  p.flops_per_node = 9.6e9;           // 2 sockets x 2.4 GHz x 2 flops
+  p.mem_bytes_per_node = 1.0 * 1024.0 * 1024.0 * 1024.0;  // 1 GiB DDR
+  p.mem_bw_per_node = 1.6e9;          // STREAM-class DDR-266
+  p.disk_bytes_per_node = 80e9;       // 80 GB IDE
+  p.node_cost_usd = 2500.0;
+  p.node_power_w = 250.0;
+  p.nic_bw_bytes = 125e6;             // GigE wire rate / 8
+  p.nic_latency_s = 60e-6;            // kernel TCP small-message latency
+  return p;
+}
+
+}  // namespace
+
+TechnologyModel::TechnologyModel()
+    : TechnologyModel(default_anchor(), GrowthRates{}) {}
+
+TechnologyModel::TechnologyModel(TechPoint anchor, GrowthRates rates)
+    : anchor_(anchor), rates_(rates) {
+  POLARIS_CHECK(anchor_.flops_per_node > 0 && anchor_.node_cost_usd > 0);
+  POLARIS_CHECK(rates_.flops > 0 && rates_.nic_lat > 0);
+}
+
+TechPoint TechnologyModel::at(double year) const {
+  POLARIS_CHECK_MSG(year >= anchor_.year,
+                    "projection model is forward-only from its anchor");
+  const double dy = year - anchor_.year;
+  auto grow = [dy](double base, double rate) {
+    return base * std::pow(rate, dy);
+  };
+  TechPoint p;
+  p.year = year;
+  p.flops_per_node = grow(anchor_.flops_per_node, rates_.flops);
+  p.mem_bytes_per_node = grow(anchor_.mem_bytes_per_node, rates_.mem_cap);
+  p.mem_bw_per_node = grow(anchor_.mem_bw_per_node, rates_.mem_bw);
+  p.disk_bytes_per_node = grow(anchor_.disk_bytes_per_node, rates_.disk);
+  p.node_cost_usd = grow(anchor_.node_cost_usd, rates_.cost);
+  p.node_power_w = grow(anchor_.node_power_w, rates_.power);
+  p.nic_bw_bytes = grow(anchor_.nic_bw_bytes, rates_.nic_bw);
+  p.nic_latency_s = grow(anchor_.nic_latency_s, rates_.nic_lat);
+  return p;
+}
+
+double TechnologyModel::year_reaching(double target_flops, double budget_usd,
+                                      double horizon_year) const {
+  POLARIS_CHECK(target_flops > 0 && budget_usd > 0);
+  for (double y = anchor_.year; y <= horizon_year; y += 0.1) {
+    const TechPoint p = at(y);
+    const double nodes = budget_usd / p.node_cost_usd;
+    if (nodes * p.flops_per_node >= target_flops) return y;
+  }
+  return horizon_year + 1.0;
+}
+
+double TechnologyModel::bytes_per_flop(double year) const {
+  const TechPoint p = at(year);
+  return p.mem_bw_per_node / p.flops_per_node;
+}
+
+}  // namespace polaris::hw

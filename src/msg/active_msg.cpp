@@ -1,0 +1,21 @@
+#include "polaris/msg/active_msg.hpp"
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::msg {
+
+AmHandlerId ActiveMessageTable::register_handler(AmHandler handler) {
+  POLARIS_CHECK_MSG(static_cast<bool>(handler),
+                    "active-message handler must be callable");
+  handlers_.push_back(std::move(handler));
+  return static_cast<AmHandlerId>(handlers_.size() - 1);
+}
+
+void ActiveMessageTable::dispatch(AmHandlerId id, int src,
+                                  std::span<const std::byte> payload) {
+  POLARIS_CHECK_MSG(id < handlers_.size(), "unknown active-message handler");
+  ++dispatched_;
+  handlers_[id](src, payload);
+}
+
+}  // namespace polaris::msg

@@ -1,0 +1,140 @@
+// Two-sided tagged-message matching engine.
+//
+// This is the heart of a user-level messaging layer: arriving messages are
+// matched against posted receives by (source, tag) with MPI semantics —
+// receives may wildcard either field; an arriving message matches the
+// OLDEST matching posted receive; a newly posted receive matches the
+// OLDEST matching unexpected message.  The engine is substrate-neutral: the
+// simulated runtime and the real threaded runtime both instantiate it (the
+// latter under its endpoint lock), parameterized on a per-message cookie.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::msg {
+
+/// Wildcards for posted receives.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+using RecvId = std::uint64_t;
+
+/// Metadata describing an arriving message.  Cookie carries whatever the
+/// substrate needs to complete delivery (an in-flight simulation record, a
+/// staged buffer pointer, ...).
+template <typename Cookie>
+struct Envelope {
+  int src = 0;
+  int tag = 0;
+  std::uint64_t bytes = 0;
+  Cookie cookie{};
+};
+
+/// Match outcome statistics, exposed for tests and instrumentation.
+struct MatchStats {
+  std::uint64_t posted = 0;
+  std::uint64_t arrived = 0;
+  std::uint64_t matched_posted = 0;      ///< arrivals that found a receive
+  std::uint64_t matched_unexpected = 0;  ///< receives that found an arrival
+  std::uint64_t cancelled = 0;
+  std::size_t max_unexpected_depth = 0;
+  std::size_t max_posted_depth = 0;
+};
+
+template <typename Cookie>
+class TagMatcher {
+ public:
+  using EnvelopeT = Envelope<Cookie>;
+
+  /// Posts a receive for (src, tag); src/tag may be wildcards.
+  /// If an unexpected message already matches, returns its envelope and the
+  /// receive completes immediately; otherwise the receive is queued under
+  /// `id` and std::nullopt is returned.
+  std::optional<EnvelopeT> post_recv(RecvId id, int src, int tag) {
+    ++stats_.posted;
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+      if (matches(src, tag, it->src, it->tag)) {
+        EnvelopeT env = std::move(*it);
+        unexpected_.erase(it);
+        ++stats_.matched_unexpected;
+        return env;
+      }
+    }
+    posted_.push_back(PostedRecv{id, src, tag});
+    stats_.max_posted_depth = std::max(stats_.max_posted_depth,
+                                       posted_.size());
+    return std::nullopt;
+  }
+
+  /// Delivers an arriving message.  If a posted receive matches, returns
+  /// its RecvId (the receive completes); otherwise the envelope joins the
+  /// unexpected queue and std::nullopt is returned.
+  std::optional<RecvId> arrive(EnvelopeT env) {
+    ++stats_.arrived;
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if (matches(it->src, it->tag, env.src, env.tag)) {
+        const RecvId id = it->id;
+        posted_.erase(it);
+        ++stats_.matched_posted;
+        matched_envelope_ = std::move(env);
+        return id;
+      }
+    }
+    unexpected_.push_back(std::move(env));
+    stats_.max_unexpected_depth =
+        std::max(stats_.max_unexpected_depth, unexpected_.size());
+    return std::nullopt;
+  }
+
+  /// The envelope consumed by the most recent successful arrive() match.
+  /// Valid until the next arrive().
+  const EnvelopeT& last_matched() const { return matched_envelope_; }
+
+  /// Removes a queued posted receive; false if it already matched.
+  bool cancel_recv(RecvId id) {
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if (it->id == id) {
+        posted_.erase(it);
+        ++stats_.cancelled;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Non-destructive probe: does any unexpected message match (src, tag)?
+  std::optional<EnvelopeT> probe(int src, int tag) const {
+    for (const auto& env : unexpected_) {
+      if (matches(src, tag, env.src, env.tag)) return env;
+    }
+    return std::nullopt;
+  }
+
+  std::size_t posted_depth() const { return posted_.size(); }
+  std::size_t unexpected_depth() const { return unexpected_.size(); }
+  const MatchStats& stats() const { return stats_; }
+
+ private:
+  struct PostedRecv {
+    RecvId id;
+    int src;
+    int tag;
+  };
+
+  /// Receive-side wildcard matching: recv (rs, rt) accepts message (ms, mt).
+  static bool matches(int rs, int rt, int ms, int mt) {
+    POLARIS_DCHECK(ms != kAnySource && mt != kAnyTag);
+    return (rs == kAnySource || rs == ms) && (rt == kAnyTag || rt == mt);
+  }
+
+  std::deque<PostedRecv> posted_;
+  std::deque<EnvelopeT> unexpected_;
+  EnvelopeT matched_envelope_{};
+  MatchStats stats_;
+};
+
+}  // namespace polaris::msg

@@ -1,0 +1,205 @@
+// Real threaded runtime: user-level messaging over shared memory.
+//
+// ShmWorld runs one OS thread per rank; ranks exchange messages through
+// per-pair lock-free rings exactly the way a user-level NIC library
+// exchanges descriptors through queue pairs:
+//   eager       — payload copied into a transport buffer at send time;
+//                 the send completes immediately (one copy, as on a NIC
+//                 bounce buffer).
+//   rendezvous  — the ring carries an RTS descriptor pointing at the
+//                 sender's buffer; when the receive is posted, the receiver
+//                 pulls the payload directly (zero-copy, the shared-memory
+//                 analogue of RDMA read) and signals the sender's
+//                 completion flag.
+// Tag matching, protocol choice and collective schedules are the same code
+// the simulated runtime uses (polaris::msg / polaris::coll).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "polaris/coll/algorithms.hpp"
+#include "polaris/coll/local_exec.hpp"
+#include "polaris/msg/active_msg.hpp"
+#include "polaris/msg/completion.hpp"
+#include "polaris/msg/tag_matcher.hpp"
+#include "polaris/rt/spsc_ring.hpp"
+
+namespace polaris::rt {
+
+/// Tunables for a ShmWorld.
+struct ShmOptions {
+  std::size_t eager_threshold = 8 * 1024;  ///< bytes; larger => rendezvous
+  std::size_t ring_capacity = 1024;        ///< descriptors per rank pair
+  /// Algorithm override for collectives; unset => per-call selection.
+  bool fixed_algorithms = false;
+};
+
+class Communicator;
+
+namespace detail {
+
+/// Descriptor travelling through a ring.
+struct WireMsg {
+  enum class Kind : std::uint8_t { kEager, kRts, kAm };
+  Kind kind = Kind::kEager;
+  int src = 0;
+  int tag = 0;
+  std::uint64_t bytes = 0;
+  /// kEager/kAm: heap payload owned by the message (receiver frees).
+  /// kRts: the sender's user buffer (receiver pulls from it).
+  const std::byte* payload = nullptr;
+  /// kRts: sender-side completion flag the receiver releases.
+  std::atomic<bool>* done_flag = nullptr;
+  /// kAm: handler index.
+  std::uint32_t am_handler = 0;
+};
+
+struct PendingRecv {
+  std::byte* out = nullptr;
+  std::size_t capacity = 0;
+  std::atomic<bool> done{false};
+  std::uint64_t received_bytes = 0;
+  int src = -1;
+  int tag = -1;
+};
+
+}  // namespace detail
+
+/// Handle for a nonblocking operation.  Requests are owned by the
+/// issuing Communicator and recycled after wait()/successful test().
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Communicator;
+  explicit Request(std::shared_ptr<detail::PendingRecv> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::PendingRecv> state_;
+};
+
+/// Status of a completed receive.
+struct RecvStatus {
+  int src = -1;
+  int tag = -1;
+  std::uint64_t bytes = 0;
+};
+
+/// Per-rank endpoint + MPI-flavoured API.  Each Communicator is owned and
+/// driven by exactly one rank thread; cross-thread interaction happens only
+/// through the rings and atomic completion flags.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  // -- point to point --------------------------------------------------------
+  void send(int dst, int tag, std::span<const std::byte> data);
+  RecvStatus recv(int src, int tag, std::span<std::byte> out);
+
+  Request irecv(int src, int tag, std::span<std::byte> out);
+  bool test(Request& r);
+  RecvStatus wait(Request& r);
+
+  // -- active messages -------------------------------------------------------
+  /// Handlers must be registered before ShmWorld::run() spawns ranks (the
+  /// table is per-rank; register identical handlers on every rank).
+  msg::AmHandlerId register_am(msg::AmHandler handler);
+  void am_send(int dst, msg::AmHandlerId handler,
+               std::span<const std::byte> payload);
+  std::uint64_t am_dispatched() const { return am_table_.dispatched(); }
+
+  // -- collectives (double element type) --------------------------------------
+  void barrier();
+  void broadcast(std::span<double> buf, int root);
+  void reduce(std::span<double> buf, coll::ReduceOp op, int root);
+  void allreduce(std::span<double> buf, coll::ReduceOp op);
+  /// buf holds size()*block doubles; this rank's contribution at
+  /// [rank*block, (rank+1)*block).
+  void allgather(std::span<double> buf, std::size_t block);
+  /// out/in hold size()*block doubles each.
+  void alltoall(std::span<const double> in, std::span<double> out,
+                std::size_t block);
+  /// buf holds size()*block doubles; afterwards this rank's block
+  /// [rank*block, (rank+1)*block) holds its slice of the reduction.
+  void reduce_scatter(std::span<double> buf, coll::ReduceOp op,
+                      std::size_t block);
+  /// Inclusive prefix reduction by rank order.
+  void scan(std::span<double> buf, coll::ReduceOp op);
+
+  /// Executes an arbitrary schedule (collective building block).
+  void run_schedule(const coll::Schedule& schedule, std::span<double> buf,
+                    coll::ReduceOp op,
+                    std::span<const double> input = {});
+
+  /// Drives incoming traffic; called automatically inside blocking ops.
+  void progress();
+
+  // -- introspection -----------------------------------------------------------
+  const msg::MatchStats& match_stats() const { return matcher_.stats(); }
+  std::uint64_t eager_sends() const { return eager_sends_; }
+  std::uint64_t rendezvous_sends() const { return rendezvous_sends_; }
+
+ private:
+  friend class ShmWorld;
+  Communicator() = default;
+
+  SpscRing<detail::WireMsg>& ring_to(int dst);
+  SpscRing<detail::WireMsg>& ring_from(int src);
+  void push_with_progress(int dst, const detail::WireMsg& m);
+  void handle_incoming(const detail::WireMsg& m);
+  void complete_recv(detail::PendingRecv& pr, const detail::WireMsg& m);
+  void deliver_local(int tag, std::span<const std::byte> data);
+  coll::Algorithm pick(coll::Collective kind, std::size_t count,
+                       int root) const;
+
+  int rank_ = 0;
+  int size_ = 0;
+  ShmOptions opts_;
+  // rings_[s * size + d]: ring from rank s to rank d (shared, world-owned).
+  std::vector<std::unique_ptr<SpscRing<detail::WireMsg>>>* rings_ = nullptr;
+
+  msg::TagMatcher<detail::WireMsg> matcher_;
+  std::unordered_map<msg::RecvId, std::shared_ptr<detail::PendingRecv>>
+      pending_;
+  std::uint64_t next_recv_id_ = 1;
+  std::atomic<bool>* abort_flag_ = nullptr;
+  std::vector<double> scratch_;
+  msg::ActiveMessageTable am_table_;
+  std::uint64_t eager_sends_ = 0;
+  std::uint64_t rendezvous_sends_ = 0;
+};
+
+/// Spawns `ranks` threads, each running `fn(Communicator&)`, and joins.
+/// The first exception thrown by any rank is rethrown from run().
+class ShmWorld {
+ public:
+  explicit ShmWorld(int ranks, ShmOptions opts = {});
+  ~ShmWorld();
+
+  int size() const { return size_; }
+
+  /// Runs one SPMD program across all ranks.  May be called repeatedly;
+  /// communicator state persists between runs.
+  void run(const std::function<void(Communicator&)>& fn);
+
+  /// Access a rank's communicator between runs (e.g. to register AM
+  /// handlers or read stats).  Do not call while run() is active.
+  Communicator& comm(int rank);
+
+ private:
+  int size_;
+  std::atomic<bool> abort_flag_{false};
+  std::vector<std::unique_ptr<SpscRing<detail::WireMsg>>> rings_;
+  std::vector<std::unique_ptr<Communicator>> comms_;
+};
+
+}  // namespace polaris::rt

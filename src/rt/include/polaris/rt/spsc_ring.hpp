@@ -1,0 +1,81 @@
+// Lock-free single-producer/single-consumer ring buffer.
+//
+// The wire of the shared-memory transport: each ordered rank pair owns one
+// ring, so SPSC is exact — the sender thread is the only producer, the
+// receiver thread the only consumer.  Classic Lamport queue with C++11
+// acquire/release atomics and cache-line-separated indices.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::rt {
+
+// Fixed rather than std::hardware_destructive_interference_size: the
+// constant participates in layout, and the std value varies with -mtune.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity must be a power of two (one slot is kept empty, so the ring
+  /// holds capacity-1 elements).
+  explicit SpscRing(std::size_t capacity)
+      : mask_(capacity - 1), slots_(capacity) {
+    POLARIS_CHECK_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                      "ring capacity must be a power of two");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  Returns false when full.
+  bool try_push(const T& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) {
+      return false;  // full
+    }
+    slots_[head] = value;
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns false when empty.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) {
+      return false;  // empty
+    }
+    out = slots_[tail];
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness snapshot (exact for the consumer thread).
+  bool empty() const {
+    return tail_.load(std::memory_order_relaxed) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate occupancy (safe to call from either side).
+  std::size_t size_approx() const {
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    return (h - t) & mask_;
+  }
+
+  std::size_t capacity() const { return mask_; }  // usable slots
+
+ private:
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // producer writes
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // consumer writes
+  std::size_t mask_;
+  std::vector<T> slots_;
+};
+
+}  // namespace polaris::rt

@@ -1,0 +1,404 @@
+#include "polaris/rt/runtime.hpp"
+
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "polaris/coll/cost.hpp"
+#include "polaris/support/check.hpp"
+
+namespace polaris::rt {
+
+namespace {
+
+/// Tag space reserved for collective traffic.  User tags must be >= 0 and
+/// below this.
+constexpr int kCollTag = 0x4000'0000;
+
+/// Shared-memory "fabric" characterization used for collective algorithm
+/// selection (intra-node latencies/bandwidth of a 2002-class SMP).
+fabric::LogGPParams shm_loggp() {
+  fabric::LogGPParams p;
+  p.L = 150e-9;
+  p.o_s = 120e-9;
+  p.o_r = 120e-9;
+  p.g = 150e-9;
+  p.G = 1.0 / 1.2e9;
+  return p;
+}
+
+std::span<const std::byte> as_bytes(std::span<const double> d) {
+  return {reinterpret_cast<const std::byte*>(d.data()), d.size_bytes()};
+}
+
+std::span<std::byte> as_writable_bytes(std::span<double> d) {
+  return {reinterpret_cast<std::byte*>(d.data()), d.size_bytes()};
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Communicator
+
+SpscRing<detail::WireMsg>& Communicator::ring_to(int dst) {
+  return *(*rings_)[static_cast<std::size_t>(rank_) * size_ + dst];
+}
+
+SpscRing<detail::WireMsg>& Communicator::ring_from(int src) {
+  return *(*rings_)[static_cast<std::size_t>(src) * size_ + rank_];
+}
+
+void Communicator::push_with_progress(int dst, const detail::WireMsg& m) {
+  auto& ring = ring_to(dst);
+  while (!ring.try_push(m)) {
+    progress();
+    if (abort_flag_->load(std::memory_order_relaxed)) {
+      throw std::runtime_error("polaris::rt: aborted (a peer rank failed)");
+    }
+    std::this_thread::yield();
+  }
+}
+
+void Communicator::send(int dst, int tag, std::span<const std::byte> data) {
+  POLARIS_CHECK(dst >= 0 && dst < size_);
+  POLARIS_CHECK_MSG(tag >= 0 && tag <= kCollTag,
+                    "user tags must be non-negative");
+  if (dst == rank_) {
+    deliver_local(tag, data);
+    return;
+  }
+  if (data.size() <= opts_.eager_threshold) {
+    ++eager_sends_;
+    detail::WireMsg m;
+    m.kind = detail::WireMsg::Kind::kEager;
+    m.src = rank_;
+    m.tag = tag;
+    m.bytes = data.size();
+    if (!data.empty()) {
+      auto* buf = new std::byte[data.size()];
+      std::memcpy(buf, data.data(), data.size());
+      m.payload = buf;
+    }
+    push_with_progress(dst, m);
+    return;
+  }
+  // Rendezvous: publish an RTS pointing at our buffer, then serve progress
+  // until the receiver has pulled the payload.
+  ++rendezvous_sends_;
+  std::atomic<bool> pulled{false};
+  detail::WireMsg m;
+  m.kind = detail::WireMsg::Kind::kRts;
+  m.src = rank_;
+  m.tag = tag;
+  m.bytes = data.size();
+  m.payload = data.data();
+  m.done_flag = &pulled;
+  push_with_progress(dst, m);
+  while (!pulled.load(std::memory_order_acquire)) {
+    progress();
+    if (abort_flag_->load(std::memory_order_relaxed)) {
+      throw std::runtime_error("polaris::rt: aborted (a peer rank failed)");
+    }
+    std::this_thread::yield();
+  }
+}
+
+void Communicator::deliver_local(int tag, std::span<const std::byte> data) {
+  detail::WireMsg m;
+  m.kind = detail::WireMsg::Kind::kEager;
+  m.src = rank_;
+  m.tag = tag;
+  m.bytes = data.size();
+  if (!data.empty()) {
+    auto* buf = new std::byte[data.size()];
+    std::memcpy(buf, data.data(), data.size());
+    m.payload = buf;
+  }
+  handle_incoming(m);
+}
+
+Request Communicator::irecv(int src, int tag, std::span<std::byte> out) {
+  POLARIS_CHECK(src == msg::kAnySource || (src >= 0 && src < size_));
+  auto state = std::make_shared<detail::PendingRecv>();
+  state->out = out.data();
+  state->capacity = out.size();
+  state->src = src;
+  state->tag = tag;
+
+  const msg::RecvId id = next_recv_id_++;
+  if (auto env = matcher_.post_recv(id, src, tag)) {
+    complete_recv(*state, env->cookie);
+    return Request(std::move(state));
+  }
+  pending_.emplace(id, state);
+  return Request(std::move(state));
+}
+
+bool Communicator::test(Request& r) {
+  POLARIS_CHECK_MSG(r.valid(), "test on an empty request");
+  progress();
+  return r.state_->done.load(std::memory_order_acquire);
+}
+
+RecvStatus Communicator::wait(Request& r) {
+  POLARIS_CHECK_MSG(r.valid(), "wait on an empty request");
+  while (!r.state_->done.load(std::memory_order_acquire)) {
+    progress();
+    if (abort_flag_->load(std::memory_order_relaxed)) {
+      throw std::runtime_error("polaris::rt: aborted (a peer rank failed)");
+    }
+    std::this_thread::yield();
+  }
+  RecvStatus st;
+  st.src = r.state_->src;
+  st.tag = r.state_->tag;
+  st.bytes = r.state_->received_bytes;
+  r.state_.reset();
+  return st;
+}
+
+RecvStatus Communicator::recv(int src, int tag, std::span<std::byte> out) {
+  Request r = irecv(src, tag, out);
+  return wait(r);
+}
+
+void Communicator::progress() {
+  detail::WireMsg m;
+  for (int src = 0; src < size_; ++src) {
+    if (src == rank_) continue;
+    auto& ring = ring_from(src);
+    while (ring.try_pop(m)) {
+      handle_incoming(m);
+    }
+  }
+}
+
+void Communicator::handle_incoming(const detail::WireMsg& m) {
+  if (m.kind == detail::WireMsg::Kind::kAm) {
+    am_table_.dispatch(m.am_handler, m.src,
+                       {m.payload, static_cast<std::size_t>(m.bytes)});
+    delete[] m.payload;
+    return;
+  }
+  msg::Envelope<detail::WireMsg> env;
+  env.src = m.src;
+  env.tag = m.tag;
+  env.bytes = m.bytes;
+  env.cookie = m;
+  if (auto rid = matcher_.arrive(std::move(env))) {
+    const auto it = pending_.find(*rid);
+    POLARIS_CHECK_MSG(it != pending_.end(), "matched recv with no state");
+    auto state = it->second;
+    pending_.erase(it);
+    complete_recv(*state, m);
+  }
+  // else: unexpected; envelope (and payload/RTS pointer) parked in matcher.
+}
+
+void Communicator::complete_recv(detail::PendingRecv& pr,
+                                 const detail::WireMsg& m) {
+  POLARIS_CHECK_MSG(m.bytes <= pr.capacity,
+                    "message larger than receive buffer");
+  if (m.bytes > 0) {
+    std::memcpy(pr.out, m.payload, m.bytes);
+  }
+  if (m.kind == detail::WireMsg::Kind::kEager) {
+    delete[] m.payload;
+  } else {  // kRts: release the spinning sender
+    m.done_flag->store(true, std::memory_order_release);
+  }
+  pr.received_bytes = m.bytes;
+  pr.src = m.src;
+  pr.tag = m.tag;
+  pr.done.store(true, std::memory_order_release);
+}
+
+msg::AmHandlerId Communicator::register_am(msg::AmHandler handler) {
+  return am_table_.register_handler(std::move(handler));
+}
+
+void Communicator::am_send(int dst, msg::AmHandlerId handler,
+                           std::span<const std::byte> payload) {
+  POLARIS_CHECK(dst >= 0 && dst < size_);
+  detail::WireMsg m;
+  m.kind = detail::WireMsg::Kind::kAm;
+  m.src = rank_;
+  m.am_handler = handler;
+  m.bytes = payload.size();
+  if (!payload.empty()) {
+    auto* buf = new std::byte[payload.size()];
+    std::memcpy(buf, payload.data(), payload.size());
+    m.payload = buf;
+  }
+  if (dst == rank_) {
+    handle_incoming(m);
+    return;
+  }
+  push_with_progress(dst, m);
+}
+
+// ------------------------------------------------------------ collectives
+
+coll::Algorithm Communicator::pick(coll::Collective kind, std::size_t count,
+                                   int root) const {
+  return coll::select_algorithm(kind, static_cast<std::size_t>(size_), count,
+                                sizeof(double), shm_loggp(), root);
+}
+
+void Communicator::run_schedule(const coll::Schedule& schedule,
+                                std::span<double> buf, coll::ReduceOp op,
+                                std::span<const double> input) {
+  POLARIS_CHECK(schedule.ranks == static_cast<std::size_t>(size_));
+  POLARIS_CHECK(buf.size() >= schedule.total_count);
+
+  if (schedule.needs_local_copy) {
+    POLARIS_CHECK_MSG(input.size() >= schedule.total_count,
+                      "alltoall needs a full input buffer");
+    const std::size_t block = schedule.total_count / schedule.ranks;
+    std::memcpy(buf.data() + static_cast<std::size_t>(rank_) * block,
+                input.data() + static_cast<std::size_t>(rank_) * block,
+                block * sizeof(double));
+  }
+
+  for (const coll::CommStep& s : schedule.per_rank[rank_]) {
+    Request recv_req;
+    double* recv_dst = nullptr;
+    if (s.has_recv()) {
+      if (s.recv_reduce) {
+        scratch_.resize(std::max(scratch_.size(), s.recv_count));
+        recv_dst = scratch_.data();
+      } else {
+        recv_dst = buf.data() + s.recv_offset;
+      }
+      recv_req = irecv(
+          s.recv_peer, kCollTag,
+          as_writable_bytes(std::span<double>(recv_dst, s.recv_count)));
+    }
+    if (s.has_send()) {
+      const double* base = s.send_from_input ? input.data() : buf.data();
+      send(s.send_peer, kCollTag,
+           as_bytes(std::span<const double>(base + s.send_offset,
+                                            s.send_count)));
+    }
+    if (s.has_recv()) {
+      wait(recv_req);
+      if (s.recv_reduce) {
+        double* dst = buf.data() + s.recv_offset;
+        for (std::size_t i = 0; i < s.recv_count; ++i) {
+          dst[i] = coll::combine(op, dst[i], scratch_[i]);
+        }
+      }
+    }
+  }
+}
+
+void Communicator::barrier() {
+  const auto schedule =
+      coll::barrier(static_cast<std::size_t>(size_));
+  double dummy = 0.0;
+  run_schedule(schedule, {&dummy, 1}, coll::ReduceOp::kSum);
+}
+
+void Communicator::broadcast(std::span<double> buf, int root) {
+  const auto a = pick(coll::Collective::kBroadcast, buf.size(), root);
+  run_schedule(coll::broadcast(static_cast<std::size_t>(size_), buf.size(),
+                               root, a),
+               buf, coll::ReduceOp::kSum);
+}
+
+void Communicator::reduce(std::span<double> buf, coll::ReduceOp op,
+                          int root) {
+  const auto a = pick(coll::Collective::kReduce, buf.size(), root);
+  run_schedule(
+      coll::reduce(static_cast<std::size_t>(size_), buf.size(), root, a),
+      buf, op);
+}
+
+void Communicator::allreduce(std::span<double> buf, coll::ReduceOp op) {
+  const auto a = pick(coll::Collective::kAllreduce, buf.size(), 0);
+  run_schedule(coll::allreduce(static_cast<std::size_t>(size_), buf.size(), a),
+               buf, op);
+}
+
+void Communicator::allgather(std::span<double> buf, std::size_t block) {
+  POLARIS_CHECK(buf.size() >= block * static_cast<std::size_t>(size_));
+  const auto a = pick(coll::Collective::kAllgather, block, 0);
+  run_schedule(coll::allgather(static_cast<std::size_t>(size_), block, a),
+               buf, coll::ReduceOp::kSum);
+}
+
+void Communicator::alltoall(std::span<const double> in,
+                            std::span<double> out, std::size_t block) {
+  POLARIS_CHECK(in.size() >= block * static_cast<std::size_t>(size_));
+  POLARIS_CHECK(out.size() >= block * static_cast<std::size_t>(size_));
+  run_schedule(coll::alltoall(static_cast<std::size_t>(size_), block,
+                              coll::Algorithm::kPairwise),
+               out, coll::ReduceOp::kSum, in);
+}
+
+void Communicator::reduce_scatter(std::span<double> buf, coll::ReduceOp op,
+                                  std::size_t block) {
+  POLARIS_CHECK(buf.size() >= block * static_cast<std::size_t>(size_));
+  const auto a = pick(coll::Collective::kReduceScatter, block, 0);
+  run_schedule(
+      coll::reduce_scatter(static_cast<std::size_t>(size_), block, a), buf,
+      op);
+}
+
+void Communicator::scan(std::span<double> buf, coll::ReduceOp op) {
+  run_schedule(coll::scan(static_cast<std::size_t>(size_), buf.size()), buf,
+               op);
+}
+
+// ------------------------------------------------------------------ ShmWorld
+
+ShmWorld::ShmWorld(int ranks, ShmOptions opts) : size_(ranks) {
+  POLARIS_CHECK(ranks >= 1);
+  rings_.resize(static_cast<std::size_t>(ranks) * ranks);
+  for (auto& r : rings_) {
+    r = std::make_unique<SpscRing<detail::WireMsg>>(opts.ring_capacity);
+  }
+  comms_.resize(ranks);
+  for (int i = 0; i < ranks; ++i) {
+    comms_[i] = std::unique_ptr<Communicator>(new Communicator());
+    comms_[i]->rank_ = i;
+    comms_[i]->size_ = ranks;
+    comms_[i]->opts_ = opts;
+    comms_[i]->rings_ = &rings_;
+    comms_[i]->abort_flag_ = &abort_flag_;
+  }
+}
+
+ShmWorld::~ShmWorld() = default;
+
+Communicator& ShmWorld::comm(int rank) {
+  POLARIS_CHECK(rank >= 0 && rank < size_);
+  return *comms_[rank];
+}
+
+void ShmWorld::run(const std::function<void(Communicator&)>& fn) {
+  abort_flag_.store(false);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(size_);
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(*comms_[r]);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort_flag_.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace polaris::rt

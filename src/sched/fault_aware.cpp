@@ -1,0 +1,313 @@
+#include "polaris/sched/fault_aware.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "polaris/fault/checkpoint.hpp"
+#include "polaris/support/check.hpp"
+#include "polaris/support/stats.hpp"
+
+namespace polaris::sched {
+
+namespace {
+
+struct RunningJob {
+  std::size_t job = 0;
+  std::size_t width = 0;
+  double start = 0.0;
+  double planning_end = 0.0;
+  std::uint64_t completion_seq = 0;  ///< cancels stale completion events
+};
+
+struct Event {
+  enum class Kind { kArrival, kCompletion, kFailure, kRepair };
+  double time;
+  std::uint64_t seq;
+  Kind kind;
+  std::size_t index;  ///< job index, or unused
+};
+struct Later {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+class FaultSim {
+ public:
+  FaultSim(std::vector<Job>& jobs, const FaultAwareConfig& cfg)
+      : jobs_(jobs),
+        cfg_(cfg),
+        up_(cfg.nodes),
+        rng_(cfg.seed),
+        timeline_(fault::FailureModel::exponential(cfg.node_mtbf), cfg.nodes,
+                  cfg.seed ^ 0x5a5a5a5aULL) {
+    remaining_.resize(jobs.size());
+    resubmits_.resize(jobs.size(), 0);
+    tau_.resize(jobs.size(), 0.0);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      remaining_[j] = jobs[j].runtime;
+      if (cfg_.checkpointing) {
+        // A job dies when one of ITS nodes dies: its Daly interval comes
+        // from its own width-scaled MTBF, not the whole machine's.
+        fault::CheckpointConfig cc;
+        cc.checkpoint_cost = cfg_.checkpoint_cost;
+        cc.restart_cost = cfg_.restart_cost;
+        cc.system_mtbf = fault::system_mtbf_exponential(
+            cfg_.node_mtbf, std::max<std::size_t>(jobs[j].width, 1));
+        tau_[j] = fault::daly_interval(cc);
+      }
+    }
+  }
+
+  FaultAwareMetrics run();
+
+ private:
+  double free() const {
+    return static_cast<double>(up_) - static_cast<double>(busy_);
+  }
+  std::size_t free_nodes() const { return up_ > busy_ ? up_ - busy_ : 0; }
+
+  /// Wall time this attempt needs: optional restart charge + work inflated
+  /// by checkpoint overhead.
+  double attempt_wall(std::size_t j) const {
+    const double restart = resubmits_[j] > 0 ? cfg_.restart_cost : 0.0;
+    if (!cfg_.checkpointing) return restart + remaining_[j];
+    return restart + remaining_[j] * (1.0 + cfg_.checkpoint_cost / tau_[j]);
+  }
+
+  double planning_wall(std::size_t j) const {
+    const double est = std::max(jobs_[j].estimate, remaining_[j]);
+    const double restart = resubmits_[j] > 0 ? cfg_.restart_cost : 0.0;
+    if (!cfg_.checkpointing) return restart + est;
+    return restart + est * (1.0 + cfg_.checkpoint_cost / tau_[j]);
+  }
+
+  void start_job(std::size_t j, double now);
+  void complete_job(std::size_t ri, double now);
+  void kill_job(std::size_t ri, double now);
+  void try_start(double now);
+  void pump_failures(double until);
+
+  std::vector<Job>& jobs_;
+  FaultAwareConfig cfg_;
+  std::size_t up_;
+  std::size_t busy_ = 0;
+  std::vector<double> tau_;  ///< per-job Daly interval (checkpointing)
+  support::Random rng_;
+  fault::FailureTimeline timeline_;
+  double failures_pumped_until_ = 0.0;
+
+  std::deque<std::size_t> queue_;
+  std::vector<RunningJob> running_;
+  std::vector<double> remaining_;
+  std::vector<std::uint32_t> resubmits_;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::uint64_t seq_ = 0;
+  std::vector<std::uint64_t> live_completion_;  // per job: valid seq
+
+  FaultAwareMetrics m_;
+};
+
+void FaultSim::start_job(std::size_t j, double now) {
+  POLARIS_CHECK(jobs_[j].width <= free_nodes());
+  if (jobs_[j].start < 0.0) jobs_[j].start = now;
+  const double wall = attempt_wall(j);
+  RunningJob r;
+  r.job = j;
+  r.width = jobs_[j].width;
+  r.start = now;
+  r.planning_end = now + planning_wall(j);
+  r.completion_seq = seq_;
+  running_.push_back(r);
+  busy_ += r.width;
+  live_completion_[j] = seq_;
+  events_.push(Event{now + wall, seq_++, Event::Kind::kCompletion, j});
+}
+
+void FaultSim::complete_job(std::size_t ri, double now) {
+  const RunningJob r = running_[ri];
+  running_.erase(running_.begin() + static_cast<long>(ri));
+  busy_ -= r.width;
+  const std::size_t j = r.job;
+  const double w = static_cast<double>(r.width);
+  const double elapsed = now - r.start;
+  m_.useful_node_seconds += remaining_[j] * w;
+  m_.wasted_node_seconds += std::max(elapsed - remaining_[j], 0.0) * w;
+  remaining_[j] = 0.0;
+  jobs_[j].finish = now;
+}
+
+void FaultSim::kill_job(std::size_t ri, double now) {
+  const RunningJob r = running_[ri];
+  running_.erase(running_.begin() + static_cast<long>(ri));
+  busy_ -= r.width;
+  const std::size_t j = r.job;
+  const double w = static_cast<double>(r.width);
+  const double elapsed = now - r.start;
+  double committed = 0.0;
+  if (cfg_.checkpointing && tau_[j] > 0.0) {
+    const double restart = resubmits_[j] > 0 ? cfg_.restart_cost : 0.0;
+    const double working = std::max(elapsed - restart, 0.0);
+    const double segment = tau_[j] + cfg_.checkpoint_cost;
+    committed = std::min(std::floor(working / segment) * tau_[j],
+                         remaining_[j]);
+  }
+  m_.useful_node_seconds += committed * w;
+  m_.wasted_node_seconds += std::max(elapsed - committed, 0.0) * w;
+  remaining_[j] -= committed;
+  ++resubmits_[j];
+  ++m_.job_kills;
+  live_completion_[j] = std::numeric_limits<std::uint64_t>::max();
+  queue_.push_front(j);  // failed work goes back to the head
+}
+
+void FaultSim::try_start(double now) {
+  // EASY backfill over the surviving capacity.
+  while (!queue_.empty() && jobs_[queue_.front()].width <= free_nodes()) {
+    start_job(queue_.front(), now);
+    queue_.pop_front();
+  }
+  if (queue_.empty()) return;
+
+  // Head reservation from running jobs' planning ends (repairs are not
+  // forecast: conservative).
+  const Job& head = jobs_[queue_.front()];
+  std::vector<RunningJob> ends = running_;
+  std::sort(ends.begin(), ends.end(),
+            [](const RunningJob& a, const RunningJob& b) {
+              return a.planning_end < b.planning_end;
+            });
+  std::size_t avail = free_nodes();
+  double shadow = now;
+  for (const auto& r : ends) {
+    if (avail >= head.width) break;
+    avail += r.width;
+    shadow = r.planning_end;
+  }
+  if (avail < head.width) return;  // must wait for repairs: no backfill
+  std::size_t extra = avail - head.width;
+
+  for (std::size_t qi = 1; qi < queue_.size();) {
+    const std::size_t j = queue_[qi];
+    const bool fits = jobs_[j].width <= free_nodes();
+    const bool before_shadow = now + planning_wall(j) <= shadow;
+    const bool within_extra = jobs_[j].width <= extra;
+    if (fits && (before_shadow || within_extra)) {
+      if (!before_shadow) extra -= jobs_[j].width;
+      start_job(j, now);
+      queue_.erase(queue_.begin() + static_cast<long>(qi));
+    } else {
+      ++qi;
+    }
+  }
+}
+
+void FaultSim::pump_failures(double until) {
+  while (failures_pumped_until_ < until) {
+    const auto ev = timeline_.next();
+    failures_pumped_until_ = ev.time;
+    events_.push(Event{ev.time, seq_++, Event::Kind::kFailure, 0});
+  }
+}
+
+FaultAwareMetrics FaultSim::run() {
+  live_completion_.assign(jobs_.size(),
+                          std::numeric_limits<std::uint64_t>::max());
+  std::vector<std::size_t> order(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return jobs_[a].submit < jobs_[b].submit;
+  });
+  double horizon = 0.0;
+  for (std::size_t j : order) {
+    POLARIS_CHECK_MSG(jobs_[j].width <= cfg_.nodes,
+                      "job wider than the cluster");
+    events_.push(Event{jobs_[j].submit, seq_++, Event::Kind::kArrival, j});
+    horizon = std::max(horizon, jobs_[j].submit);
+  }
+  pump_failures(horizon + 1.0);
+
+  std::size_t completed = 0;
+  support::Summary waits;
+  double last_finish = 0.0;
+
+  while (completed < jobs_.size()) {
+    POLARIS_CHECK_MSG(!events_.empty(), "fault-aware sim stalled");
+    const Event ev = events_.top();
+    events_.pop();
+    const double now = ev.time;
+    // Keep a failure-event horizon ahead of the clock.
+    pump_failures(now + cfg_.node_mtbf / static_cast<double>(cfg_.nodes) +
+                  1.0);
+
+    switch (ev.kind) {
+      case Event::Kind::kArrival:
+        queue_.push_back(ev.index);
+        break;
+      case Event::Kind::kCompletion: {
+        if (live_completion_[ev.index] != ev.seq) break;  // stale: killed
+        for (std::size_t ri = 0; ri < running_.size(); ++ri) {
+          if (running_[ri].job == ev.index) {
+            complete_job(ri, now);
+            waits.add(jobs_[ev.index].start - jobs_[ev.index].submit);
+            last_finish = std::max(last_finish, now);
+            ++completed;
+            break;
+          }
+        }
+        break;
+      }
+      case Event::Kind::kFailure: {
+        ++m_.failures;
+        if (up_ == 0) break;  // everything already down; replacement later
+        // The failed node is uniformly one of the up nodes: busy fraction
+        // hits a running job weighted by width.
+        const auto x = static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(up_) - 1));
+        --up_;
+        events_.push(Event{now + cfg_.repair_time, seq_++,
+                           Event::Kind::kRepair, 0});
+        if (x < busy_) {
+          std::size_t acc = 0;
+          for (std::size_t ri = 0; ri < running_.size(); ++ri) {
+            acc += running_[ri].width;
+            if (x < acc) {
+              kill_job(ri, now);
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case Event::Kind::kRepair:
+        ++up_;
+        break;
+    }
+    try_start(now);
+  }
+
+  m_.jobs = jobs_.size();
+  m_.makespan = last_finish;
+  m_.mean_wait = waits.mean();
+  const double capacity =
+      static_cast<double>(cfg_.nodes) * std::max(m_.makespan, 1e-9);
+  m_.goodput = m_.useful_node_seconds / capacity;
+  m_.utilization =
+      (m_.useful_node_seconds + m_.wasted_node_seconds) / capacity;
+  return m_;
+}
+
+}  // namespace
+
+FaultAwareMetrics run_fault_aware(std::vector<Job> jobs,
+                                  const FaultAwareConfig& config) {
+  POLARIS_CHECK(config.nodes > 0 && config.node_mtbf > 0);
+  FaultSim sim(jobs, config);
+  return sim.run();
+}
+
+}  // namespace polaris::sched

@@ -1,0 +1,41 @@
+// Parallel job model for cluster resource management.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace polaris::sched {
+
+/// A rigid parallel job: needs `width` nodes simultaneously for `runtime`
+/// seconds.  `estimate` is the user-supplied wall-time request the
+/// scheduler plans with (>= runtime in well-formed traces; schedulers must
+/// tolerate under-estimates by planning with max(estimate, runtime)).
+struct Job {
+  std::uint64_t id = 0;
+  double submit = 0.0;    ///< arrival time, seconds
+  double runtime = 0.0;   ///< actual execution time
+  double estimate = 0.0;  ///< requested wall time
+  std::size_t width = 1;  ///< nodes required
+
+  // Filled by the scheduler:
+  double start = -1.0;
+  double finish = -1.0;
+
+  bool scheduled() const { return start >= 0.0; }
+  double wait() const { return scheduled() ? start - submit : 0.0; }
+
+  /// Bounded slowdown with the conventional 10-second bound.
+  double bounded_slowdown() const {
+    if (!scheduled()) return 0.0;
+    const double bound = 10.0;
+    const double run = runtime > bound ? runtime : bound;
+    const double slow = (wait() + runtime) / run;
+    return slow > 1.0 ? slow : 1.0;
+  }
+
+  double node_seconds() const {
+    return static_cast<double>(width) * runtime;
+  }
+};
+
+}  // namespace polaris::sched

@@ -1,0 +1,38 @@
+// Synthetic workload traces.
+//
+// Feitelson-style synthetic model of a production parallel-computer
+// workload: Poisson arrivals, power-of-two-biased widths, log-uniform
+// runtimes, and multiplicatively over-estimated wall-time requests — the
+// statistical shape scheduler comparisons are conventionally run on, in
+// place of the production traces we do not have (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "polaris/sched/job.hpp"
+#include "polaris/support/rng.hpp"
+
+namespace polaris::sched {
+
+struct TraceConfig {
+  std::size_t jobs = 10000;
+  double mean_interarrival = 60.0;  ///< seconds (Poisson arrivals)
+  int min_width_exp = 0;            ///< widths 2^min .. 2^max
+  int max_width_exp = 7;
+  double p_power_of_two = 0.75;     ///< else uniform width in range
+  double min_runtime = 60.0;        ///< log-uniform runtime range
+  double max_runtime = 24.0 * 3600.0;
+  double max_overestimate = 5.0;    ///< estimate = runtime * U[1, this]
+};
+
+/// Generates a reproducible synthetic trace.  Widths never exceed
+/// 2^max_width_exp, so size the cluster accordingly.
+std::vector<Job> generate_trace(const TraceConfig& config,
+                                std::uint64_t seed);
+
+/// Offered load of a trace against a cluster: sum(node-seconds) /
+/// (nodes * span of submissions).
+double offered_load(const std::vector<Job>& jobs, std::size_t nodes);
+
+}  // namespace polaris::sched

@@ -1,0 +1,356 @@
+#include "polaris/sched/scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "polaris/support/check.hpp"
+#include "polaris/support/stats.hpp"
+
+namespace polaris::sched {
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::kFcfs:
+      return "fcfs";
+    case Policy::kSjf:
+      return "sjf";
+    case Policy::kEasyBackfill:
+      return "easy-backfill";
+    case Policy::kConservative:
+      return "conservative";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Running {
+  std::size_t job = 0;
+  double planning_end = 0.0;  ///< start + max(estimate, runtime)
+  std::size_t width = 0;
+};
+
+struct Event {
+  double time;
+  std::uint64_t seq;
+  enum class Kind { kArrival, kCompletion } kind;
+  std::size_t job;
+};
+struct Later {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+class Simulator {
+ public:
+  Simulator(std::vector<Job>& jobs, std::size_t nodes, Policy policy)
+      : jobs_(jobs), nodes_(nodes), free_(nodes), policy_(policy) {}
+
+  SchedMetrics run();
+
+ private:
+  void start_job(std::size_t j, double now, bool out_of_order);
+  void try_start(double now);
+  void try_start_fcfs(double now);
+  void try_start_sjf(double now);
+  void try_start_easy(double now);
+  void try_start_conservative(double now);
+  /// Earliest time the queue head could start, planning with estimates,
+  /// plus the node surplus available until then.
+  std::pair<double, std::size_t> head_reservation(double now) const;
+
+  std::vector<Job>& jobs_;
+  std::size_t nodes_;
+  std::size_t free_;
+  Policy policy_;
+  std::deque<std::size_t> queue_;  // arrival order
+  std::vector<Running> running_;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t backfilled_ = 0;
+};
+
+void Simulator::start_job(std::size_t j, double now, bool out_of_order) {
+  Job& job = jobs_[j];
+  POLARIS_CHECK(job.width <= free_);
+  job.start = now;
+  job.finish = now + job.runtime;
+  free_ -= job.width;
+  running_.push_back(
+      {j, now + std::max(job.estimate, job.runtime), job.width});
+  events_.push(Event{job.finish, seq_++, Event::Kind::kCompletion, j});
+  if (out_of_order) ++backfilled_;
+}
+
+void Simulator::try_start_fcfs(double now) {
+  while (!queue_.empty() && jobs_[queue_.front()].width <= free_) {
+    start_job(queue_.front(), now, false);
+    queue_.pop_front();
+  }
+}
+
+void Simulator::try_start_sjf(double now) {
+  // Repeatedly start the shortest-estimate queued job that fits.
+  for (;;) {
+    std::size_t best = queue_.size();
+    for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+      const Job& j = jobs_[queue_[qi]];
+      if (j.width > free_) continue;
+      if (best == queue_.size() ||
+          j.estimate < jobs_[queue_[best]].estimate) {
+        best = qi;
+      }
+    }
+    if (best == queue_.size()) return;
+    start_job(queue_[best], now, best != 0);
+    queue_.erase(queue_.begin() + static_cast<long>(best));
+  }
+}
+
+std::pair<double, std::size_t> Simulator::head_reservation(
+    double now) const {
+  const Job& head = jobs_[queue_.front()];
+  std::vector<Running> ends = running_;
+  std::sort(ends.begin(), ends.end(),
+            [](const Running& a, const Running& b) {
+              return a.planning_end < b.planning_end;
+            });
+  std::size_t avail = free_;
+  double shadow = now;
+  for (const Running& r : ends) {
+    if (avail >= head.width) break;
+    avail += r.width;
+    shadow = r.planning_end;
+  }
+  POLARIS_CHECK_MSG(avail >= head.width,
+                    "job wider than the whole cluster");
+  return {shadow, avail - head.width};
+}
+
+void Simulator::try_start_easy(double now) {
+  try_start_fcfs(now);
+  if (queue_.empty()) return;
+
+  auto [shadow, extra] = head_reservation(now);
+  // Backfill pass over the rest of the queue in arrival order.
+  for (std::size_t qi = 1; qi < queue_.size();) {
+    const Job& j = jobs_[queue_[qi]];
+    const bool fits_now = j.width <= free_;
+    const bool ends_before_shadow = now + j.estimate <= shadow;
+    const bool within_extra = j.width <= extra;
+    if (fits_now && (ends_before_shadow || within_extra)) {
+      if (!ends_before_shadow) extra -= j.width;
+      start_job(queue_[qi], now, true);
+      queue_.erase(queue_.begin() + static_cast<long>(qi));
+    } else {
+      ++qi;
+    }
+  }
+}
+
+namespace {
+
+/// Node-availability profile over future time, built from running jobs'
+/// planning ends and extended by reservations as they are placed.
+/// Piecewise-constant: points_[i] = (time, available nodes from that time
+/// until the next point); after the last point everything is free.
+class Profile {
+ public:
+  Profile(double now, std::size_t free, const std::vector<Running>& running,
+          std::size_t total)
+      : total_(static_cast<long>(total)) {
+    std::vector<std::pair<double, long>> deltas;
+    deltas.reserve(running.size() + 1);
+    deltas.push_back({now, static_cast<long>(free)});
+    for (const Running& r : running) {
+      deltas.push_back({r.planning_end, static_cast<long>(r.width)});
+    }
+    std::sort(deltas.begin(), deltas.end());
+    long avail = 0;
+    for (const auto& [t, d] : deltas) {
+      avail += d;
+      if (!points_.empty() && points_.back().first == t) {
+        points_.back().second = avail;
+      } else {
+        points_.push_back({t, avail});
+      }
+    }
+  }
+
+  /// Earliest start >= `from` at which `width` nodes stay free for
+  /// `duration`.  Amortized O(points): on hitting a blocking segment the
+  /// candidate start jumps past it.
+  double earliest(double from, std::size_t width, double duration) const {
+    const auto w = static_cast<long>(width);
+    double t = std::max(from, points_.empty() ? from : points_.front().first);
+    std::size_t i = index_at(t);
+    for (;;) {
+      // Scan segments covering [t, t + duration).
+      bool ok = true;
+      for (std::size_t j = i; j < points_.size(); ++j) {
+        if (points_[j].first >= t + duration) break;
+        const double seg_end = j + 1 < points_.size()
+                                   ? points_[j + 1].first
+                                   : std::numeric_limits<double>::infinity();
+        if (seg_end <= t) continue;
+        if (points_[j].second < w) {
+          // Blocked: restart just after this segment ends.
+          if (seg_end == std::numeric_limits<double>::infinity()) {
+            // The profile claims < w nodes forever: impossible if width
+            // <= total, because all reservations end.
+            return t;
+          }
+          t = seg_end;
+          i = index_at(t);
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return t;
+    }
+  }
+
+  /// Reserves `width` nodes over [start, start + duration).
+  void reserve(double start, std::size_t width, double duration) {
+    add_point(start);
+    add_point(start + duration);
+    const auto w = static_cast<long>(width);
+    for (auto& p : points_) {
+      if (p.first >= start && p.first < start + duration) p.second -= w;
+    }
+  }
+
+ private:
+  /// Index of the last point with time <= t (0 if none).
+  std::size_t index_at(double t) const {
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), t,
+        [](double v, const auto& p) { return v < p.first; });
+    return it == points_.begin()
+               ? 0
+               : static_cast<std::size_t>(it - points_.begin()) - 1;
+  }
+
+  void add_point(double t) {
+    const auto it = std::lower_bound(
+        points_.begin(), points_.end(), t,
+        [](const auto& p, double v) { return p.first < v; });
+    if (it != points_.end() && it->first == t) return;
+    // Availability at t continues from the previous segment (or total_
+    // when t is past the profile's end / before its start).
+    long avail = total_;
+    if (it != points_.begin()) avail = (it - 1)->second;
+    points_.insert(it, {t, avail});
+  }
+
+  std::vector<std::pair<double, long>> points_;
+  long total_ = 0;
+};
+
+}  // namespace
+
+void Simulator::try_start_conservative(double now) {
+  // Rebuild the availability profile and walk the queue in order; each job
+  // gets the earliest reservation that delays no earlier one.  Jobs whose
+  // reservation is "now" start immediately.
+  Profile profile(now, free_, running_, nodes_);
+  for (std::size_t qi = 0; qi < queue_.size();) {
+    Job& j = jobs_[queue_[qi]];
+    const double dur = std::max(j.estimate, 1e-9);
+    const double t = profile.earliest(now, j.width, dur);
+    profile.reserve(t, j.width, dur);
+    if (t <= now && j.width <= free_) {
+      start_job(queue_[qi], now, qi != 0);
+      queue_.erase(queue_.begin() + static_cast<long>(qi));
+    } else {
+      ++qi;
+    }
+  }
+}
+
+void Simulator::try_start(double now) {
+  switch (policy_) {
+    case Policy::kFcfs:
+      try_start_fcfs(now);
+      break;
+    case Policy::kSjf:
+      try_start_sjf(now);
+      break;
+    case Policy::kEasyBackfill:
+      try_start_easy(now);
+      break;
+    case Policy::kConservative:
+      try_start_conservative(now);
+      break;
+  }
+}
+
+SchedMetrics Simulator::run() {
+  std::vector<std::size_t> order(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (jobs_[a].submit != jobs_[b].submit) {
+      return jobs_[a].submit < jobs_[b].submit;
+    }
+    return jobs_[a].id < jobs_[b].id;
+  });
+  for (std::size_t j : order) {
+    POLARIS_CHECK_MSG(jobs_[j].width <= nodes_,
+                      "job wider than the cluster");
+    events_.push(Event{jobs_[j].submit, seq_++, Event::Kind::kArrival, j});
+  }
+
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    if (ev.kind == Event::Kind::kArrival) {
+      queue_.push_back(ev.job);
+    } else {
+      free_ += jobs_[ev.job].width;
+      running_.erase(
+          std::remove_if(running_.begin(), running_.end(),
+                         [&](const Running& r) { return r.job == ev.job; }),
+          running_.end());
+    }
+    try_start(ev.time);
+  }
+  POLARIS_CHECK_MSG(queue_.empty(), "scheduler left jobs queued");
+
+  SchedMetrics m;
+  m.jobs = jobs_.size();
+  m.backfilled = backfilled_;
+  if (jobs_.empty()) return m;
+
+  support::Summary wait, slowdown;
+  double busy = 0.0, first_submit = jobs_.front().submit, last_finish = 0.0;
+  for (const Job& j : jobs_) {
+    wait.add(j.wait());
+    slowdown.add(j.bounded_slowdown());
+    busy += j.node_seconds();
+    first_submit = std::min(first_submit, j.submit);
+    last_finish = std::max(last_finish, j.finish);
+  }
+  m.makespan = last_finish - first_submit;
+  m.utilization =
+      busy / (static_cast<double>(nodes_) * std::max(m.makespan, 1e-9));
+  m.mean_wait = wait.mean();
+  m.p95_wait = wait.percentile(95);
+  m.mean_bounded_slowdown = slowdown.mean();
+  m.median_bounded_slowdown = slowdown.median();
+  return m;
+}
+
+}  // namespace
+
+SchedMetrics run_scheduler(std::vector<Job>& jobs, std::size_t nodes,
+                           Policy policy) {
+  POLARIS_CHECK(nodes > 0);
+  Simulator sim(jobs, nodes, policy);
+  return sim.run();
+}
+
+}  // namespace polaris::sched

@@ -1,0 +1,55 @@
+#include "polaris/sched/trace.hpp"
+
+#include <algorithm>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::sched {
+
+std::vector<Job> generate_trace(const TraceConfig& config,
+                                std::uint64_t seed) {
+  POLARIS_CHECK(config.jobs > 0);
+  POLARIS_CHECK(config.min_width_exp <= config.max_width_exp);
+  POLARIS_CHECK(config.min_runtime > 0 &&
+                config.min_runtime <= config.max_runtime);
+  POLARIS_CHECK(config.max_overestimate >= 1.0);
+
+  support::Random rng(seed);
+  std::vector<Job> jobs;
+  jobs.reserve(config.jobs);
+  double t = 0.0;
+  for (std::size_t i = 0; i < config.jobs; ++i) {
+    t += rng.exponential(1.0 / config.mean_interarrival);
+    Job j;
+    j.id = i;
+    j.submit = t;
+    if (rng.bernoulli(config.p_power_of_two)) {
+      j.width = static_cast<std::size_t>(
+          rng.power_of_two(config.min_width_exp, config.max_width_exp));
+    } else {
+      j.width = static_cast<std::size_t>(rng.uniform_int(
+          std::int64_t{1} << config.min_width_exp,
+          std::int64_t{1} << config.max_width_exp));
+    }
+    j.runtime = rng.log_uniform(config.min_runtime, config.max_runtime);
+    j.estimate = j.runtime * rng.uniform(1.0, config.max_overestimate);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+double offered_load(const std::vector<Job>& jobs, std::size_t nodes) {
+  POLARIS_CHECK(nodes > 0);
+  if (jobs.empty()) return 0.0;
+  double work = 0.0;
+  double first = jobs.front().submit, last = jobs.front().submit;
+  for (const Job& j : jobs) {
+    work += j.node_seconds();
+    first = std::min(first, j.submit);
+    last = std::max(last, j.submit);
+  }
+  const double span = std::max(last - first, 1.0);
+  return work / (static_cast<double>(nodes) * span);
+}
+
+}  // namespace polaris::sched

@@ -1,0 +1,264 @@
+// Simulated SPMD runtime.
+//
+// A SimWorld places one rank per node of a simulated cluster and runs SPMD
+// programs written as C++20 coroutines:
+//
+//   des::Task<void> program(simrt::SimComm& c) {
+//     co_await c.send(1, /*tag=*/0, /*bytes=*/1024);
+//     co_await c.barrier();
+//   }
+//
+// Message timing composes the user-level messaging protocol stack
+// (polaris::msg: eager/rendezvous/RDMA, registration cache) over the
+// packet-level fabric simulation (polaris::fabric::SimNetwork), with host
+// overheads from the fabric's NIC parameters.  Collectives replay the same
+// polaris::coll schedules the real runtime executes.
+//
+// Simulation carries byte counts, not data: correctness of data movement is
+// proved by the local executor and the real runtime; SimWorld answers "how
+// long does it take on fabric X at scale N".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <tuple>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "polaris/coll/algorithms.hpp"
+#include "polaris/des/engine.hpp"
+#include "polaris/des/sync.hpp"
+#include "polaris/des/task.hpp"
+#include "polaris/fabric/loggp.hpp"
+#include "polaris/fabric/network.hpp"
+#include "polaris/fabric/topology.hpp"
+#include "polaris/hw/node.hpp"
+#include "polaris/msg/protocol.hpp"
+#include "polaris/msg/reg_cache.hpp"
+#include "polaris/msg/tag_matcher.hpp"
+
+namespace polaris::simrt {
+
+class SimWorld;
+
+/// Completion info for a simulated receive.
+struct SimRecvStatus {
+  int src = -1;
+  int tag = -1;
+  std::uint64_t bytes = 0;
+};
+
+/// Handle for a nonblocking simulated operation; wait via
+/// SimComm::wait()/wait_all().
+class SimRequest {
+ public:
+  SimRequest() = default;
+  bool valid() const { return done_ != nullptr; }
+
+ private:
+  friend class SimComm;
+  std::shared_ptr<des::Trigger> done_;
+  std::shared_ptr<SimRecvStatus> status_;
+};
+
+/// Per-rank communication endpoint for simulated SPMD programs.  All
+/// operations are awaitable coroutine tasks.
+class SimComm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Blocking send (MPI_Send semantics): completes when the payload has
+  /// been injected (eager) or transferred (rendezvous/RDMA).
+  /// `buffer_addr` keys the registration cache; 0 = this rank's default
+  /// buffer (cache-friendly reuse, the common application pattern).
+  /// Not a coroutine itself: the per-destination sequence number is taken
+  /// when send() is CALLED, so blocking and nonblocking sends interleave
+  /// in program order.
+  des::Task<void> send(int dst, int tag, std::uint64_t bytes,
+                       std::uintptr_t buffer_addr = 0);
+
+  /// Blocking receive; completes when the payload has landed and the
+  /// receiving CPU has processed it.  Like send(), the matcher posting
+  /// happens when recv() is CALLED (posting order = program order).
+  des::Task<SimRecvStatus> recv(int src, int tag);
+
+  /// Nonblocking send/recv.  Issue order defines matching order exactly as
+  /// for the blocking calls (sequence numbers are assigned at issue time).
+  SimRequest isend(int dst, int tag, std::uint64_t bytes,
+                   std::uintptr_t buffer_addr = 0);
+  SimRequest irecv(int src, int tag);
+
+  /// Awaits one request (idempotent on completed requests).
+  des::Task<SimRecvStatus> wait(SimRequest request);
+
+  /// Awaits every request in the span.
+  des::Task<void> wait_all(std::vector<SimRequest> requests);
+
+  /// One-sided RDMA put: no receiver involvement (fabric must have rdma).
+  des::Task<void> put(int dst, std::uint64_t bytes,
+                      std::uintptr_t buffer_addr = 0);
+
+  /// One-sided RDMA get: request header out, payload back, no remote CPU.
+  des::Task<void> get(int src, std::uint64_t bytes,
+                      std::uintptr_t buffer_addr = 0);
+
+  /// Active messages (timing-level): the handler runs at the destination
+  /// when the payload lands, with no posted receive.  Handlers must be
+  /// registered before launch on every rank (SPMD convention).
+  using AmHandler = std::function<void(int src, std::uint64_t bytes)>;
+  std::uint32_t register_am(AmHandler handler);
+  des::Task<void> am_send(int dst, std::uint32_t handler,
+                          std::uint64_t bytes);
+  std::uint64_t am_dispatched() const { return am_dispatched_; }
+
+  /// Local computation of `flops` touching `mem_bytes` of DRAM, timed by
+  /// the node's roofline model.
+  des::Task<void> compute(double flops, double mem_bytes);
+
+  /// Plain simulated-time delay.
+  des::Task<void> sleep(double seconds);
+
+  // -- collectives ------------------------------------------------------------
+  /// Executes one rank's part of a schedule with elements of elem_bytes.
+  des::Task<void> run_schedule(const coll::Schedule& schedule,
+                               std::size_t elem_bytes);
+
+  des::Task<void> barrier();
+  des::Task<void> broadcast(std::uint64_t bytes, int root);
+  des::Task<void> allreduce(std::uint64_t bytes);
+  des::Task<void> allgather(std::uint64_t block_bytes);
+  des::Task<void> alltoall(std::uint64_t block_bytes);
+
+  /// Current simulated time in seconds.
+  double now() const;
+
+  /// The world's event engine (for advanced composition: triggers,
+  /// spawning helper processes).
+  des::Engine& engine();
+
+  // -- stats -------------------------------------------------------------------
+  std::uint64_t eager_count() const { return eager_count_; }
+  std::uint64_t rendezvous_count() const { return rendezvous_count_; }
+  const msg::RegCacheStats& reg_stats() const;
+
+ private:
+  friend class SimWorld;
+
+  struct InFlight {
+    int src = 0;
+    int tag = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t seq = 0;  ///< per (src,dst) issue order (non-overtaking)
+    msg::Protocol proto = msg::Protocol::kEager;
+    std::unique_ptr<des::Trigger> matched;    ///< recv posted & matched
+    std::unique_ptr<des::Trigger> delivered;  ///< payload landed
+  };
+  using InFlightPtr = std::shared_ptr<InFlight>;
+
+  struct PendingRecv {
+    std::unique_ptr<des::Trigger> trigger;
+    InFlightPtr inflight;
+  };
+
+  SimComm(SimWorld& world, int rank, std::size_t ranks);
+
+  /// The body of send(); `seq` was assigned by the caller at issue time.
+  des::Task<void> send_impl(int dst, int tag, std::uint64_t bytes,
+                            std::uintptr_t buffer_addr, std::uint64_t seq);
+
+  /// Matcher posting done eagerly at recv()/irecv() call time.
+  struct RecvTicket {
+    InFlightPtr inflight;       ///< set if an unexpected message matched
+    msg::RecvId pending_id = 0; ///< else the queued posted-recv id
+  };
+  RecvTicket post_recv_now(int src, int tag);
+  des::Task<SimRecvStatus> recv_impl(RecvTicket ticket);
+  des::Task<void> send_eager(int dst, InFlightPtr inflight);
+  des::Task<void> deliver_eager(int dst, InFlightPtr inflight);
+  des::Task<void> send_rendezvous(int dst, InFlightPtr inflight,
+                                  std::uintptr_t buffer_addr);
+  /// Applies an arrival in per-source issue order (MPI non-overtaking).
+  void arrive_ordered(InFlightPtr inflight);
+  void deliver_to_matcher(InFlightPtr inflight);
+  std::uintptr_t default_addr() const;
+
+  SimWorld* world_;
+  int rank_;
+  msg::TagMatcher<InFlightPtr> matcher_;
+  std::unordered_map<msg::RecvId, PendingRecv> pending_;
+  std::uint64_t next_recv_id_ = 1;
+  // Per-destination send sequence numbers; per-source expected arrival
+  // sequence + hold queue for out-of-order network completions.
+  std::vector<std::uint64_t> send_seq_;
+  std::vector<std::uint64_t> expect_seq_;
+  std::vector<std::map<std::uint64_t, InFlightPtr>> held_;
+  des::SimTime earliest_next_send_ = 0;
+  std::uint64_t eager_count_ = 0;
+  std::uint64_t rendezvous_count_ = 0;
+  std::vector<AmHandler> am_handlers_;
+  std::uint64_t am_dispatched_ = 0;
+  std::unique_ptr<msg::RegistrationCache> reg_cache_;
+};
+
+/// Owner of the simulated cluster: engine, topology, network, node model
+/// and one SimComm per rank.
+class SimWorld {
+ public:
+  /// Protocol header bytes charged to control messages (envelope, RTS/CTS).
+  static constexpr std::uint64_t kHeaderBytes = 40;
+
+  /// `topology` defaults to make_default_topology(ranks); `node` defaults
+  /// to the conventional 2002 node.  `eager_override` (bytes) replaces the
+  /// fabric's eager/rendezvous threshold when non-zero.
+  SimWorld(std::size_t ranks, fabric::FabricParams fabric,
+           std::unique_ptr<fabric::Topology> topology = nullptr,
+           hw::NodeModel node = hw::NodeDesigner().design(
+               hw::NodeArch::kConventional, 2002.0),
+           std::uint32_t eager_override = 0);
+
+  /// Spawns `program` on every rank.  The callable is kept alive for the
+  /// world's lifetime, so lambdas that are themselves coroutines are safe:
+  /// their closure (which the coroutine frame references) survives until
+  /// after run().
+  void launch(std::function<des::Task<void>(SimComm&)> program);
+
+  /// Runs the simulation to completion; returns elapsed simulated seconds.
+  double run();
+
+  std::size_t ranks() const { return comms_.size(); }
+  SimComm& comm(std::size_t r) { return *comms_.at(r); }
+  des::Engine& engine() { return engine_; }
+  fabric::SimNetwork& network() { return *network_; }
+  const fabric::FabricParams& params() const { return network_->params(); }
+  const hw::NodeModel& node() const { return node_; }
+  std::uint32_t eager_threshold() const { return eager_threshold_; }
+
+  /// LogGP view of this world's fabric at its typical hop count.
+  fabric::LogGPParams loggp() const;
+
+  /// Selected-and-generated schedule for a collective, memoized per world:
+  /// every rank of every iteration reuses one selection + one schedule
+  /// (selection alone costs more than a small collective's simulation).
+  const coll::Schedule& collective_schedule(coll::Collective kind,
+                                            std::size_t count, int root);
+
+ private:
+  des::Engine engine_;
+  std::unique_ptr<fabric::Topology> topo_;
+  std::unique_ptr<fabric::SimNetwork> network_;
+  hw::NodeModel node_;
+  std::uint32_t eager_threshold_;
+  std::vector<std::unique_ptr<SimComm>> comms_;
+  // Launched programs; std::list keeps closure addresses stable because
+  // coroutine frames created from a closure reference that exact object.
+  std::list<std::function<des::Task<void>(SimComm&)>> programs_;
+  // Memoized collective schedules keyed by (kind, count, root).
+  std::map<std::tuple<int, std::size_t, int>, coll::Schedule>
+      schedule_cache_;
+};
+
+}  // namespace polaris::simrt

@@ -1,0 +1,475 @@
+#include "polaris/simrt/sim_world.hpp"
+
+#include <algorithm>
+
+#include "polaris/coll/cost.hpp"
+#include "polaris/support/check.hpp"
+#include "polaris/support/units.hpp"
+
+namespace polaris::simrt {
+
+namespace {
+/// Tag reserved for collective traffic.
+constexpr int kCollTag = 0x4000'0000;
+}  // namespace
+
+// ----------------------------------------------------------------- SimComm
+
+SimComm::SimComm(SimWorld& world, int rank, std::size_t ranks)
+    : world_(&world),
+      rank_(rank),
+      send_seq_(ranks, 0),
+      expect_seq_(ranks, 0),
+      held_(ranks) {
+  const auto& p = world.params();
+  // 256 MiB pin-down budget per NIC, costs from the fabric model.
+  reg_cache_ = std::make_unique<msg::RegistrationCache>(
+      256u << 20, p.reg_base, p.reg_per_page);
+}
+
+int SimComm::size() const { return static_cast<int>(world_->ranks()); }
+
+double SimComm::now() const {
+  return des::to_seconds(world_->engine().now());
+}
+
+des::Engine& SimComm::engine() { return world_->engine(); }
+
+const msg::RegCacheStats& SimComm::reg_stats() const {
+  return reg_cache_->stats();
+}
+
+std::uintptr_t SimComm::default_addr() const {
+  // A fixed, page-aligned synthetic address per rank: repeated sends reuse
+  // the same registration, the common application buffer pattern.
+  return (static_cast<std::uintptr_t>(rank_) + 1) << 32;
+}
+
+des::Task<void> SimComm::send(int dst, int tag, std::uint64_t bytes,
+                              std::uintptr_t buffer_addr) {
+  POLARIS_CHECK(dst >= 0 && dst < size());
+  return send_impl(dst, tag, bytes, buffer_addr, send_seq_[dst]++);
+}
+
+des::Task<void> SimComm::send_impl(int dst, int tag, std::uint64_t bytes,
+                                   std::uintptr_t buffer_addr,
+                                   std::uint64_t seq) {
+  auto inflight = std::make_shared<InFlight>();
+  inflight->src = rank_;
+  inflight->tag = tag;
+  inflight->bytes = bytes;
+  inflight->seq = seq;
+  inflight->proto = msg::choose_protocol(world_->params(), bytes,
+                                         world_->eager_threshold());
+  inflight->matched = std::make_unique<des::Trigger>(world_->engine());
+  inflight->delivered = std::make_unique<des::Trigger>(world_->engine());
+
+  // Enforce the NIC's inter-message gap.
+  auto& eng = world_->engine();
+  if (eng.now() < earliest_next_send_) {
+    co_await des::delay(eng, earliest_next_send_ - eng.now());
+  }
+
+  if (inflight->proto == msg::Protocol::kEager) {
+    ++eager_count_;
+    co_await send_eager(dst, std::move(inflight));
+  } else {
+    ++rendezvous_count_;
+    co_await send_rendezvous(dst, std::move(inflight), buffer_addr);
+  }
+}
+
+des::Task<void> SimComm::send_eager(int dst, InFlightPtr inflight) {
+  const auto& p = world_->params();
+  auto& eng = world_->engine();
+  // CPU: overhead plus the copy into the injection/bounce path.
+  const double copy = static_cast<double>(inflight->bytes) / p.copy_bw;
+  co_await des::delay(eng, des::from_seconds(p.o_send + copy));
+  earliest_next_send_ =
+      eng.now() + des::from_seconds(std::max(p.gap - p.o_send, 0.0));
+  // The wire part proceeds without blocking the sender (buffered send).
+  eng.spawn(deliver_eager(dst, std::move(inflight)));
+}
+
+des::Task<void> SimComm::deliver_eager(int dst, InFlightPtr inflight) {
+  co_await world_->network().transfer(
+      static_cast<fabric::NodeId>(rank_), static_cast<fabric::NodeId>(dst),
+      inflight->bytes + SimWorld::kHeaderBytes);
+  inflight->delivered->fire();
+  world_->comm(static_cast<std::size_t>(dst)).arrive_ordered(
+      std::move(inflight));
+}
+
+des::Task<void> SimComm::send_rendezvous(int dst, InFlightPtr inflight,
+                                         std::uintptr_t buffer_addr) {
+  const auto& p = world_->params();
+  auto& eng = world_->engine();
+  const auto src_node = static_cast<fabric::NodeId>(rank_);
+  const auto dst_node = static_cast<fabric::NodeId>(dst);
+
+  // RTS (header-only).
+  co_await des::delay(eng, des::from_seconds(p.o_send));
+  earliest_next_send_ =
+      eng.now() + des::from_seconds(std::max(p.gap - p.o_send, 0.0));
+  co_await world_->network().transfer(src_node, dst_node,
+                                      SimWorld::kHeaderBytes);
+  world_->comm(static_cast<std::size_t>(dst))
+      .arrive_ordered(inflight);  // keep our reference for the payload
+
+  // Wait for the receive to be posted, then the CTS travels back.
+  co_await inflight->matched->wait();
+  co_await world_->network().transfer(dst_node, src_node,
+                                      SimWorld::kHeaderBytes);
+
+  // Pin the source buffer (cache-amortized), then move the payload.
+  // Kernel-path fabrics cannot DMA from user memory: they still pay the
+  // socket-buffer staging copy here (and the receiver pays its own).
+  if (!p.os_bypass) {
+    co_await des::delay(
+        eng, des::from_seconds(static_cast<double>(inflight->bytes) /
+                               p.copy_bw));
+  } else {
+    const std::uintptr_t addr =
+        buffer_addr != 0 ? buffer_addr : default_addr();
+    const double reg = reg_cache_->acquire(addr, inflight->bytes);
+    if (reg > 0.0) co_await des::delay(eng, des::from_seconds(reg));
+  }
+  co_await world_->network().transfer(src_node, dst_node, inflight->bytes);
+  inflight->delivered->fire();
+}
+
+void SimComm::arrive_ordered(InFlightPtr inflight) {
+  const int src = inflight->src;
+  if (inflight->seq != expect_seq_[src]) {
+    held_[src].emplace(inflight->seq, std::move(inflight));
+    return;
+  }
+  deliver_to_matcher(std::move(inflight));
+  ++expect_seq_[src];
+  auto& held = held_[src];
+  while (!held.empty() && held.begin()->first == expect_seq_[src]) {
+    deliver_to_matcher(std::move(held.begin()->second));
+    held.erase(held.begin());
+    ++expect_seq_[src];
+  }
+}
+
+void SimComm::deliver_to_matcher(InFlightPtr inflight) {
+  msg::Envelope<InFlightPtr> env;
+  env.src = inflight->src;
+  env.tag = inflight->tag;
+  env.bytes = inflight->bytes;
+  env.cookie = inflight;
+  if (auto rid = matcher_.arrive(std::move(env))) {
+    auto it = pending_.find(*rid);
+    POLARIS_CHECK_MSG(it != pending_.end(), "matched recv with no state");
+    it->second.inflight = std::move(inflight);
+    it->second.trigger->fire();
+  }
+}
+
+SimComm::RecvTicket SimComm::post_recv_now(int src, int tag) {
+  RecvTicket ticket;
+  const msg::RecvId id = next_recv_id_++;
+  if (auto env = matcher_.post_recv(id, src, tag)) {
+    ticket.inflight = env->cookie;
+  } else {
+    pending_.emplace(id, PendingRecv{std::make_unique<des::Trigger>(
+                             world_->engine()),
+                         nullptr});
+    ticket.pending_id = id;
+  }
+  return ticket;
+}
+
+des::Task<SimRecvStatus> SimComm::recv(int src, int tag) {
+  return recv_impl(post_recv_now(src, tag));
+}
+
+des::Task<SimRecvStatus> SimComm::recv_impl(RecvTicket ticket) {
+  auto& eng = world_->engine();
+  InFlightPtr inf = std::move(ticket.inflight);
+  if (!inf) {
+    const msg::RecvId id = ticket.pending_id;
+    co_await pending_.at(id).trigger->wait();
+    inf = std::move(pending_.at(id).inflight);
+    pending_.erase(id);
+  }
+
+  const auto& p = world_->params();
+  if (inf->proto != msg::Protocol::kEager && p.os_bypass &&
+      (p.reg_base > 0.0 || p.reg_per_page > 0.0)) {
+    // Receiver pins its landing buffer before replying CTS.
+    const double reg = reg_cache_->acquire(default_addr() + (1u << 30),
+                                           inf->bytes);
+    if (reg > 0.0) co_await des::delay(eng, des::from_seconds(reg));
+  }
+  inf->matched->fire();
+  co_await inf->delivered->wait();
+
+  // Receiver CPU cost by protocol.
+  double cpu = 0.0;
+  switch (inf->proto) {
+    case msg::Protocol::kEager:
+      cpu = p.o_recv + static_cast<double>(inf->bytes) / p.copy_bw;
+      break;
+    case msg::Protocol::kRendezvous:
+      cpu = p.o_recv;
+      if (!p.os_bypass) {
+        cpu += static_cast<double>(inf->bytes) / p.copy_bw;
+      }
+      break;
+    case msg::Protocol::kRdma:
+      cpu = 0.0;  // payload landed by remote DMA
+      break;
+  }
+  if (cpu > 0.0) co_await des::delay(eng, des::from_seconds(cpu));
+
+  SimRecvStatus st;
+  st.src = inf->src;
+  st.tag = inf->tag;
+  st.bytes = inf->bytes;
+  co_return st;
+}
+
+SimRequest SimComm::isend(int dst, int tag, std::uint64_t bytes,
+                          std::uintptr_t buffer_addr) {
+  POLARIS_CHECK(dst >= 0 && dst < size());
+  SimRequest req;
+  req.done_ = std::make_shared<des::Trigger>(world_->engine());
+  req.status_ = std::make_shared<SimRecvStatus>();
+  world_->engine().spawn(
+      [](SimComm& c, int d, int t, std::uint64_t b, std::uintptr_t addr,
+         std::uint64_t seq, std::shared_ptr<des::Trigger> done)
+          -> des::Task<void> {
+        co_await c.send_impl(d, t, b, addr, seq);
+        done->fire();
+      }(*this, dst, tag, bytes, buffer_addr, send_seq_[dst]++, req.done_));
+  return req;
+}
+
+SimRequest SimComm::irecv(int src, int tag) {
+  SimRequest req;
+  req.done_ = std::make_shared<des::Trigger>(world_->engine());
+  req.status_ = std::make_shared<SimRecvStatus>();
+  // Post to the matcher NOW so posting order equals program order; only
+  // the completion wait runs as a background process.
+  RecvTicket ticket = post_recv_now(src, tag);
+  world_->engine().spawn(
+      [](SimComm& c, RecvTicket t, std::shared_ptr<des::Trigger> done,
+         std::shared_ptr<SimRecvStatus> status) -> des::Task<void> {
+        *status = co_await c.recv_impl(std::move(t));
+        done->fire();
+      }(*this, std::move(ticket), req.done_, req.status_));
+  return req;
+}
+
+des::Task<SimRecvStatus> SimComm::wait(SimRequest request) {
+  POLARIS_CHECK_MSG(request.valid(), "wait on an empty request");
+  co_await request.done_->wait();
+  co_return *request.status_;
+}
+
+des::Task<void> SimComm::wait_all(std::vector<SimRequest> requests) {
+  for (auto& r : requests) {
+    POLARIS_CHECK_MSG(r.valid(), "wait_all on an empty request");
+    co_await r.done_->wait();
+  }
+}
+
+des::Task<void> SimComm::put(int dst, std::uint64_t bytes,
+                             std::uintptr_t buffer_addr) {
+  const auto& p = world_->params();
+  POLARIS_CHECK_MSG(p.rdma, "put() requires an RDMA-capable fabric");
+  auto& eng = world_->engine();
+  co_await des::delay(eng, des::from_seconds(p.o_send));
+  const std::uintptr_t addr =
+      buffer_addr != 0 ? buffer_addr : default_addr();
+  const double reg = reg_cache_->acquire(addr, bytes);
+  if (reg > 0.0) co_await des::delay(eng, des::from_seconds(reg));
+  co_await world_->network().transfer(static_cast<fabric::NodeId>(rank_),
+                                      static_cast<fabric::NodeId>(dst),
+                                      bytes + SimWorld::kHeaderBytes);
+}
+
+des::Task<void> SimComm::get(int src, std::uint64_t bytes,
+                             std::uintptr_t buffer_addr) {
+  const auto& p = world_->params();
+  POLARIS_CHECK_MSG(p.rdma, "get() requires an RDMA-capable fabric");
+  auto& eng = world_->engine();
+  co_await des::delay(eng, des::from_seconds(p.o_send));
+  const std::uintptr_t addr =
+      buffer_addr != 0 ? buffer_addr : default_addr();
+  const double reg = reg_cache_->acquire(addr, bytes);
+  if (reg > 0.0) co_await des::delay(eng, des::from_seconds(reg));
+  // Request header to the source, payload back; the source CPU never runs.
+  co_await world_->network().transfer(static_cast<fabric::NodeId>(rank_),
+                                      static_cast<fabric::NodeId>(src),
+                                      SimWorld::kHeaderBytes);
+  co_await world_->network().transfer(static_cast<fabric::NodeId>(src),
+                                      static_cast<fabric::NodeId>(rank_),
+                                      bytes + SimWorld::kHeaderBytes);
+}
+
+std::uint32_t SimComm::register_am(AmHandler handler) {
+  POLARIS_CHECK_MSG(static_cast<bool>(handler), "handler must be callable");
+  am_handlers_.push_back(std::move(handler));
+  return static_cast<std::uint32_t>(am_handlers_.size() - 1);
+}
+
+des::Task<void> SimComm::am_send(int dst, std::uint32_t handler,
+                                 std::uint64_t bytes) {
+  POLARIS_CHECK(dst >= 0 && dst < size());
+  const auto& p = world_->params();
+  auto& eng = world_->engine();
+  const double copy = static_cast<double>(bytes) / p.copy_bw;
+  co_await des::delay(eng, des::from_seconds(p.o_send + copy));
+  co_await world_->network().transfer(static_cast<fabric::NodeId>(rank_),
+                                      static_cast<fabric::NodeId>(dst),
+                                      bytes + SimWorld::kHeaderBytes);
+  SimComm& peer = world_->comm(static_cast<std::size_t>(dst));
+  POLARIS_CHECK_MSG(handler < peer.am_handlers_.size(),
+                    "unknown active-message handler at destination");
+  // Handler runs on the destination CPU.
+  co_await des::delay(eng, des::from_seconds(p.o_recv));
+  ++peer.am_dispatched_;
+  peer.am_handlers_[handler](rank_, bytes);
+}
+
+des::Task<void> SimComm::compute(double flops, double mem_bytes) {
+  const double t = world_->node().kernel_time(flops, mem_bytes);
+  co_await des::delay(world_->engine(), des::from_seconds(t));
+}
+
+des::Task<void> SimComm::sleep(double seconds) {
+  co_await des::delay(world_->engine(), des::from_seconds(seconds));
+}
+
+// -------------------------------------------------------------- collectives
+
+des::Task<void> SimComm::run_schedule(const coll::Schedule& schedule,
+                                      std::size_t elem_bytes) {
+  POLARIS_CHECK(schedule.ranks == world_->ranks());
+  auto& eng = world_->engine();
+  for (const coll::CommStep& step : schedule.per_rank[rank_]) {
+    if (step.has_send() && step.has_recv()) {
+      // Post both concurrently (MPI_Sendrecv) and join.
+      std::uint32_t remaining = 2;
+      des::Trigger done(eng);
+      eng.spawn([](SimComm& c, const coll::CommStep& s,
+                   std::size_t eb, std::uint32_t& rem,
+                   des::Trigger& trig) -> des::Task<void> {
+        co_await c.send(s.send_peer, kCollTag,
+                        static_cast<std::uint64_t>(s.send_count) * eb);
+        if (--rem == 0) trig.fire();
+      }(*this, step, elem_bytes, remaining, done));
+      eng.spawn([](SimComm& c, const coll::CommStep& s, std::uint32_t& rem,
+                   des::Trigger& trig) -> des::Task<void> {
+        co_await c.recv(s.recv_peer, kCollTag);
+        if (--rem == 0) trig.fire();
+      }(*this, step, remaining, done));
+      co_await done.wait();
+    } else if (step.has_send()) {
+      co_await send(step.send_peer, kCollTag,
+                    static_cast<std::uint64_t>(step.send_count) * elem_bytes);
+    } else if (step.has_recv()) {
+      co_await recv(step.recv_peer, kCollTag);
+    }
+  }
+}
+
+des::Task<void> SimComm::barrier() {
+  co_await run_schedule(
+      world_->collective_schedule(coll::Collective::kBarrier, 0, 0), 1);
+}
+
+des::Task<void> SimComm::broadcast(std::uint64_t bytes, int root) {
+  co_await run_schedule(
+      world_->collective_schedule(coll::Collective::kBroadcast, bytes, root),
+      1);
+}
+
+des::Task<void> SimComm::allreduce(std::uint64_t bytes) {
+  co_await run_schedule(
+      world_->collective_schedule(coll::Collective::kAllreduce, bytes, 0),
+      1);
+}
+
+des::Task<void> SimComm::allgather(std::uint64_t block_bytes) {
+  co_await run_schedule(
+      world_->collective_schedule(coll::Collective::kAllgather, block_bytes,
+                                  0),
+      1);
+}
+
+des::Task<void> SimComm::alltoall(std::uint64_t block_bytes) {
+  co_await run_schedule(
+      world_->collective_schedule(coll::Collective::kAlltoall, block_bytes,
+                                  0),
+      1);
+}
+
+// ------------------------------------------------------------------ SimWorld
+
+SimWorld::SimWorld(std::size_t ranks, fabric::FabricParams fabric_params,
+                   std::unique_ptr<fabric::Topology> topology,
+                   hw::NodeModel node, std::uint32_t eager_override)
+    : node_(node) {
+  POLARIS_CHECK(ranks >= 1);
+  topo_ = topology ? std::move(topology)
+                   : fabric::make_default_topology(std::max<std::size_t>(
+                         ranks, 2));
+  POLARIS_CHECK_MSG(topo_->node_count() >= ranks,
+                    "topology too small for rank count");
+  eager_threshold_ = eager_override != 0 ? eager_override
+                                         : fabric_params.eager_threshold;
+  network_ = std::make_unique<fabric::SimNetwork>(
+      engine_, std::move(fabric_params), *topo_);
+  comms_.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    comms_.push_back(std::unique_ptr<SimComm>(
+        new SimComm(*this, static_cast<int>(r), ranks)));
+  }
+}
+
+void SimWorld::launch(std::function<des::Task<void>(SimComm&)> program) {
+  programs_.push_back(std::move(program));
+  auto& prog = programs_.back();
+  for (auto& c : comms_) {
+    engine_.spawn(prog(*c));
+  }
+}
+
+double SimWorld::run() {
+  const des::SimTime t0 = engine_.now();
+  engine_.run();
+  return des::to_seconds(engine_.now() - t0);
+}
+
+const coll::Schedule& SimWorld::collective_schedule(coll::Collective kind,
+                                                    std::size_t count,
+                                                    int root) {
+  const auto key = std::make_tuple(static_cast<int>(kind), count, root);
+  if (auto it = schedule_cache_.find(key); it != schedule_cache_.end()) {
+    return it->second;
+  }
+  coll::Schedule schedule;
+  if (kind == coll::Collective::kBarrier) {
+    schedule = coll::barrier(ranks());
+  } else {
+    const auto a =
+        coll::select_algorithm(kind, ranks(), count, 1, loggp(), root);
+    schedule = coll::make_schedule(kind, a, ranks(), count, root);
+  }
+  auto [it, inserted] = schedule_cache_.emplace(key, std::move(schedule));
+  return it->second;
+}
+
+fabric::LogGPParams SimWorld::loggp() const {
+  const std::size_t far = comms_.size() > 1 ? comms_.size() - 1 : 1;
+  const int hops = static_cast<int>(topo_->switch_hops(
+      0, static_cast<fabric::NodeId>(far)));
+  return fabric::extract_loggp(network_->params(), std::max(hops, 1));
+}
+
+}  // namespace polaris::simrt

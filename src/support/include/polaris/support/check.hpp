@@ -1,0 +1,64 @@
+// Lightweight contract checking for Polaris.
+//
+// POLARIS_CHECK is an always-on precondition/invariant check: violations
+// throw polaris::support::ContractViolation so tests can assert on them and
+// long-running simulations fail loudly instead of corrupting results.
+// POLARIS_DCHECK compiles away in NDEBUG builds for hot paths.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace polaris::support {
+
+/// Thrown when a POLARIS_CHECK contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* expr, const std::string& msg,
+                    std::source_location loc)
+      : std::logic_error(format(expr, msg, loc)) {}
+
+ private:
+  static std::string format(const char* expr, const std::string& msg,
+                            std::source_location loc) {
+    std::string out = "contract violation: ";
+    out += expr;
+    if (!msg.empty()) {
+      out += " (";
+      out += msg;
+      out += ")";
+    }
+    out += " at ";
+    out += loc.file_name();
+    out += ":";
+    out += std::to_string(loc.line());
+    return out;
+  }
+};
+
+[[noreturn]] inline void check_failed(
+    const char* expr, const std::string& msg = {},
+    std::source_location loc = std::source_location::current()) {
+  throw ContractViolation(expr, msg, loc);
+}
+
+}  // namespace polaris::support
+
+#define POLARIS_CHECK(expr)                            \
+  do {                                                 \
+    if (!(expr)) ::polaris::support::check_failed(#expr); \
+  } while (false)
+
+#define POLARIS_CHECK_MSG(expr, msg)                        \
+  do {                                                      \
+    if (!(expr)) ::polaris::support::check_failed(#expr, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define POLARIS_DCHECK(expr) \
+  do {                       \
+  } while (false)
+#else
+#define POLARIS_DCHECK(expr) POLARIS_CHECK(expr)
+#endif

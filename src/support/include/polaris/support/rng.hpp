@@ -1,0 +1,139 @@
+// Deterministic random-number generation for simulations.
+//
+// Every stochastic input in Polaris flows from an explicitly seeded
+// xoshiro256** stream so that simulated experiments are reproducible
+// bit-for-bit across runs and platforms.  SplitMix64 expands a single user
+// seed into the four-word xoshiro state, and `split()` derives independent
+// child streams (one per node, per job, per failure source, ...) without
+// correlation between siblings.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::support {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer used for seeding.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, statistically excellent 64-bit PRNG
+/// (Blackman & Vigna).  Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from a single seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed0fb07a815ULL) {
+    SplitMix64 sm(seed);
+    for (auto& w : state_) w = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent child stream.  Uses the parent's output to seed
+  /// a fresh SplitMix64 expansion, so children of distinct draws do not
+  /// share state trajectories.
+  Xoshiro256 split() {
+    Xoshiro256 child(0);
+    SplitMix64 sm((*this)() ^ 0xa5a5a5a5deadbeefULL);
+    for (auto& w : child.state_) w = sm.next();
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Convenience distribution wrapper around a Xoshiro256 stream.
+///
+/// The standard <random> distributions are not guaranteed to produce the
+/// same sequence across standard-library implementations; these are, which
+/// keeps experiment output portable.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed) : gen_(seed) {}
+  explicit Random(Xoshiro256 gen) : gen_(gen) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    // 53 random mantissa bits.
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    POLARIS_CHECK(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double exponential(double lambda);
+
+  /// Weibull with shape k and scale lambda.
+  double weibull(double shape, double scale);
+
+  /// Log-uniform in [lo, hi]: uniform in log-space.  The classic model for
+  /// parallel-job runtimes (Feitelson).
+  double log_uniform(double lo, double hi);
+
+  /// Lognormal with the given mu/sigma of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller (no cached spare: determinism over speed).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Geometric-ish power-of-two draw in [2^lo_exp, 2^hi_exp]; used for
+  /// synthetic parallel-job widths.
+  std::int64_t power_of_two(int lo_exp, int hi_exp);
+
+  /// Derives an independent child Random (e.g., per simulated node).
+  Random split() { return Random(gen_.split()); }
+
+  Xoshiro256& engine() { return gen_; }
+
+ private:
+  Xoshiro256 gen_;
+};
+
+}  // namespace polaris::support

@@ -1,0 +1,93 @@
+// Descriptive statistics used throughout experiments: streaming moments
+// (Welford), percentile summaries, and fixed-bin histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polaris::support {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// O(1) memory; numerically stable for long simulations.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample-retaining summary for percentiles.  Keeps all samples; intended
+/// for experiment-scale data (≤ millions of points), not unbounded streams.
+class Summary {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width or logarithmic histogram.
+class Histogram {
+ public:
+  /// Linear bins covering [lo, hi) with `bins` buckets plus under/overflow.
+  static Histogram linear(double lo, double hi, std::size_t bins);
+  /// Log2 bins: bucket i covers [lo*2^i, lo*2^(i+1)).
+  static Histogram log2(double lo, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const;
+  /// Inclusive lower edge of a bin.
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Renders a compact ASCII bar chart (for example programs).
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  Histogram() = default;
+
+  bool logarithmic_ = false;
+  double lo_ = 0.0;
+  double width_ = 1.0;  // linear: bin width; log: unused
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace polaris::support

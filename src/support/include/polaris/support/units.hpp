@@ -1,0 +1,48 @@
+// Byte/time/rate constants and human-readable formatting.
+//
+// Simulated time in Polaris is expressed in double seconds at model level
+// and int64 nanoseconds inside the event engine; these helpers keep unit
+// conversions explicit at module boundaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace polaris::support {
+
+// -- byte sizes ------------------------------------------------------------
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+
+// -- SI rate/size constants (network bandwidth is decimal by convention) ---
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+inline constexpr double kPeta = 1e15;
+
+// -- time ------------------------------------------------------------------
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kNano = 1e-9;
+
+/// "1.5 KiB", "4 MiB", ... binary prefixes, 4 significant digits.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "12.3 us", "4.56 ms", "1.23 s" — picks the natural unit.
+std::string format_time(double seconds);
+
+/// "1.86 GB/s", "940 Mb/s" — decimal prefixes, bytes/s by default.
+std::string format_rate(double bytes_per_second);
+
+/// "12.3 Gflops", "1.05 Tflops".
+std::string format_flops(double flops);
+
+/// "$1.23M", "$456k".
+std::string format_dollars(double dollars);
+
+/// "850 W", "1.2 MW".
+std::string format_watts(double watts);
+
+}  // namespace polaris::support

@@ -1,0 +1,174 @@
+#include "polaris/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::support {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::sum() const {
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s;
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : samples_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Summary::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double Summary::percentile(double p) const {
+  POLARIS_CHECK(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] + frac * (samples_[lo + 1] - samples_[lo]);
+}
+
+Histogram Histogram::linear(double lo, double hi, std::size_t bins) {
+  POLARIS_CHECK(hi > lo && bins > 0);
+  Histogram h;
+  h.logarithmic_ = false;
+  h.lo_ = lo;
+  h.width_ = (hi - lo) / static_cast<double>(bins);
+  h.counts_.assign(bins, 0);
+  return h;
+}
+
+Histogram Histogram::log2(double lo, std::size_t bins) {
+  POLARIS_CHECK(lo > 0.0 && bins > 0);
+  Histogram h;
+  h.logarithmic_ = true;
+  h.lo_ = lo;
+  h.counts_.assign(bins, 0);
+  return h;
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  std::size_t bin;
+  if (logarithmic_) {
+    bin = static_cast<std::size_t>(std::floor(std::log2(x / lo_)));
+  } else {
+    bin = static_cast<std::size_t>((x - lo_) / width_);
+  }
+  if (bin >= counts_.size()) {
+    overflow_ += weight;
+  } else {
+    counts_[bin] += weight;
+  }
+}
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t t = underflow_ + overflow_;
+  for (auto c : counts_) t += c;
+  return t;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  POLARIS_CHECK(bin < counts_.size());
+  if (logarithmic_) return lo_ * std::pow(2.0, static_cast<double>(bin));
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  POLARIS_CHECK(bin < counts_.size());
+  if (logarithmic_) return lo_ * std::pow(2.0, static_cast<double>(bin + 1));
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%12.4g | ", bin_lo(i));
+    out += buf;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out.append(bar, '#');
+    out += " ";
+    out += std::to_string(counts_[i]);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace polaris::support

@@ -1,0 +1,87 @@
+#include "polaris/support/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace polaris::support {
+namespace {
+
+std::string scaled(double value, double base,
+                   const std::array<const char*, 7>& suffixes,
+                   const char* fmt_small = "%.3g %s") {
+  double v = value;
+  std::size_t i = 0;
+  while (std::fabs(v) >= base && i + 1 < suffixes.size()) {
+    v /= base;
+    ++i;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt_small, v, suffixes[i]);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 7> kSuffix = {
+      "B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"};
+  return scaled(static_cast<double>(bytes), 1024.0, kSuffix, "%.4g %s");
+}
+
+std::string format_time(double seconds) {
+  char buf[64];
+  const double a = std::fabs(seconds);
+  if (a == 0.0) {
+    return "0 s";
+  } else if (a < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3g ns", seconds * 1e9);
+  } else if (a < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3g us", seconds * 1e6);
+  } else if (a < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g ms", seconds * 1e3);
+  } else if (a < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g s", seconds);
+  } else if (a < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g min", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g h", seconds / 3600.0);
+  }
+  return buf;
+}
+
+std::string format_rate(double bytes_per_second) {
+  static constexpr std::array<const char*, 7> kSuffix = {
+      "B/s", "kB/s", "MB/s", "GB/s", "TB/s", "PB/s", "EB/s"};
+  return scaled(bytes_per_second, 1000.0, kSuffix);
+}
+
+std::string format_flops(double flops) {
+  static constexpr std::array<const char*, 7> kSuffix = {
+      "flops", "kflops", "Mflops", "Gflops", "Tflops", "Pflops", "Eflops"};
+  return scaled(flops, 1000.0, kSuffix);
+}
+
+std::string format_dollars(double dollars) {
+  char buf[64];
+  const double a = std::fabs(dollars);
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "$%.3gB", dollars / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "$%.3gM", dollars / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "$%.3gk", dollars / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "$%.3g", dollars);
+  }
+  return buf;
+}
+
+std::string format_watts(double watts) {
+  static constexpr std::array<const char*, 7> kSuffix = {"W",  "kW", "MW",
+                                                         "GW", "TW", "PW",
+                                                         "EW"};
+  return scaled(watts, 1000.0, kSuffix);
+}
+
+}  // namespace polaris::support

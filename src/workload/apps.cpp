@@ -1,0 +1,264 @@
+#include "polaris/workload/apps.hpp"
+
+#include <cmath>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::workload {
+
+std::pair<std::size_t, std::size_t> process_grid(std::size_t ranks) {
+  POLARIS_CHECK(ranks >= 1);
+  auto px = static_cast<std::size_t>(std::sqrt(static_cast<double>(ranks)));
+  while (ranks % px != 0) --px;
+  return {px, ranks / px};
+}
+
+// The SPMD bodies are free coroutine functions: coroutine parameters are
+// copied into the coroutine frame, so they stay valid regardless of the
+// lifetime of the Program object that invoked them.  (A lambda that is
+// itself a coroutine would instead reference its closure object — a
+// use-after-free once the std::function is destroyed.)
+namespace {
+
+des::Task<void> pingpong_body(PingPongConfig config, PingPongResult* out,
+                              simrt::SimComm& c) {
+  if (c.rank() > 1) co_return;
+  for (std::size_t i = 0; i < config.sizes.size(); ++i) {
+    const std::uint64_t bytes = config.sizes[i];
+    const double t0 = c.now();
+    for (int r = 0; r < config.repetitions; ++r) {
+      if (c.rank() == 0) {
+        co_await c.send(1, 0, bytes);
+        co_await c.recv(1, 0);
+      } else {
+        co_await c.recv(0, 0);
+        co_await c.send(0, 0, bytes);
+      }
+    }
+    if (c.rank() == 0) {
+      out->half_rtt[i] = (c.now() - t0) / (2.0 * config.repetitions);
+    }
+    co_await c.barrier();  // keep the two ranks aligned between sizes
+  }
+}
+
+des::Task<void> halo2d_body(Halo2DConfig config, std::size_t px,
+                            std::size_t py, AppResult* out,
+                            simrt::SimComm& c) {
+  const auto r = static_cast<std::size_t>(c.rank());
+  const std::size_t x = r % px;
+  const std::size_t y = r / px;
+  const std::uint64_t halo_x = config.ny * config.elem_bytes;
+  const std::uint64_t halo_y = config.nx * config.elem_bytes;
+  const double points =
+      static_cast<double>(config.nx) * static_cast<double>(config.ny);
+
+  double comm_time = 0.0;
+  const double t_start = c.now();
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    const double t0 = c.now();
+    // Concurrent halo exchange with up to four neighbours, the way real
+    // stencil codes post it: all receives, all sends, one waitall.
+    std::vector<simrt::SimRequest> reqs;
+    if (x + 1 < px) reqs.push_back(c.irecv(static_cast<int>(r + 1), 0));
+    if (x > 0) reqs.push_back(c.irecv(static_cast<int>(r - 1), 0));
+    if (y + 1 < py) reqs.push_back(c.irecv(static_cast<int>(r + px), 1));
+    if (y > 0) reqs.push_back(c.irecv(static_cast<int>(r - px), 1));
+    if (x + 1 < px) {
+      reqs.push_back(c.isend(static_cast<int>(r + 1), 0, halo_x));
+    }
+    if (x > 0) {
+      reqs.push_back(c.isend(static_cast<int>(r - 1), 0, halo_x));
+    }
+    if (y + 1 < py) {
+      reqs.push_back(c.isend(static_cast<int>(r + px), 1, halo_y));
+    }
+    if (y > 0) {
+      reqs.push_back(c.isend(static_cast<int>(r - px), 1, halo_y));
+    }
+    co_await c.wait_all(std::move(reqs));
+    comm_time += c.now() - t0;
+    co_await c.compute(config.flops_per_point * points,
+                       config.bytes_per_point * points);
+  }
+  if (c.rank() == 0) {
+    out->elapsed = c.now() - t_start;
+    out->comm_fraction = out->elapsed > 0 ? comm_time / out->elapsed : 0.0;
+  }
+}
+
+des::Task<void> halo3d_body(Halo3DConfig config, std::size_t px,
+                            std::size_t py, std::size_t pz, AppResult* out,
+                            simrt::SimComm& c) {
+  const auto r = static_cast<std::size_t>(c.rank());
+  const std::size_t x = r % px;
+  const std::size_t y = (r / px) % py;
+  const std::size_t z = r / (px * py);
+  const std::uint64_t face = config.n * config.n * config.elem_bytes;
+  const double points = static_cast<double>(config.n) * config.n * config.n;
+
+  double comm_time = 0.0;
+  const double t_start = c.now();
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    const double t0 = c.now();
+    std::vector<simrt::SimRequest> reqs;
+    // Neighbour offsets along the three axes.
+    const auto exchange = [&](bool has, int peer) {
+      if (!has) return;
+      reqs.push_back(c.irecv(peer, 0));
+      reqs.push_back(c.isend(peer, 0, face));
+    };
+    exchange(x + 1 < px, static_cast<int>(r + 1));
+    exchange(x > 0, static_cast<int>(r - 1));
+    exchange(y + 1 < py, static_cast<int>(r + px));
+    exchange(y > 0, static_cast<int>(r - px));
+    exchange(z + 1 < pz, static_cast<int>(r + px * py));
+    exchange(z > 0, static_cast<int>(r - px * py));
+    co_await c.wait_all(std::move(reqs));
+    comm_time += c.now() - t0;
+    co_await c.compute(config.flops_per_point * points,
+                       config.bytes_per_point * points);
+  }
+  if (c.rank() == 0) {
+    out->elapsed = c.now() - t_start;
+    out->comm_fraction = out->elapsed > 0 ? comm_time / out->elapsed : 0.0;
+  }
+}
+
+des::Task<void> incast_body(IncastConfig config, AppResult* out,
+                            simrt::SimComm& c) {
+  const double t_start = c.now();
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    if (c.rank() == 0) {
+      for (int s = 1; s < c.size(); ++s) {
+        co_await c.recv(msg::kAnySource, 0);
+      }
+    } else {
+      co_await c.send(0, 0, config.bytes);
+    }
+    // Small ack fan-out closes the round.
+    co_await c.broadcast(64, 0);
+  }
+  if (c.rank() == 0) {
+    out->elapsed = c.now() - t_start;
+    out->comm_fraction = 1.0;  // pure communication benchmark
+  }
+}
+
+des::Task<void> cg_body(CgConfig config, std::size_t ranks, AppResult* out,
+                        simrt::SimComm& c) {
+  const double rows = static_cast<double>(config.local_rows);
+  // SpMV: 2 flops per nonzero; traffic ~12 bytes per nonzero (index +
+  // value) plus the vectors.
+  const double spmv_flops = 2.0 * config.nnz_per_row * rows;
+  const double spmv_bytes = 12.0 * config.nnz_per_row * rows + 16.0 * rows;
+  const std::uint64_t boundary =
+      static_cast<std::uint64_t>(std::sqrt(rows)) * 8;
+
+  double comm_time = 0.0;
+  const double t_start = c.now();
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    // Neighbour exchange of boundary entries (1-D decomposition).
+    const double t0 = c.now();
+    const int right = (c.rank() + 1) % static_cast<int>(ranks);
+    const int left =
+        (c.rank() - 1 + static_cast<int>(ranks)) % static_cast<int>(ranks);
+    if (ranks > 1) {
+      // Odd/even phasing keeps the ring deadlock-free even when the
+      // boundary exchange goes rendezvous.
+      if (c.rank() % 2 == 0) {
+        co_await c.send(right, 0, boundary);
+        co_await c.recv(left, 0);
+      } else {
+        co_await c.recv(left, 0);
+        co_await c.send(right, 0, boundary);
+      }
+    }
+    comm_time += c.now() - t0;
+
+    co_await c.compute(spmv_flops, spmv_bytes);   // q = A p
+    const double t1 = c.now();
+    co_await c.allreduce(16);                     // alpha dot
+    comm_time += c.now() - t1;
+    co_await c.compute(4.0 * rows, 48.0 * rows);  // axpy x2
+    const double t2 = c.now();
+    co_await c.allreduce(16);                     // beta dot
+    comm_time += c.now() - t2;
+  }
+  if (c.rank() == 0) {
+    out->elapsed = c.now() - t_start;
+    out->comm_fraction = out->elapsed > 0 ? comm_time / out->elapsed : 0.0;
+  }
+}
+
+des::Task<void> ep_body(EpConfig config, AppResult* out, simrt::SimComm& c) {
+  const double t_start = c.now();
+  for (std::size_t b = 0; b < config.batches; ++b) {
+    co_await c.compute(
+        config.flops_per_rank / static_cast<double>(config.batches), 0.0);
+  }
+  const double t0 = c.now();
+  co_await c.allreduce(8);
+  if (c.rank() == 0) {
+    out->elapsed = c.now() - t_start;
+    out->comm_fraction = (c.now() - t0) / out->elapsed;
+  }
+}
+
+}  // namespace
+
+Program make_pingpong(PingPongConfig config, PingPongResult* out) {
+  POLARIS_CHECK(out != nullptr && config.repetitions > 0);
+  out->sizes = config.sizes;
+  out->half_rtt.assign(config.sizes.size(), 0.0);
+  return [config, out](simrt::SimComm& c) {
+    return pingpong_body(config, out, c);
+  };
+}
+
+Program make_halo2d(Halo2DConfig config, std::size_t ranks, AppResult* out) {
+  POLARIS_CHECK(out != nullptr && ranks >= 1);
+  const auto [px, py] = process_grid(ranks);
+  return [config, px = px, py = py, out](simrt::SimComm& c) {
+    return halo2d_body(config, px, py, out, c);
+  };
+}
+
+std::tuple<std::size_t, std::size_t, std::size_t> process_grid3(
+    std::size_t ranks) {
+  POLARIS_CHECK(ranks >= 1);
+  auto px = static_cast<std::size_t>(
+      std::cbrt(static_cast<double>(ranks)) + 1e-9);
+  while (px > 1 && ranks % px != 0) --px;
+  const auto [py, pz] = process_grid(ranks / px);
+  return {px, py, pz};
+}
+
+Program make_halo3d(Halo3DConfig config, std::size_t ranks, AppResult* out) {
+  POLARIS_CHECK(out != nullptr && ranks >= 1);
+  const auto [px, py, pz] = process_grid3(ranks);
+  return [config, px = px, py = py, pz = pz, out](simrt::SimComm& c) {
+    return halo3d_body(config, px, py, pz, out, c);
+  };
+}
+
+Program make_incast(IncastConfig config, AppResult* out) {
+  POLARIS_CHECK(out != nullptr && config.rounds >= 1);
+  return [config, out](simrt::SimComm& c) {
+    return incast_body(config, out, c);
+  };
+}
+
+Program make_cg(CgConfig config, std::size_t ranks, AppResult* out) {
+  POLARIS_CHECK(out != nullptr && ranks >= 1);
+  return [config, ranks, out](simrt::SimComm& c) {
+    return cg_body(config, ranks, out, c);
+  };
+}
+
+Program make_ep(EpConfig config, AppResult* out) {
+  POLARIS_CHECK(out != nullptr && config.batches >= 1);
+  return [config, out](simrt::SimComm& c) { return ep_body(config, out, c); };
+}
+
+}  // namespace polaris::workload

@@ -1,0 +1,114 @@
+// Representative Beowulf-class SPMD workloads for the simulated runtime.
+//
+// Three application archetypes the talk's application discussion spans:
+//   halo2d   — nearest-neighbour 2-D stencil (bandwidth + neighbour
+//              latency; the canonical Beowulf CFD/heat-equation kernel)
+//   cg       — conjugate-gradient-like iteration (two tiny allreduce dot
+//              products per iteration: latency- and collective-bound)
+//   ep       — embarrassingly parallel sweep with a terminal reduce
+// plus the ping-pong microbenchmark every fabric comparison starts from.
+//
+// Each factory returns an SPMD coroutine suitable for SimWorld::launch and
+// fills a caller-owned result struct when rank 0 finishes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <vector>
+
+#include "polaris/simrt/sim_world.hpp"
+
+namespace polaris::workload {
+
+using Program = std::function<des::Task<void>(simrt::SimComm&)>;
+
+/// Splits `ranks` into the most-square px * py == ranks process grid.
+std::pair<std::size_t, std::size_t> process_grid(std::size_t ranks);
+
+// ------------------------------------------------------------------ pingpong
+
+struct PingPongResult {
+  /// Half round-trip per message size, aligned with `sizes`.
+  std::vector<double> half_rtt;
+  std::vector<std::uint64_t> sizes;
+};
+
+struct PingPongConfig {
+  std::vector<std::uint64_t> sizes = {1,    8,     64,     512,   4096,
+                                      32768, 262144, 1048576, 4194304};
+  int repetitions = 5;  ///< round trips averaged per size
+};
+
+/// Ranks 0 and 1 ping-pong; other ranks idle.  Results valid after run().
+Program make_pingpong(PingPongConfig config, PingPongResult* out);
+
+// -------------------------------------------------------------------- halo2d
+
+struct Halo2DConfig {
+  std::size_t nx = 256;        ///< local grid, x
+  std::size_t ny = 256;        ///< local grid, y
+  std::size_t iterations = 10;
+  std::size_t elem_bytes = 8;
+  double flops_per_point = 5.0;
+  double bytes_per_point = 4.0 * 8.0;  ///< memory traffic per point
+};
+
+struct AppResult {
+  double elapsed = 0.0;        ///< rank-0 completion time, seconds
+  double comm_fraction = 0.0;  ///< estimated time share in communication
+};
+
+/// 5-point-stencil Jacobi over a px*py process grid (non-periodic edges).
+Program make_halo2d(Halo2DConfig config, std::size_t ranks, AppResult* out);
+
+/// 7-point-stencil Jacobi over an x*y*z process grid (non-periodic).
+struct Halo3DConfig {
+  std::size_t n = 64;          ///< local grid edge (n^3 points per rank)
+  std::size_t iterations = 10;
+  std::size_t elem_bytes = 8;
+  double flops_per_point = 8.0;
+  double bytes_per_point = 5.0 * 8.0;
+};
+
+/// Factors `ranks` into the most-cubic px*py*pz grid.
+std::tuple<std::size_t, std::size_t, std::size_t> process_grid3(
+    std::size_t ranks);
+
+Program make_halo3d(Halo3DConfig config, std::size_t ranks, AppResult* out);
+
+// ------------------------------------------------------------------------ cg
+
+struct CgConfig {
+  std::size_t local_rows = 100000;  ///< matrix rows per rank
+  std::size_t iterations = 50;
+  double nnz_per_row = 7.0;
+};
+
+/// CG-like iteration: SpMV compute + halo-ish neighbour exchange + two
+/// 16-byte allreduce dot products per iteration.
+Program make_cg(CgConfig config, std::size_t ranks, AppResult* out);
+
+// ------------------------------------------------------------------------ ep
+
+struct EpConfig {
+  double flops_per_rank = 1e9;
+  std::size_t batches = 10;  ///< compute chunks between progress points
+};
+
+/// Independent compute with one final 8-byte reduce.
+Program make_ep(EpConfig config, AppResult* out);
+
+// -------------------------------------------------------------------- incast
+
+/// The commercial request/response pattern the talk's expanding customer
+/// base brings: every worker sends a response of `bytes` to rank 0 each
+/// round (N-to-1 incast), rank 0 replies with a small ack broadcast.
+struct IncastConfig {
+  std::uint64_t bytes = 64 * 1024;
+  std::size_t rounds = 5;
+};
+
+Program make_incast(IncastConfig config, AppResult* out);
+
+}  // namespace polaris::workload

@@ -1,0 +1,281 @@
+// Property tests: every generated schedule computes the collective's
+// defining result on the in-memory executor, across rank counts (including
+// awkward non-powers-of-two), buffer sizes (including sizes smaller than
+// the rank count) and reduction operators.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "polaris/coll/algorithms.hpp"
+#include "polaris/coll/local_exec.hpp"
+#include "polaris/support/rng.hpp"
+
+namespace polaris::coll {
+namespace {
+
+std::vector<std::vector<double>> random_inputs(std::size_t ranks,
+                                               std::size_t count,
+                                               std::uint64_t seed) {
+  support::Random rng(seed);
+  std::vector<std::vector<double>> v(ranks, std::vector<double>(count));
+  for (auto& buf : v) {
+    for (auto& x : buf) x = rng.uniform(-10.0, 10.0);
+  }
+  return v;
+}
+
+// ------------------------------------------------------- parameterized sweep
+
+struct Case {
+  Collective kind;
+  Algorithm algo;
+  std::size_t ranks;
+  std::size_t count;  // elements (block size for *gather/alltoall)
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const auto& c = info.param;
+  std::string name = std::string(to_string(c.kind)) + "_" +
+                     to_string(c.algo) + "_p" + std::to_string(c.ranks) +
+                     "_n" + std::to_string(c.count);
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  const std::size_t rank_set[] = {1, 2, 3, 4, 5, 8, 13, 16, 32};
+  const std::size_t count_set[] = {1, 3, 64, 1000};
+  for (std::size_t p : rank_set) {
+    for (Collective kind :
+         {Collective::kBroadcast, Collective::kReduce, Collective::kAllreduce,
+          Collective::kAllgather, Collective::kAlltoall, Collective::kGather,
+          Collective::kScatter, Collective::kReduceScatter,
+          Collective::kScan}) {
+      for (Algorithm a : algorithms_for(kind, p)) {
+        for (std::size_t n : count_set) {
+          cases.push_back({kind, a, p, n});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+class CollectiveCorrectness : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CollectiveCorrectness, MatchesReference) {
+  const Case c = GetParam();
+  const int root = 0;  // binomial gather/scatter require root 0
+  const Schedule schedule =
+      make_schedule(c.kind, c.algo, c.ranks, c.count, root);
+  validate(schedule);
+
+  const std::size_t total = schedule.total_count;
+  auto inputs = random_inputs(c.ranks, std::max<std::size_t>(total, 1),
+                              /*seed=*/c.ranks * 1000 + c.count);
+
+  std::vector<std::vector<double>> buffers = inputs;
+  for (auto& b : buffers) b.resize(std::max<std::size_t>(total, 1));
+
+  if (c.kind == Collective::kAlltoall) {
+    execute_locally(schedule, buffers, ReduceOp::kSum, &inputs);
+    // out[r][s*block + i] == in[s][r*block + i]
+    const std::size_t block = c.count;
+    for (std::size_t r = 0; r < c.ranks; ++r) {
+      for (std::size_t s = 0; s < c.ranks; ++s) {
+        for (std::size_t i = 0; i < block; ++i) {
+          ASSERT_DOUBLE_EQ(buffers[r][s * block + i],
+                           inputs[s][r * block + i])
+              << "r=" << r << " s=" << s << " i=" << i;
+        }
+      }
+    }
+    return;
+  }
+
+  execute_locally(schedule, buffers, ReduceOp::kSum);
+
+  switch (c.kind) {
+    case Collective::kBroadcast:
+      for (std::size_t r = 0; r < c.ranks; ++r) {
+        for (std::size_t i = 0; i < c.count; ++i) {
+          ASSERT_DOUBLE_EQ(buffers[r][i], inputs[root][i]) << r << "," << i;
+        }
+      }
+      break;
+    case Collective::kReduce:
+    case Collective::kAllreduce: {
+      std::vector<double> expected(c.count, 0.0);
+      for (std::size_t i = 0; i < c.count; ++i) {
+        for (std::size_t r = 0; r < c.ranks; ++r) {
+          expected[i] += inputs[r][i];
+        }
+      }
+      const std::size_t first = c.kind == Collective::kReduce ? root : 0;
+      const std::size_t last =
+          c.kind == Collective::kReduce ? root + 1 : c.ranks;
+      for (std::size_t r = first; r < last; ++r) {
+        for (std::size_t i = 0; i < c.count; ++i) {
+          ASSERT_NEAR(buffers[r][i], expected[i], 1e-9) << r << "," << i;
+        }
+      }
+      break;
+    }
+    case Collective::kAllgather: {
+      const std::size_t block = c.count;
+      for (std::size_t r = 0; r < c.ranks; ++r) {
+        for (std::size_t s = 0; s < c.ranks; ++s) {
+          for (std::size_t i = 0; i < block; ++i) {
+            ASSERT_DOUBLE_EQ(buffers[r][s * block + i],
+                             inputs[s][s * block + i])
+                << r << "," << s << "," << i;
+          }
+        }
+      }
+      break;
+    }
+    case Collective::kGather: {
+      const std::size_t block = c.count;
+      for (std::size_t s = 0; s < c.ranks; ++s) {
+        for (std::size_t i = 0; i < block; ++i) {
+          ASSERT_DOUBLE_EQ(buffers[root][s * block + i],
+                           inputs[s][s * block + i]);
+        }
+      }
+      break;
+    }
+    case Collective::kScatter: {
+      const std::size_t block = c.count;
+      for (std::size_t r = 0; r < c.ranks; ++r) {
+        for (std::size_t i = 0; i < block; ++i) {
+          ASSERT_DOUBLE_EQ(buffers[r][r * block + i],
+                           inputs[root][r * block + i]);
+        }
+      }
+      break;
+    }
+    case Collective::kReduceScatter: {
+      const std::size_t block = c.count;
+      for (std::size_t r = 0; r < c.ranks; ++r) {
+        for (std::size_t i = 0; i < block; ++i) {
+          double expected = 0.0;
+          for (std::size_t s2 = 0; s2 < c.ranks; ++s2) {
+            expected += inputs[s2][r * block + i];
+          }
+          ASSERT_NEAR(buffers[r][r * block + i], expected, 1e-9)
+              << r << "," << i;
+        }
+      }
+      break;
+    }
+    case Collective::kScan: {
+      for (std::size_t r = 0; r < c.ranks; ++r) {
+        for (std::size_t i = 0; i < c.count; ++i) {
+          double expected = 0.0;
+          for (std::size_t s2 = 0; s2 <= r; ++s2) {
+            expected += inputs[s2][i];
+          }
+          ASSERT_NEAR(buffers[r][i], expected, 1e-9) << r << "," << i;
+        }
+      }
+      break;
+    }
+    default:
+      FAIL() << "unhandled kind";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CollectiveCorrectness,
+                         ::testing::ValuesIn(make_cases()), case_name);
+
+// --------------------------------------------------------- other properties
+
+TEST(BarrierSchedules, AllRanksParticipateAndComplete) {
+  for (std::size_t p : {2u, 3u, 8u, 17u}) {
+    for (Algorithm a : algorithms_for(Collective::kBarrier, p)) {
+      const auto s = barrier(p, a);
+      validate(s);
+      std::vector<std::vector<double>> buffers(p, std::vector<double>(1));
+      EXPECT_NO_THROW(execute_locally(s, buffers));
+    }
+  }
+}
+
+TEST(ReduceOps, MaxMinProdSupported) {
+  const std::size_t p = 4, n = 16;
+  auto inputs = random_inputs(p, n, 99);
+  for (ReduceOp op : {ReduceOp::kMax, ReduceOp::kMin, ReduceOp::kProd}) {
+    auto buffers = inputs;
+    execute_locally(allreduce(p, n, Algorithm::kBinomial), buffers, op);
+    for (std::size_t i = 0; i < n; ++i) {
+      double expected = inputs[0][i];
+      for (std::size_t r = 1; r < p; ++r) {
+        expected = combine(op, expected, inputs[r][i]);
+      }
+      ASSERT_NEAR(buffers[0][i], expected, 1e-9);
+    }
+  }
+}
+
+TEST(AllreduceNonRootBroadcast, RootThreeBroadcastCorrect) {
+  // Non-zero roots exercise the relative-rank arithmetic.
+  const std::size_t p = 7, n = 20;
+  for (Algorithm a : {Algorithm::kLinear, Algorithm::kBinomial,
+                      Algorithm::kRing}) {
+    auto inputs = random_inputs(p, n, 7);
+    auto buffers = inputs;
+    execute_locally(broadcast(p, n, /*root=*/3, a), buffers);
+    for (std::size_t r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_DOUBLE_EQ(buffers[r][i], inputs[3][i]) << to_string(a);
+      }
+    }
+  }
+}
+
+TEST(ReduceNonZeroRoot, BinomialReduceToRootFive) {
+  const std::size_t p = 9, n = 8;
+  auto inputs = random_inputs(p, n, 11);
+  auto buffers = inputs;
+  execute_locally(reduce(p, n, /*root=*/5, Algorithm::kBinomial), buffers);
+  for (std::size_t i = 0; i < n; ++i) {
+    double expected = 0;
+    for (std::size_t r = 0; r < p; ++r) expected += inputs[r][i];
+    ASSERT_NEAR(buffers[5][i], expected, 1e-9);
+  }
+}
+
+TEST(SingleRank, AllCollectivesAreNoops) {
+  for (Collective c :
+       {Collective::kBroadcast, Collective::kReduce, Collective::kAllreduce,
+        Collective::kAllgather, Collective::kGather, Collective::kScatter}) {
+    for (Algorithm a : algorithms_for(c, 1)) {
+      auto s = make_schedule(c, a, 1, 10, 0);
+      std::vector<std::vector<double>> buffers{std::vector<double>(10, 3.0)};
+      EXPECT_NO_THROW(execute_locally(s, buffers));
+      EXPECT_DOUBLE_EQ(buffers[0][0], 3.0);
+    }
+  }
+}
+
+TEST(LocalExec, DetectsDeadlock) {
+  // Two ranks that both receive first.
+  Schedule s;
+  s.name = "deadlock";
+  s.ranks = 2;
+  s.total_count = 1;
+  s.per_rank.resize(2);
+  s.per_rank[0].push_back(CommStep::recv(1, 0, 1));
+  s.per_rank[0].push_back(CommStep::send(1, 0, 1));
+  s.per_rank[1].push_back(CommStep::recv(0, 0, 1));
+  s.per_rank[1].push_back(CommStep::send(0, 0, 1));
+  std::vector<std::vector<double>> buffers(2, std::vector<double>(1));
+  EXPECT_THROW(execute_locally(s, buffers), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace polaris::coll

@@ -1,0 +1,123 @@
+#include "polaris/coll/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "polaris/fabric/params.hpp"
+
+namespace polaris::coll {
+namespace {
+
+fabric::LogGPParams ib() {
+  return fabric::extract_loggp(fabric::fabrics::infiniband_4x(), 3);
+}
+
+fabric::LogGPParams eth() {
+  return fabric::extract_loggp(fabric::fabrics::gig_ethernet(), 3);
+}
+
+TEST(PredictedSeconds, PositiveAndFiniteForAllSchedules) {
+  const auto net = ib();
+  for (std::size_t p : {2u, 8u, 16u}) {
+    for (Collective c :
+         {Collective::kBarrier, Collective::kBroadcast, Collective::kReduce,
+          Collective::kAllreduce, Collective::kAllgather,
+          Collective::kAlltoall}) {
+      for (Algorithm a : algorithms_for(c, p)) {
+        const auto s = make_schedule(c, a, p, 128, 0);
+        const double t = predicted_seconds(s, net, 8);
+        EXPECT_GT(t, 0.0) << s.name;
+        EXPECT_LT(t, 1.0) << s.name;
+      }
+    }
+  }
+}
+
+TEST(PredictedSeconds, BinomialBroadcastBeatsLinearAtScale) {
+  const auto net = ib();
+  const auto lin = broadcast(64, 16, 0, Algorithm::kLinear);
+  const auto bin = broadcast(64, 16, 0, Algorithm::kBinomial);
+  EXPECT_LT(predicted_seconds(bin, net, 8),
+            0.5 * predicted_seconds(lin, net, 8));
+}
+
+TEST(PredictedSeconds, LinearBroadcastFineAtTwoRanks) {
+  const auto net = ib();
+  const auto lin = broadcast(2, 16, 0, Algorithm::kLinear);
+  const auto bin = broadcast(2, 16, 0, Algorithm::kBinomial);
+  EXPECT_NEAR(predicted_seconds(lin, net, 8), predicted_seconds(bin, net, 8),
+              1e-9);
+}
+
+TEST(PredictedSeconds, RingAllreduceWinsLargeMessages) {
+  const auto net = ib();
+  const std::size_t p = 16, n = 1 << 18;  // 2 MiB of doubles
+  const double ring =
+      predicted_seconds(allreduce(p, n, Algorithm::kRing), net, 8);
+  const double rd = predicted_seconds(
+      allreduce(p, n, Algorithm::kRecursiveDoubling), net, 8);
+  EXPECT_LT(ring, rd);
+}
+
+TEST(PredictedSeconds, RecursiveDoublingWinsSmallMessages) {
+  const auto net = ib();
+  const std::size_t p = 16, n = 1;
+  const double ring =
+      predicted_seconds(allreduce(p, n, Algorithm::kRing), net, 8);
+  const double rd = predicted_seconds(
+      allreduce(p, n, Algorithm::kRecursiveDoubling), net, 8);
+  EXPECT_LT(rd, ring);
+}
+
+TEST(PredictedSeconds, DisseminationBarrierScalesLogarithmically) {
+  const auto net = ib();
+  const double t8 = predicted_seconds(barrier(8), net, 1);
+  const double t64 = predicted_seconds(barrier(64), net, 1);
+  // log2(64)/log2(8) = 2: expect roughly 2x, certainly < 4x.
+  EXPECT_LT(t64, 4.0 * t8);
+  EXPECT_GT(t64, 1.5 * t8);
+}
+
+TEST(PredictedSeconds, SlowerFabricSlowerCollective) {
+  const auto s = allreduce(16, 4096, Algorithm::kRing);
+  EXPECT_GT(predicted_seconds(s, eth(), 8), predicted_seconds(s, ib(), 8));
+}
+
+TEST(SelectAlgorithm, PicksRecursiveDoublingForTinyAllreduce) {
+  const auto a = select_algorithm(Collective::kAllreduce, 16, 1, 8, ib());
+  EXPECT_TRUE(a == Algorithm::kRecursiveDoubling ||
+              a == Algorithm::kBinomial ||
+              a == Algorithm::kRabenseifner);
+}
+
+TEST(SelectAlgorithm, PicksBandwidthAlgorithmForHugeAllreduce) {
+  const auto a =
+      select_algorithm(Collective::kAllreduce, 16, 1 << 20, 8, ib());
+  EXPECT_TRUE(a == Algorithm::kRing || a == Algorithm::kRabenseifner) << to_string(a);
+}
+
+TEST(SelectAlgorithm, NonPowerOfTwoStaysValid) {
+  const auto a = select_algorithm(Collective::kAllreduce, 12, 4096, 8, ib());
+  EXPECT_TRUE(a == Algorithm::kRing || a == Algorithm::kBinomial);
+}
+
+TEST(SelectAlgorithm, GatherNonZeroRootAvoidsBinomial) {
+  const auto a =
+      select_algorithm(Collective::kGather, 16, 1024, 8, ib(), /*root=*/3);
+  EXPECT_EQ(a, Algorithm::kLinear);
+}
+
+TEST(SelectAlgorithm, SelectionNeverWorseThanAnyCandidate) {
+  const auto net = ib();
+  for (std::size_t n : {1u, 512u, 65536u}) {
+    const auto best = select_algorithm(Collective::kAllreduce, 8, n, 8, net);
+    const double bt =
+        predicted_seconds(allreduce(8, n, best), net, 8);
+    for (Algorithm a : algorithms_for(Collective::kAllreduce, 8)) {
+      const double t = predicted_seconds(allreduce(8, n, a), net, 8);
+      EXPECT_LE(bt, t * (1.0 + 1e-12)) << n << " " << to_string(a);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polaris::coll

@@ -1,0 +1,135 @@
+#include "polaris/coll/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "polaris/coll/algorithms.hpp"
+#include "polaris/support/check.hpp"
+
+namespace polaris::coll {
+namespace {
+
+TEST(ChunkRange, EvenSplit) {
+  EXPECT_EQ(chunk_range(100, 4, 0), (std::pair<std::size_t, std::size_t>{0, 25}));
+  EXPECT_EQ(chunk_range(100, 4, 3),
+            (std::pair<std::size_t, std::size_t>{75, 25}));
+}
+
+TEST(ChunkRange, RemainderGoesToLeadingChunks) {
+  // 10 over 4 -> 3,3,2,2
+  EXPECT_EQ(chunk_range(10, 4, 0), (std::pair<std::size_t, std::size_t>{0, 3}));
+  EXPECT_EQ(chunk_range(10, 4, 1), (std::pair<std::size_t, std::size_t>{3, 3}));
+  EXPECT_EQ(chunk_range(10, 4, 2), (std::pair<std::size_t, std::size_t>{6, 2}));
+  EXPECT_EQ(chunk_range(10, 4, 3), (std::pair<std::size_t, std::size_t>{8, 2}));
+}
+
+TEST(ChunkRange, ChunksTileTheBuffer) {
+  for (std::size_t count : {1u, 7u, 64u, 1001u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 8u, 17u}) {
+      std::size_t expect_off = 0;
+      for (std::size_t i = 0; i < parts; ++i) {
+        const auto [off, len] = chunk_range(count, parts, i);
+        EXPECT_EQ(off, expect_off);
+        expect_off += len;
+      }
+      EXPECT_EQ(expect_off, count);
+    }
+  }
+}
+
+TEST(ChunkRange, MoreChunksThanElementsYieldsEmpties) {
+  const auto [off, len] = chunk_range(2, 4, 3);
+  EXPECT_EQ(len, 0u);
+  EXPECT_EQ(off, 2u);
+}
+
+TEST(CommStep, Factories) {
+  const auto s = CommStep::send(3, 10, 5);
+  EXPECT_TRUE(s.has_send());
+  EXPECT_FALSE(s.has_recv());
+  const auto r = CommStep::recv(2, 0, 7, true);
+  EXPECT_TRUE(r.has_recv());
+  EXPECT_TRUE(r.recv_reduce);
+  const auto sr = CommStep::sendrecv(1, 0, 4, 2, 4, 4);
+  EXPECT_TRUE(sr.has_send());
+  EXPECT_TRUE(sr.has_recv());
+}
+
+TEST(Validate, AcceptsAllGeneratedSchedules) {
+  for (std::size_t ranks : {1u, 2u, 3u, 4u, 7u, 8u, 16u}) {
+    for (Collective c :
+         {Collective::kBarrier, Collective::kBroadcast, Collective::kReduce,
+          Collective::kAllreduce, Collective::kAllgather,
+          Collective::kAlltoall, Collective::kGather, Collective::kScatter}) {
+      for (Algorithm a : algorithms_for(c, ranks)) {
+        const std::size_t count = c == Collective::kBarrier ? 0 : 12;
+        EXPECT_NO_THROW(validate(make_schedule(c, a, ranks, count, 0)))
+            << to_string(c) << "/" << to_string(a) << " p=" << ranks;
+      }
+    }
+  }
+}
+
+TEST(Validate, CatchesUnmatchedSend) {
+  Schedule s;
+  s.name = "bad";
+  s.ranks = 2;
+  s.total_count = 4;
+  s.per_rank.resize(2);
+  s.per_rank[0].push_back(CommStep::send(1, 0, 4));
+  EXPECT_THROW(validate(s), support::ContractViolation);
+}
+
+TEST(Validate, CatchesCountMismatch) {
+  Schedule s;
+  s.name = "bad";
+  s.ranks = 2;
+  s.total_count = 8;
+  s.per_rank.resize(2);
+  s.per_rank[0].push_back(CommStep::send(1, 0, 4));
+  s.per_rank[1].push_back(CommStep::recv(0, 0, 5));
+  EXPECT_THROW(validate(s), support::ContractViolation);
+}
+
+TEST(Validate, CatchesOutOfRangeBuffer) {
+  Schedule s;
+  s.name = "bad";
+  s.ranks = 2;
+  s.total_count = 4;
+  s.per_rank.resize(2);
+  s.per_rank[0].push_back(CommStep::send(1, 2, 4));  // 2+4 > 4
+  s.per_rank[1].push_back(CommStep::recv(0, 0, 4));
+  EXPECT_THROW(validate(s), support::ContractViolation);
+}
+
+TEST(Validate, CatchesSelfSend) {
+  Schedule s;
+  s.name = "bad";
+  s.ranks = 2;
+  s.total_count = 4;
+  s.per_rank.resize(2);
+  s.per_rank[0].push_back(CommStep::send(0, 0, 4));
+  EXPECT_THROW(validate(s), support::ContractViolation);
+}
+
+TEST(ScheduleMetrics, RingAllreduceMovesMinimalData) {
+  // Ring allreduce moves 2(p-1)/p of the buffer per rank.
+  const std::size_t p = 8, n = 800;
+  const auto s = allreduce(p, n, Algorithm::kRing);
+  EXPECT_EQ(s.total_elements_moved(), 2 * (p - 1) * (n / p) * p);
+  EXPECT_EQ(s.max_steps(), 2 * (p - 1));
+}
+
+TEST(ScheduleMetrics, RecursiveDoublingMovesFullBufferPerRound) {
+  const std::size_t p = 8, n = 100;
+  const auto s = allreduce(p, n, Algorithm::kRecursiveDoubling);
+  EXPECT_EQ(s.total_elements_moved(), 3 * n * p);  // log2(8)=3 rounds
+  EXPECT_EQ(s.max_steps(), 3u);
+}
+
+TEST(ScheduleMetrics, BinomialBroadcastDepthIsLog) {
+  const auto s = broadcast(32, 10, 0, Algorithm::kBinomial);
+  EXPECT_EQ(s.max_steps(), 5u);  // root sends to log2(32) children
+}
+
+}  // namespace
+}  // namespace polaris::coll

@@ -1,0 +1,149 @@
+#include "polaris/des/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::des {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, SameTimeEventsRunFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, ClockAdvancesToEventTime) {
+  Engine e;
+  SimTime seen = -1;
+  e.schedule_at(123456789, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, 123456789);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine e;
+  SimTime seen = -1;
+  e.schedule_at(100, [&] {
+    e.schedule_after(50, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  Engine e;
+  e.schedule_at(100, [&] {
+    EXPECT_THROW(e.schedule_at(50, [] {}), support::ContractViolation);
+  });
+  e.run();
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  auto id = e.schedule_at(10, [&] { ran = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CancelOfFiredEventIsNoop) {
+  Engine e;
+  auto id = e.schedule_at(10, [] {});
+  e.run();
+  e.cancel(id);  // must not crash or affect later events
+  bool ran = false;
+  e.schedule_at(20, [&] { ran = true; });
+  e.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, StopHaltsExecution) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1, [&] { ++count; });
+  e.schedule_at(2, [&] {
+    ++count;
+    e.stop();
+  });
+  e.schedule_at(3, [&] { ++count; });
+  e.run();
+  EXPECT_EQ(count, 2);
+  // A subsequent run resumes with what is left.
+  e.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10, 20, 30, 40}) {
+    e.schedule_at(t, [&fired, &e] { fired.push_back(e.now()); });
+  }
+  const auto n = e.run_until(25);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(e.now(), 25);
+  e.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20, 30, 40}));
+}
+
+TEST(Engine, RunUntilAdvancesClockOnEmptyQueue) {
+  Engine e;
+  e.run_until(1000);
+  EXPECT_EQ(e.now(), 1000);
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule_at(i, [] {});
+  EXPECT_EQ(e.run(), 5u);
+  EXPECT_EQ(e.events_executed(), 5u);
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine e;
+  int depth = 0;
+  support::UniqueFunction<void()> recur;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) e.schedule_after(1, [&] { chain(); });
+  };
+  e.schedule_at(0, [&] { chain(); });
+  e.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(e.now(), 99);
+}
+
+TEST(TimeConversions, RoundTrip) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(1e-6), kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kMillisecond), 1e-3);
+  EXPECT_EQ(from_micros(2.5), 2500);
+  EXPECT_DOUBLE_EQ(to_micros(1500), 1.5);
+}
+
+}  // namespace
+}  // namespace polaris::des

@@ -1,0 +1,161 @@
+#include "polaris/fabric/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "polaris/des/task.hpp"
+
+namespace polaris::fabric {
+namespace {
+
+/// Runs a transfer and returns its completion time in seconds.
+double timed_transfer(SimNetwork& net, NodeId src, NodeId dst,
+                      std::uint64_t bytes) {
+  double done = -1.0;
+  net.engine().spawn([](SimNetwork& n, NodeId s, NodeId d, std::uint64_t b,
+                        double& out) -> des::Task<void> {
+    const des::SimTime t0 = n.engine().now();
+    co_await n.transfer(s, d, b);
+    out = des::to_seconds(n.engine().now() - t0);
+  }(net, src, dst, bytes, done));
+  net.engine().run();
+  return done;
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  des::Engine engine_;
+  Crossbar topo_{8};
+};
+
+TEST_F(NetworkTest, UncongestedMatchesAnalyticModel) {
+  SimNetwork net(engine_, fabrics::myrinet2000(), topo_);
+  for (std::uint64_t bytes : {1ull, 100ull, 4096ull, 65536ull, 1048576ull}) {
+    const double expected = net.uncongested_seconds(0, 1, bytes);
+    const double measured = timed_transfer(net, 0, 1, bytes);
+    EXPECT_NEAR(measured, expected, expected * 0.01 + 1e-9) << bytes;
+  }
+}
+
+TEST_F(NetworkTest, LargerMessagesTakeLonger) {
+  SimNetwork net(engine_, fabrics::gig_ethernet(), topo_);
+  const double t_small = timed_transfer(net, 0, 1, 1024);
+  const double t_big = timed_transfer(net, 0, 1, 1024 * 1024);
+  EXPECT_GT(t_big, 10.0 * t_small);
+}
+
+TEST_F(NetworkTest, BandwidthApproachesLinkRate) {
+  SimNetwork net(engine_, fabrics::infiniband_4x(), topo_);
+  const std::uint64_t bytes = 16 * 1024 * 1024;
+  const double t = timed_transfer(net, 0, 1, bytes);
+  const double bw = static_cast<double>(bytes) / t;
+  EXPECT_GT(bw, 0.9 * net.params().link_bw);
+  EXPECT_LE(bw, net.params().link_bw * 1.001);
+}
+
+TEST_F(NetworkTest, SelfTransferUsesCopyBandwidth) {
+  SimNetwork net(engine_, fabrics::myrinet2000(), topo_);
+  const std::uint64_t bytes = 1024 * 1024;
+  const double t = timed_transfer(net, 3, 3, bytes);
+  EXPECT_NEAR(t, static_cast<double>(bytes) / net.params().copy_bw, 1e-9);
+}
+
+TEST_F(NetworkTest, SharedDownlinkSerializes) {
+  SimNetwork net(engine_, fabrics::myrinet2000(), topo_);
+  const std::uint64_t bytes = 1024 * 1024;
+  // Two senders to the same destination: the shared downlink halves
+  // per-flow bandwidth -> finish in ~2x single-flow time.
+  const double single = net.uncongested_seconds(0, 2, bytes);
+  std::vector<double> done(2, -1.0);
+  for (int i = 0; i < 2; ++i) {
+    engine_.spawn([](SimNetwork& n, NodeId s, std::uint64_t b,
+                     double& out) -> des::Task<void> {
+      co_await n.transfer(s, 2, b);
+      out = des::to_seconds(n.engine().now());
+    }(net, static_cast<NodeId>(i), bytes, done[i]));
+  }
+  engine_.run();
+  const double last = std::max(done[0], done[1]);
+  EXPECT_GT(last, 1.8 * single);
+  EXPECT_LT(last, 2.3 * single);
+}
+
+TEST_F(NetworkTest, DisjointPairsDoNotInterfere) {
+  SimNetwork net(engine_, fabrics::myrinet2000(), topo_);
+  const std::uint64_t bytes = 1024 * 1024;
+  const double single = net.uncongested_seconds(0, 1, bytes);
+  std::vector<double> done(2, -1.0);
+  engine_.spawn([](SimNetwork& n, double& out) -> des::Task<void> {
+    co_await n.transfer(0, 1, 1024 * 1024);
+    out = des::to_seconds(n.engine().now());
+  }(net, done[0]));
+  engine_.spawn([](SimNetwork& n, double& out) -> des::Task<void> {
+    co_await n.transfer(2, 3, 1024 * 1024);
+    out = des::to_seconds(n.engine().now());
+  }(net, done[1]));
+  engine_.run();
+  EXPECT_NEAR(done[0], single, single * 0.02);
+  EXPECT_NEAR(done[1], single, single * 0.02);
+}
+
+TEST_F(NetworkTest, StatsAccumulate) {
+  SimNetwork net(engine_, fabrics::gig_ethernet(), topo_);
+  timed_transfer(net, 0, 1, 3000);  // 2 packets at mtu 1500
+  EXPECT_EQ(net.stats().messages, 1u);
+  EXPECT_EQ(net.stats().bytes, 3000u);
+  EXPECT_EQ(net.stats().packets, 2u);
+  EXPECT_GT(net.stats().total_link_busy_s, 0.0);
+}
+
+TEST_F(NetworkTest, PacketCountIsCapped) {
+  SimNetwork net(engine_, fabrics::gig_ethernet(), topo_);
+  timed_transfer(net, 0, 1, 64 * 1024 * 1024);
+  EXPECT_EQ(net.stats().packets, SimNetwork::kMaxPackets);
+}
+
+TEST(OpticalNetwork, FirstTransferPaysCircuitSetup) {
+  des::Engine engine;
+  Crossbar topo(8);
+  SimNetwork net(engine, fabrics::optical_ocs(), topo);
+  const double cold = timed_transfer(net, 0, 1, 4096);
+  const double warm = timed_transfer(net, 0, 1, 4096);
+  EXPECT_GT(cold, net.params().circuit_setup);
+  EXPECT_LT(warm, net.params().circuit_setup);
+  EXPECT_EQ(net.stats().circuit_misses, 1u);
+  EXPECT_EQ(net.stats().circuit_hits, 1u);
+}
+
+TEST(OpticalNetwork, CircuitCacheEvictsLru) {
+  des::Engine engine;
+  Crossbar topo(8);
+  SimNetwork net(engine, fabrics::optical_ocs(), topo);
+  // Fill the 4-way cache with dst 1..4, then touch 5 (evicts 1).
+  for (NodeId d = 1; d <= 5; ++d) timed_transfer(net, 0, d, 64);
+  EXPECT_EQ(net.stats().circuit_misses, 5u);
+  timed_transfer(net, 0, 1, 64);  // miss again
+  EXPECT_EQ(net.stats().circuit_misses, 6u);
+  timed_transfer(net, 0, 5, 64);  // still cached
+  EXPECT_EQ(net.stats().circuit_hits, 1u);
+}
+
+TEST(NetworkOnFatTree, CrossPodSlowerThanSameEdge) {
+  des::Engine engine;
+  FatTree topo(4);
+  SimNetwork net(engine, fabrics::infiniband_4x(), topo);
+  const double near = timed_transfer(net, 0, 1, 1024);
+  const double far = timed_transfer(net, 0, 15, 1024);
+  EXPECT_GT(far, near);
+}
+
+TEST(NetworkOnTorus, TimeGrowsWithDistance) {
+  des::Engine engine;
+  Torus2D topo(8, 8);
+  SimNetwork net(engine, fabrics::myrinet2000(), topo);
+  const double t1 = timed_transfer(net, 0, 1, 4096);
+  const double t4 = timed_transfer(net, 0, 4, 4096);
+  EXPECT_GT(t4, t1);
+}
+
+}  // namespace
+}  // namespace polaris::fabric

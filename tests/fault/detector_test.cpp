@@ -1,0 +1,118 @@
+#include "polaris/fault/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::fault {
+namespace {
+
+TEST(TimeoutDetector, SuspectsAfterSilence) {
+  TimeoutDetector d(5.0);
+  d.heartbeat(10.0);
+  EXPECT_FALSE(d.suspect(12.0));
+  EXPECT_FALSE(d.suspect(15.0));
+  EXPECT_TRUE(d.suspect(15.1));
+}
+
+TEST(TimeoutDetector, HeartbeatResetsSuspicion) {
+  TimeoutDetector d(5.0);
+  d.heartbeat(0.0);
+  EXPECT_TRUE(d.suspect(6.0));
+  d.heartbeat(6.0);
+  EXPECT_FALSE(d.suspect(10.0));
+}
+
+TEST(PhiAccrual, ZeroBeforeTwoHeartbeats) {
+  PhiAccrualDetector d;
+  EXPECT_DOUBLE_EQ(d.phi(100.0), 0.0);
+  d.heartbeat(0.0);
+  EXPECT_DOUBLE_EQ(d.phi(100.0), 0.0);
+}
+
+TEST(PhiAccrual, GrowsWithSilence) {
+  PhiAccrualDetector d;
+  for (int i = 0; i < 50; ++i) d.heartbeat(i * 1.0);
+  const double at_expected = d.phi(49.0 + 1.0);
+  const double late = d.phi(49.0 + 3.0);
+  const double very_late = d.phi(49.0 + 10.0);
+  EXPECT_LT(at_expected, late);
+  EXPECT_LE(late, very_late);  // both may sit at the saturation cap
+  EXPECT_GT(very_late, 8.0);  // confidently dead
+}
+
+TEST(PhiAccrual, AdaptsToJitter) {
+  // A stream with high jitter should produce lower phi for the same
+  // absolute silence than a regular stream.
+  PhiAccrualDetector regular, jittery;
+  support::Random rng(5);
+  double tr = 0, tj = 0;
+  for (int i = 0; i < 100; ++i) {
+    tr += 1.0;
+    regular.heartbeat(tr);
+    tj += rng.uniform(0.25, 1.75);
+    jittery.heartbeat(tj);
+  }
+  const double silence = 2.5;
+  EXPECT_GT(regular.phi(tr + silence), jittery.phi(tj + silence));
+}
+
+TEST(PhiAccrual, SuspectThreshold) {
+  PhiAccrualDetector d;
+  for (int i = 0; i < 20; ++i) d.heartbeat(i * 1.0);
+  EXPECT_FALSE(d.suspect(19.5));
+  EXPECT_TRUE(d.suspect(40.0));
+}
+
+TEST(PhiAccrual, WindowBounded) {
+  PhiAccrualDetector d(/*window=*/10);
+  for (int i = 0; i < 100; ++i) d.heartbeat(i * 1.0);
+  EXPECT_EQ(d.samples(), 10u);
+}
+
+TEST(PhiAccrual, RejectsDegenerateConfig) {
+  EXPECT_THROW(PhiAccrualDetector(1), support::ContractViolation);
+  EXPECT_THROW(PhiAccrualDetector(10, 0.0), support::ContractViolation);
+}
+
+TEST(EvaluateTimeout, TighterTimeoutMeansFasterDetectionMoreFalseAlarms) {
+  const double period = 1.0, sigma = 1.0;
+  const auto tight =
+      evaluate_timeout_detector(period, sigma, 1.2, 50000, 21);
+  const auto loose =
+      evaluate_timeout_detector(period, sigma, 5.0, 50000, 21);
+  EXPECT_LT(tight.detection_latency, loose.detection_latency);
+  EXPECT_GT(tight.false_positive_rate, loose.false_positive_rate);
+  EXPECT_LT(loose.false_positive_rate, 1e-3);
+}
+
+TEST(EvaluateTimeout, GenerousTimeoutHasNoFalsePositives) {
+  const auto q = evaluate_timeout_detector(1.0, 0.5, 10.0, 20000, 22);
+  EXPECT_DOUBLE_EQ(q.false_positive_rate, 0.0);
+  EXPECT_GE(q.detection_latency, 10.0);
+}
+
+
+TEST(EvaluatePhi, HigherThresholdSlowerButSafer) {
+  const auto low = evaluate_phi_detector(1.0, 0.5, 3.0, 20000, 31);
+  const auto high = evaluate_phi_detector(1.0, 0.5, 10.0, 20000, 31);
+  EXPECT_LE(low.detection_latency, high.detection_latency);
+  EXPECT_GE(low.false_positive_rate, high.false_positive_rate);
+}
+
+TEST(EvaluatePhi, AdaptsDetectionToJitter) {
+  // With more jitter the detector must wait longer before accusing.
+  const auto calm = evaluate_phi_detector(1.0, 0.2, 8.0, 20000, 32);
+  const auto noisy = evaluate_phi_detector(1.0, 1.5, 8.0, 20000, 32);
+  EXPECT_LT(calm.detection_latency, noisy.detection_latency);
+}
+
+TEST(EvaluatePhi, ReasonableOperatingPoint) {
+  const auto q = evaluate_phi_detector(1.0, 0.8, 8.0, 50000, 33);
+  EXPECT_LT(q.false_positive_rate, 5e-3);
+  EXPECT_GT(q.detection_latency, 1.0);
+  EXPECT_LT(q.detection_latency, 60.0);
+}
+
+}  // namespace
+}  // namespace polaris::fault

@@ -1,0 +1,87 @@
+#include "polaris/fault/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::fault {
+namespace {
+
+TEST(FailureModel, ExponentialMeanMatchesMtbf) {
+  const auto m = FailureModel::exponential(1000.0);
+  support::Random rng(1);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += m.sample_ttf(rng);
+  EXPECT_NEAR(sum / n, 1000.0, 20.0);
+}
+
+TEST(FailureModel, WeibullMeanMatchesMtbf) {
+  for (double shape : {0.7, 1.0, 2.0}) {
+    const auto m = FailureModel::weibull(500.0, shape);
+    support::Random rng(2);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += m.sample_ttf(rng);
+    EXPECT_NEAR(sum / n, 500.0, 15.0) << "shape " << shape;
+  }
+}
+
+TEST(SystemMtbf, ExponentialScalesInverselyWithNodes) {
+  EXPECT_DOUBLE_EQ(system_mtbf_exponential(10000.0, 1), 10000.0);
+  EXPECT_DOUBLE_EQ(system_mtbf_exponential(10000.0, 100), 100.0);
+  EXPECT_DOUBLE_EQ(system_mtbf_exponential(10000.0, 10000), 1.0);
+}
+
+TEST(SystemMtbf, SampledAgreesWithAnalyticForExponential) {
+  const auto m = FailureModel::exponential(1000.0);
+  support::Random rng(3);
+  const double sampled = system_mtbf_sampled(m, 10, 20000, rng);
+  EXPECT_NEAR(sampled, 100.0, 5.0);
+}
+
+TEST(SystemMtbf, InfantMortalityWorseThanExponentialAtScale) {
+  // Weibull shape < 1 has heavy early-failure mass: the minimum of many
+  // draws collapses faster than exponential.
+  support::Random rng(4);
+  const double exp_mtbf = system_mtbf_sampled(
+      FailureModel::exponential(1000.0), 100, 5000, rng);
+  const double weib_mtbf = system_mtbf_sampled(
+      FailureModel::weibull(1000.0, 0.7), 100, 5000, rng);
+  EXPECT_LT(weib_mtbf, exp_mtbf);
+}
+
+TEST(FailureTimeline, EventsAreTimeOrdered) {
+  FailureTimeline tl(FailureModel::exponential(100.0), 50, 7);
+  double prev = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto ev = tl.next();
+    EXPECT_GE(ev.time, prev);
+    EXPECT_LT(ev.node, 50u);
+    prev = ev.time;
+  }
+}
+
+TEST(FailureTimeline, RateMatchesSystemMtbf) {
+  // 100 nodes at 1000 s MTBF -> ~1 failure per 10 s.
+  FailureTimeline tl(FailureModel::exponential(1000.0), 100, 8);
+  const auto events = tl.until(10000.0);
+  EXPECT_NEAR(static_cast<double>(events.size()), 1000.0, 100.0);
+}
+
+TEST(FailureTimeline, UntilConsumesEvents) {
+  FailureTimeline tl(FailureModel::exponential(10.0), 4, 9);
+  const auto first = tl.until(100.0);
+  const auto next = tl.next();
+  EXPECT_GE(next.time, 100.0);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(FailureModel, RejectsBadParameters) {
+  EXPECT_THROW(FailureModel::exponential(0.0), support::ContractViolation);
+  EXPECT_THROW(FailureModel::weibull(10.0, 0.0), support::ContractViolation);
+  EXPECT_THROW(system_mtbf_exponential(10.0, 0), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace polaris::fault

@@ -1,0 +1,98 @@
+#include "polaris/hw/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::hw {
+namespace {
+
+class NodeDesignerTest : public ::testing::Test {
+ protected:
+  NodeDesigner designer_;
+};
+
+TEST_F(NodeDesignerTest, ConventionalMatchesBaseline) {
+  const NodeModel n = designer_.design(NodeArch::kConventional, 2002.0);
+  EXPECT_DOUBLE_EQ(n.peak_flops, 9.6e9);
+  EXPECT_DOUBLE_EQ(n.rack_units, 1.0);
+}
+
+TEST_F(NodeDesignerTest, BladeTradesPeakForDensityAndPower) {
+  const NodeModel conv = designer_.design(NodeArch::kConventional, 2004.0);
+  const NodeModel blade = designer_.design(NodeArch::kBlade, 2004.0);
+  EXPECT_LT(blade.peak_flops, conv.peak_flops);
+  EXPECT_LT(blade.power_w, conv.power_w);
+  EXPECT_GT(blade.nodes_per_rack(), 2.5 * conv.nodes_per_rack());
+  // Blade wins on flops per watt.
+  EXPECT_GT(blade.flops_per_watt(), conv.flops_per_watt());
+}
+
+TEST_F(NodeDesignerTest, CmpOutgrowsConventional) {
+  const double r2002 = designer_.design(NodeArch::kCmpSoc, 2002.0).peak_flops /
+                       designer_.design(NodeArch::kConventional, 2002.0).peak_flops;
+  const double r2008 = designer_.design(NodeArch::kCmpSoc, 2008.0).peak_flops /
+                       designer_.design(NodeArch::kConventional, 2008.0).peak_flops;
+  EXPECT_GT(r2008, r2002 * 2.0);  // the extra cores-per-die exponential
+}
+
+TEST_F(NodeDesignerTest, PimHasBandwidthNotPeak) {
+  const NodeModel conv = designer_.design(NodeArch::kConventional, 2002.0);
+  const NodeModel pim = designer_.design(NodeArch::kPim, 2002.0);
+  EXPECT_GT(pim.mem_bw, 5.0 * conv.mem_bw);
+  EXPECT_LT(pim.peak_flops, conv.peak_flops);
+  EXPECT_LT(pim.ridge_point(), conv.ridge_point());
+}
+
+TEST_F(NodeDesignerTest, RooflineMemoryBoundRegion) {
+  const NodeModel n = designer_.design(NodeArch::kConventional, 2002.0);
+  // Far below the ridge point, attained = AI * BW.
+  const double ai = n.ridge_point() / 100.0;
+  EXPECT_DOUBLE_EQ(n.attained_flops(ai), ai * n.mem_bw);
+  EXPECT_LT(n.attained_flops(ai), n.peak_flops);
+}
+
+TEST_F(NodeDesignerTest, RooflineComputeBoundRegion) {
+  const NodeModel n = designer_.design(NodeArch::kConventional, 2002.0);
+  EXPECT_DOUBLE_EQ(n.attained_flops(n.ridge_point() * 100.0), n.peak_flops);
+}
+
+TEST_F(NodeDesignerTest, PimWinsMemoryBoundKernels) {
+  const NodeModel conv = designer_.design(NodeArch::kConventional, 2002.0);
+  const NodeModel pim = designer_.design(NodeArch::kPim, 2002.0);
+  const double ai = 0.1;  // memory-bound (e.g., sparse/stream kernels)
+  EXPECT_GT(pim.attained_flops(ai), conv.attained_flops(ai));
+}
+
+TEST_F(NodeDesignerTest, ConventionalWinsComputeBoundKernels2002) {
+  const NodeModel conv = designer_.design(NodeArch::kConventional, 2002.0);
+  const NodeModel pim = designer_.design(NodeArch::kPim, 2002.0);
+  EXPECT_GT(conv.attained_flops(64.0), pim.attained_flops(64.0));
+}
+
+TEST_F(NodeDesignerTest, KernelTimeIsMaxOfComputeAndMemory) {
+  NodeModel n;
+  n.peak_flops = 1e9;
+  n.mem_bw = 1e8;
+  // 1e9 flops (1 s of compute) + 1e9 bytes (10 s of memory) -> 10 s.
+  EXPECT_DOUBLE_EQ(n.kernel_time(1e9, 1e9), 10.0);
+  // Compute-dominated case.
+  EXPECT_DOUBLE_EQ(n.kernel_time(1e9, 1e6), 1.0);
+}
+
+TEST_F(NodeDesignerTest, KernelTimeRejectsNegativeWork) {
+  NodeModel n;
+  n.peak_flops = 1e9;
+  n.mem_bw = 1e8;
+  EXPECT_THROW((void)n.kernel_time(-1.0, 0.0), support::ContractViolation);
+}
+
+TEST(NodeArchNames, AllArchsHaveNames) {
+  for (NodeArch a : all_node_archs()) {
+    EXPECT_STRNE(to_string(a), "?");
+  }
+  EXPECT_EQ(all_node_archs().size(), 4u);
+}
+
+}  // namespace
+}  // namespace polaris::hw

@@ -1,0 +1,109 @@
+#include "polaris/hw/tech.hpp"
+
+#include <gtest/gtest.h>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::hw {
+namespace {
+
+TEST(TechnologyModel, AnchorYearReturnsAnchorValues) {
+  TechnologyModel m;
+  const TechPoint p = m.at(2002.0);
+  EXPECT_DOUBLE_EQ(p.flops_per_node, m.anchor().flops_per_node);
+  EXPECT_DOUBLE_EQ(p.node_cost_usd, m.anchor().node_cost_usd);
+  EXPECT_DOUBLE_EQ(p.nic_latency_s, m.anchor().nic_latency_s);
+}
+
+TEST(TechnologyModel, FlopsDoubleInRoughly18Months) {
+  TechnologyModel m;
+  const double f0 = m.at(2002.0).flops_per_node;
+  const double f = m.at(2003.5).flops_per_node;
+  EXPECT_NEAR(f / f0, 2.0, 0.1);
+}
+
+TEST(TechnologyModel, EightYearGrowthIsExponential) {
+  TechnologyModel m;
+  const TechPoint p2002 = m.at(2002.0);
+  const TechPoint p2010 = m.at(2010.0);
+  // 1.59^8 ~ 40.6x peak growth.
+  EXPECT_NEAR(p2010.flops_per_node / p2002.flops_per_node, 40.6, 2.0);
+  // Memory bandwidth grows far slower: the memory wall widens.
+  EXPECT_LT(p2010.mem_bw_per_node / p2002.mem_bw_per_node, 8.0);
+}
+
+TEST(TechnologyModel, MemoryWallWidens) {
+  TechnologyModel m;
+  EXPECT_GT(m.bytes_per_flop(2002.0), m.bytes_per_flop(2006.0));
+  EXPECT_GT(m.bytes_per_flop(2006.0), m.bytes_per_flop(2010.0));
+}
+
+TEST(TechnologyModel, NicLatencyShrinks) {
+  TechnologyModel m;
+  EXPECT_LT(m.at(2006.0).nic_latency_s, m.at(2002.0).nic_latency_s);
+}
+
+TEST(TechnologyModel, CostStaysFlatByDefault) {
+  TechnologyModel m;
+  EXPECT_DOUBLE_EQ(m.at(2010.0).node_cost_usd, m.at(2002.0).node_cost_usd);
+}
+
+TEST(TechnologyModel, RejectsBackwardProjection) {
+  TechnologyModel m;
+  EXPECT_THROW((void)m.at(2001.0), support::ContractViolation);
+}
+
+TEST(TechnologyModel, YearReachingIsMonotoneInTarget) {
+  TechnologyModel m;
+  const double y_tera = m.year_reaching(1e12, 1e6);
+  const double y_10tera = m.year_reaching(1e13, 1e6);
+  EXPECT_LE(y_tera, y_10tera);
+}
+
+TEST(TechnologyModel, MillionDollarTeraflopsAlreadyThereIn2002) {
+  // $1M at $2500/node buys 400 nodes x 9.6 Gflops ~ 3.8 Tflops.
+  TechnologyModel m;
+  EXPECT_DOUBLE_EQ(m.year_reaching(1e12, 1e6), 2002.0);
+}
+
+TEST(TechnologyModel, PetaflopsForMillionDollarsNotByDecadeEnd) {
+  // Conventional Moore-only nodes do NOT reach a $1M petaflops by 2010 —
+  // the talk's point that node architecture must change.
+  TechnologyModel m;
+  EXPECT_GT(m.year_reaching(1e15, 1e6, 2010.0), 2010.0);
+}
+
+TEST(TechnologyModel, YearReachingHonoursBudgetScaling) {
+  TechnologyModel m;
+  const double y_small = m.year_reaching(1e14, 1e6);
+  const double y_big = m.year_reaching(1e14, 1e8);
+  EXPECT_LT(y_big, y_small);
+}
+
+TEST(TechnologyModel, CustomRatesApply) {
+  TechPoint anchor;
+  anchor.year = 2002.0;
+  anchor.flops_per_node = 1e9;
+  anchor.mem_bytes_per_node = 1e9;
+  anchor.mem_bw_per_node = 1e9;
+  anchor.disk_bytes_per_node = 1e9;
+  anchor.node_cost_usd = 1000.0;
+  anchor.node_power_w = 100.0;
+  anchor.nic_bw_bytes = 1e8;
+  anchor.nic_latency_s = 1e-5;
+  GrowthRates r;
+  r.flops = 2.0;  // doubling annually
+  TechnologyModel m(anchor, r);
+  EXPECT_NEAR(m.at(2005.0).flops_per_node, 8e9, 1e3);
+}
+
+TEST(TechnologyModel, RejectsNonPositiveAnchor) {
+  TechPoint bad;
+  bad.flops_per_node = 0.0;
+  bad.node_cost_usd = 100.0;
+  EXPECT_THROW(TechnologyModel(bad, GrowthRates{}),
+               support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace polaris::hw

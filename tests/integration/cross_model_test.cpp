@@ -1,0 +1,166 @@
+// Cross-module integration: the independent timing/correctness paths must
+// agree with each other.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "polaris/coll/cost.hpp"
+#include "polaris/coll/local_exec.hpp"
+#include "polaris/fault/checkpoint.hpp"
+#include "polaris/hw/tech.hpp"
+#include "polaris/msg/protocol.hpp"
+#include "polaris/rt/runtime.hpp"
+#include "polaris/simrt/sim_world.hpp"
+#include "polaris/workload/apps.hpp"
+
+namespace polaris {
+namespace {
+
+using fabric::fabrics::infiniband_4x;
+using fabric::fabrics::myrinet2000;
+
+TEST(CrossModel, LogGpPredictionTracksSimulation) {
+  // The closed-form LogGP executor and the packet-level simulation are
+  // independent implementations; they should agree within a small factor
+  // on an uncongested crossbar.
+  const std::size_t p = 8;
+  for (coll::Algorithm a :
+       coll::algorithms_for(coll::Collective::kAllreduce, p)) {
+    const auto schedule = coll::allreduce(p, 1024, a);
+
+    simrt::SimWorld world(p, infiniband_4x());
+    world.launch([&](simrt::SimComm& c) -> des::Task<void> {
+      co_await c.run_schedule(schedule, 8);
+    });
+    const double sim = world.run();
+    const double predicted =
+        coll::predicted_seconds(schedule, world.loggp(), 8);
+    EXPECT_GT(sim / predicted, 0.4) << coll::to_string(a);
+    EXPECT_LT(sim / predicted, 3.0) << coll::to_string(a);
+  }
+}
+
+TEST(CrossModel, ProtocolCostModelTracksSimulatedOneWay) {
+  for (const char* name : {"gig-ethernet", "myrinet-2000", "infiniband-4x"}) {
+    const auto params = fabric::fabrics::by_name(name);
+    for (std::uint64_t bytes : {64ull, 65536ull, 1048576ull}) {
+      simrt::SimWorld world(2, params);
+      double t_recv = -1;
+      world.launch([&](simrt::SimComm& c) -> des::Task<void> {
+        if (c.rank() == 0) {
+          co_await c.send(1, 0, bytes);
+        } else {
+          co_await c.recv(0, 0);
+          t_recv = c.now();
+        }
+      });
+      world.run();
+      const auto proto = msg::choose_protocol(params, bytes);
+      const double model =
+          msg::cost_model(params, proto, bytes, /*switch_hops=*/1).total();
+      EXPECT_GT(t_recv / model, 0.5) << name << " " << bytes;
+      EXPECT_LT(t_recv / model, 2.0) << name << " " << bytes;
+    }
+  }
+}
+
+TEST(CrossModel, RealRuntimeMatchesLocalExecutorResults) {
+  // The threaded transport and the in-memory oracle execute the same
+  // schedule; the numerical results must be identical.
+  constexpr std::size_t kRanks = 4;
+  const auto schedule = coll::allreduce(kRanks, 100, coll::Algorithm::kRing);
+
+  std::vector<std::vector<double>> oracle(kRanks,
+                                          std::vector<double>(100));
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    for (std::size_t i = 0; i < 100; ++i) {
+      oracle[r][i] = static_cast<double>(r * 7 + i);
+    }
+  }
+  auto inputs = oracle;
+  coll::execute_locally(schedule, oracle, coll::ReduceOp::kSum);
+
+  rt::ShmWorld world(kRanks);
+  std::array<std::vector<double>, kRanks> rt_out;
+  world.run([&](rt::Communicator& c) {
+    std::vector<double> buf = inputs[static_cast<std::size_t>(c.rank())];
+    c.run_schedule(schedule, buf, coll::ReduceOp::kSum);
+    rt_out[static_cast<std::size_t>(c.rank())] = buf;
+  });
+
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    for (std::size_t i = 0; i < 100; ++i) {
+      ASSERT_DOUBLE_EQ(rt_out[r][i], oracle[r][i]) << r << "," << i;
+    }
+  }
+}
+
+TEST(CrossModel, FutureFabricSpeedsUpApplications) {
+  // Drive a FabricParams from the technology model's NIC curves: the same
+  // CG run on the projected 2008 commodity fabric must beat 2002.
+  hw::TechnologyModel tech;
+  auto fabric_at = [&](double year) {
+    auto p = fabric::fabrics::gig_ethernet();
+    const auto t0 = tech.at(2002.0);
+    const auto t = tech.at(year);
+    const double bw_scale = t.nic_bw_bytes / t0.nic_bw_bytes;
+    const double lat_scale = t.nic_latency_s / t0.nic_latency_s;
+    p.link_bw *= bw_scale;
+    p.o_send *= lat_scale;
+    p.o_recv *= lat_scale;
+    p.gap *= lat_scale;
+    p.switch_latency *= lat_scale;
+    return p;
+  };
+  workload::CgConfig cfg;
+  cfg.iterations = 10;
+  workload::AppResult r2002, r2008;
+  {
+    simrt::SimWorld w(16, fabric_at(2002.0));
+    w.launch(workload::make_cg(cfg, 16, &r2002));
+    w.run();
+  }
+  {
+    simrt::SimWorld w(16, fabric_at(2008.0));
+    w.launch(workload::make_cg(cfg, 16, &r2008));
+    w.run();
+  }
+  EXPECT_LT(r2008.elapsed, r2002.elapsed);
+  EXPECT_LT(r2008.comm_fraction, r2002.comm_fraction);
+}
+
+TEST(CrossModel, PimNodeShiftsAppBottleneck) {
+  // The same memory-bound stencil on a PIM node spends far less time in
+  // compute, so total time drops even on the same fabric.
+  workload::Halo2DConfig cfg;
+  cfg.iterations = 5;
+  cfg.nx = cfg.ny = 512;
+  hw::NodeDesigner designer;
+  workload::AppResult conv, pim;
+  {
+    simrt::SimWorld w(4, infiniband_4x(), nullptr,
+                      designer.design(hw::NodeArch::kConventional, 2002.0));
+    w.launch(workload::make_halo2d(cfg, 4, &conv));
+    w.run();
+  }
+  {
+    simrt::SimWorld w(4, infiniband_4x(), nullptr,
+                      designer.design(hw::NodeArch::kPim, 2002.0));
+    w.launch(workload::make_halo2d(cfg, 4, &pim));
+    w.run();
+  }
+  EXPECT_LT(pim.elapsed, conv.elapsed);
+}
+
+TEST(CrossModel, CheckpointEfficiencyConsistentWithSchedulerTimescales) {
+  // A 1024-node machine with 5-year node MTBF fails every ~43 h; a day-long
+  // job still completes near-optimally with Daly checkpointing.
+  const auto out = fault::wall_time_at_scale(
+      /*work=*/86400.0, /*node_mtbf=*/5.0 * 365 * 86400.0, 1024,
+      /*checkpoint_cost=*/300.0, /*restart_cost=*/120.0);
+  EXPECT_GT(out.system_mtbf_s, 86400.0);
+  EXPECT_LT(out.daly_wall, 1.2 * 86400.0);
+}
+
+}  // namespace
+}  // namespace polaris

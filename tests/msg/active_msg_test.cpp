@@ -1,0 +1,67 @@
+#include "polaris/msg/active_msg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::msg {
+namespace {
+
+TEST(ActiveMessageTable, RegisterReturnsDenseIds) {
+  ActiveMessageTable t;
+  const auto a = t.register_handler([](int, std::span<const std::byte>) {});
+  const auto b = t.register_handler([](int, std::span<const std::byte>) {});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(ActiveMessageTable, DispatchRunsHandlerWithArgs) {
+  ActiveMessageTable t;
+  int seen_src = -1;
+  std::vector<std::byte> seen;
+  const auto id = t.register_handler(
+      [&](int src, std::span<const std::byte> payload) {
+        seen_src = src;
+        seen.assign(payload.begin(), payload.end());
+      });
+  const std::byte data[3] = {std::byte{1}, std::byte{2}, std::byte{3}};
+  t.dispatch(id, 7, data);
+  EXPECT_EQ(seen_src, 7);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[2], std::byte{3});
+  EXPECT_EQ(t.dispatched(), 1u);
+}
+
+TEST(ActiveMessageTable, UnknownHandlerThrows) {
+  ActiveMessageTable t;
+  EXPECT_THROW(t.dispatch(0, 0, {}), support::ContractViolation);
+}
+
+TEST(ActiveMessageTable, HandlersKeepIndependentState) {
+  ActiveMessageTable t;
+  int a = 0, b = 0;
+  t.register_handler([&](int, std::span<const std::byte>) { ++a; });
+  t.register_handler([&](int, std::span<const std::byte>) { ++b; });
+  t.dispatch(0, 0, {});
+  t.dispatch(0, 0, {});
+  t.dispatch(1, 0, {});
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(ActiveMessageTable, EmptyPayloadAllowed) {
+  ActiveMessageTable t;
+  std::size_t len = 99;
+  t.register_handler([&](int, std::span<const std::byte> p) {
+    len = p.size();
+  });
+  t.dispatch(0, 3, {});
+  EXPECT_EQ(len, 0u);
+}
+
+}  // namespace
+}  // namespace polaris::msg

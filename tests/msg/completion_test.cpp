@@ -1,0 +1,40 @@
+#include "polaris/msg/completion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace polaris::msg {
+namespace {
+
+TEST(CompletionQueue, StartsEmpty) {
+  CompletionQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.poll().has_value());
+}
+
+TEST(CompletionQueue, FifoOrder) {
+  CompletionQueue q;
+  q.push({CompletionKind::kSend, 1, 0, 0, 8});
+  q.push({CompletionKind::kRecv, 2, 1, 5, 16});
+  auto a = q.poll();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->request, 1u);
+  EXPECT_EQ(a->kind, CompletionKind::kSend);
+  auto b = q.poll();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->request, 2u);
+  EXPECT_EQ(b->tag, 5);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CompletionQueue, DepthTracksContents) {
+  CompletionQueue q;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    q.push({CompletionKind::kAm, i, 0, 0, 0});
+  }
+  EXPECT_EQ(q.depth(), 10u);
+  q.poll();
+  EXPECT_EQ(q.depth(), 9u);
+}
+
+}  // namespace
+}  // namespace polaris::msg

@@ -1,0 +1,147 @@
+#include "polaris/msg/tag_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace polaris::msg {
+namespace {
+
+using Matcher = TagMatcher<int>;  // cookie = int for tests
+using Env = Envelope<int>;
+
+Env env(int src, int tag, std::uint64_t bytes = 8, int cookie = 0) {
+  return Env{src, tag, bytes, cookie};
+}
+
+TEST(TagMatcher, ExpectedMessageMatchesPostedRecv) {
+  Matcher m;
+  EXPECT_FALSE(m.post_recv(1, 3, 7).has_value());
+  const auto id = m.arrive(env(3, 7, 100, 42));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, 1u);
+  EXPECT_EQ(m.last_matched().cookie, 42);
+  EXPECT_EQ(m.last_matched().bytes, 100u);
+  EXPECT_EQ(m.posted_depth(), 0u);
+}
+
+TEST(TagMatcher, UnexpectedMessageMatchesLaterRecv) {
+  Matcher m;
+  EXPECT_FALSE(m.arrive(env(2, 5, 64, 9)).has_value());
+  EXPECT_EQ(m.unexpected_depth(), 1u);
+  const auto got = m.post_recv(1, 2, 5);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->cookie, 9);
+  EXPECT_EQ(m.unexpected_depth(), 0u);
+}
+
+TEST(TagMatcher, WildcardSourceMatchesAnySender) {
+  Matcher m;
+  m.post_recv(1, kAnySource, 7);
+  const auto id = m.arrive(env(12, 7));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, 1u);
+}
+
+TEST(TagMatcher, WildcardTagMatchesAnyTag) {
+  Matcher m;
+  m.post_recv(1, 3, kAnyTag);
+  EXPECT_TRUE(m.arrive(env(3, 99)).has_value());
+}
+
+TEST(TagMatcher, FullWildcardRecv) {
+  Matcher m;
+  m.post_recv(1, kAnySource, kAnyTag);
+  EXPECT_TRUE(m.arrive(env(8, 8)).has_value());
+}
+
+TEST(TagMatcher, MismatchedTagDoesNotMatch) {
+  Matcher m;
+  m.post_recv(1, 3, 7);
+  EXPECT_FALSE(m.arrive(env(3, 8)).has_value());
+  EXPECT_EQ(m.posted_depth(), 1u);
+  EXPECT_EQ(m.unexpected_depth(), 1u);
+}
+
+TEST(TagMatcher, MismatchedSourceDoesNotMatch) {
+  Matcher m;
+  m.post_recv(1, 3, 7);
+  EXPECT_FALSE(m.arrive(env(4, 7)).has_value());
+}
+
+TEST(TagMatcher, ArrivalMatchesOldestPostedRecv) {
+  // MPI ordering: the earliest matching posted receive wins.
+  Matcher m;
+  m.post_recv(1, kAnySource, 7);
+  m.post_recv(2, 3, 7);
+  const auto id = m.arrive(env(3, 7));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, 1u);
+}
+
+TEST(TagMatcher, RecvMatchesOldestUnexpected) {
+  Matcher m;
+  m.arrive(env(3, 7, 8, /*cookie=*/100));
+  m.arrive(env(3, 7, 8, /*cookie=*/200));
+  const auto got = m.post_recv(1, 3, 7);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->cookie, 100);  // FIFO: first arrival first
+  const auto got2 = m.post_recv(2, 3, 7);
+  ASSERT_TRUE(got2.has_value());
+  EXPECT_EQ(got2->cookie, 200);
+}
+
+TEST(TagMatcher, WildcardRecvSkipsNonMatchingUnexpected) {
+  Matcher m;
+  m.arrive(env(1, 5, 8, 100));
+  m.arrive(env(2, 7, 8, 200));
+  const auto got = m.post_recv(1, kAnySource, 7);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->cookie, 200);
+  EXPECT_EQ(m.unexpected_depth(), 1u);
+}
+
+TEST(TagMatcher, CancelRemovesPostedRecv) {
+  Matcher m;
+  m.post_recv(1, 3, 7);
+  EXPECT_TRUE(m.cancel_recv(1));
+  EXPECT_FALSE(m.arrive(env(3, 7)).has_value());
+  EXPECT_FALSE(m.cancel_recv(1));  // already gone
+}
+
+TEST(TagMatcher, ProbeDoesNotConsume) {
+  Matcher m;
+  m.arrive(env(3, 7, 128, 5));
+  const auto p1 = m.probe(3, 7);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->bytes, 128u);
+  EXPECT_EQ(m.unexpected_depth(), 1u);
+  EXPECT_FALSE(m.probe(4, 7).has_value());
+}
+
+TEST(TagMatcher, StatsTrackTraffic) {
+  Matcher m;
+  m.post_recv(1, 3, 7);
+  m.arrive(env(3, 7));
+  m.arrive(env(9, 9));
+  m.post_recv(2, 9, 9);
+  const auto& s = m.stats();
+  EXPECT_EQ(s.posted, 2u);
+  EXPECT_EQ(s.arrived, 2u);
+  EXPECT_EQ(s.matched_posted, 1u);
+  EXPECT_EQ(s.matched_unexpected, 1u);
+  EXPECT_EQ(s.max_unexpected_depth, 1u);
+}
+
+TEST(TagMatcher, ManyToOneOrderingPreserved) {
+  // Messages from one source with the same tag must match receives in
+  // arrival order (MPI non-overtaking).
+  Matcher m;
+  for (int i = 0; i < 100; ++i) m.arrive(env(1, 0, 8, i));
+  for (int i = 0; i < 100; ++i) {
+    const auto got = m.post_recv(static_cast<RecvId>(i), 1, 0);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->cookie, i);
+  }
+}
+
+}  // namespace
+}  // namespace polaris::msg

@@ -1,0 +1,84 @@
+#include "polaris/rt/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::rt {
+namespace {
+
+TEST(SpscRing, PushPopSingleThread) {
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  int v = 0;
+  EXPECT_TRUE(ring.try_pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(ring.try_pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(ring.try_pop(v));
+}
+
+TEST(SpscRing, FullRingRejectsPush) {
+  SpscRing<int> ring(4);  // 3 usable slots
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_TRUE(ring.try_push(3));
+  EXPECT_FALSE(ring.try_push(4));
+  int v;
+  EXPECT_TRUE(ring.try_pop(v));
+  EXPECT_TRUE(ring.try_push(4));  // space again
+}
+
+TEST(SpscRing, WrapsAround) {
+  SpscRing<int> ring(4);
+  int v;
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(ring.try_push(round));
+    EXPECT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, round);
+  }
+}
+
+TEST(SpscRing, CapacityMustBePowerOfTwo) {
+  EXPECT_THROW(SpscRing<int>(3), support::ContractViolation);
+  EXPECT_THROW(SpscRing<int>(0), support::ContractViolation);
+  EXPECT_THROW(SpscRing<int>(1), support::ContractViolation);
+}
+
+TEST(SpscRing, SizeApprox) {
+  SpscRing<int> ring(8);
+  EXPECT_EQ(ring.size_approx(), 0u);
+  ring.try_push(1);
+  ring.try_push(2);
+  EXPECT_EQ(ring.size_approx(), 2u);
+}
+
+TEST(SpscRing, CrossThreadTransferPreservesOrderAndData) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kCount = 200000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!ring.try_push(i)) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t v;
+  while (expected < kCount) {
+    if (ring.try_pop(v)) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace polaris::rt

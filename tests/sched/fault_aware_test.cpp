@@ -1,0 +1,110 @@
+#include "polaris/sched/fault_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include "polaris/sched/trace.hpp"
+#include "polaris/support/check.hpp"
+
+namespace polaris::sched {
+namespace {
+
+std::vector<Job> small_trace(std::size_t jobs, double interarrival,
+                             std::uint64_t seed) {
+  TraceConfig cfg;
+  cfg.jobs = jobs;
+  cfg.max_width_exp = 5;  // <= 32 nodes
+  cfg.mean_interarrival = interarrival;
+  cfg.min_runtime = 600.0;
+  cfg.max_runtime = 4.0 * 3600.0;
+  return generate_trace(cfg, seed);
+}
+
+TEST(FaultAware, NoFailuresMatchesPlainScheduling) {
+  // With an astronomically reliable machine the fault-aware run reduces
+  // to EASY backfill: zero kills, full useful work.
+  auto jobs = small_trace(300, 400.0, 1);
+  FaultAwareConfig cfg;
+  cfg.nodes = 64;
+  cfg.node_mtbf = 1e15;
+  const auto m = run_fault_aware(jobs, cfg);
+  EXPECT_EQ(m.job_kills, 0u);
+  EXPECT_EQ(m.jobs, 300u);
+  double expected_work = 0.0;
+  for (const auto& j : jobs) expected_work += j.node_seconds();
+  EXPECT_NEAR(m.useful_node_seconds, expected_work, 1.0);
+  EXPECT_NEAR(m.wasted_node_seconds, 0.0, 1.0);
+}
+
+TEST(FaultAware, AllJobsEventuallyComplete) {
+  auto jobs = small_trace(200, 500.0, 2);
+  FaultAwareConfig cfg;
+  cfg.nodes = 64;
+  cfg.node_mtbf = 30.0 * 86400.0;  // aggressive: monthly node failures
+  const auto m = run_fault_aware(jobs, cfg);
+  EXPECT_EQ(m.jobs, 200u);
+  EXPECT_GT(m.failures, 0u);
+  EXPECT_GT(m.goodput, 0.0);
+  EXPECT_LE(m.goodput, 1.0);
+}
+
+TEST(FaultAware, FailuresCreateWaste) {
+  auto jobs = small_trace(200, 500.0, 3);
+  FaultAwareConfig cfg;
+  cfg.nodes = 64;
+  cfg.node_mtbf = 20.0 * 86400.0;
+  const auto m = run_fault_aware(jobs, cfg);
+  EXPECT_GT(m.job_kills, 0u);
+  EXPECT_GT(m.wasted_node_seconds, 0.0);
+  EXPECT_LT(m.goodput, m.utilization);
+}
+
+TEST(FaultAware, CheckpointingImprovesGoodputUnderHeavyFailures) {
+  // Long jobs + failing nodes: restart-from-scratch hemorrhages work;
+  // Daly checkpointing recovers most of it.
+  TraceConfig tcfg;
+  tcfg.jobs = 120;
+  tcfg.max_width_exp = 5;
+  tcfg.mean_interarrival = 1500.0;
+  tcfg.min_runtime = 6.0 * 3600.0;
+  tcfg.max_runtime = 24.0 * 3600.0;
+  const auto jobs = generate_trace(tcfg, 4);
+
+  FaultAwareConfig cfg;
+  cfg.nodes = 64;
+  cfg.node_mtbf = 60.0 * 86400.0;  // ~1 failure/day across the machine
+
+  auto naked = cfg;
+  naked.checkpointing = false;
+  auto ckpt = cfg;
+  ckpt.checkpointing = true;
+  const auto m_naked = run_fault_aware(jobs, naked);
+  const auto m_ckpt = run_fault_aware(jobs, ckpt);
+
+  EXPECT_GT(m_naked.job_kills, 0u);
+  EXPECT_GT(m_ckpt.goodput, m_naked.goodput);
+  EXPECT_LT(m_ckpt.wasted_node_seconds, m_naked.wasted_node_seconds);
+}
+
+TEST(FaultAware, DeterministicForSeed) {
+  auto jobs = small_trace(100, 600.0, 5);
+  FaultAwareConfig cfg;
+  cfg.nodes = 32;
+  cfg.node_mtbf = 10.0 * 86400.0;
+  const auto a = run_fault_aware(jobs, cfg);
+  const auto b = run_fault_aware(jobs, cfg);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.job_kills, b.job_kills);
+  EXPECT_DOUBLE_EQ(a.goodput, b.goodput);
+}
+
+TEST(FaultAware, RejectsOversizedJob) {
+  std::vector<Job> jobs(1);
+  jobs[0].width = 100;
+  jobs[0].runtime = jobs[0].estimate = 10;
+  FaultAwareConfig cfg;
+  cfg.nodes = 4;
+  EXPECT_THROW(run_fault_aware(jobs, cfg), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace polaris::sched

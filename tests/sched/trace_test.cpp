@@ -1,0 +1,96 @@
+#include "polaris/sched/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::sched {
+namespace {
+
+TEST(TraceGenerator, DeterministicForSeed) {
+  TraceConfig cfg;
+  cfg.jobs = 100;
+  const auto a = generate_trace(cfg, 42);
+  const auto b = generate_trace(cfg, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit, b[i].submit);
+    EXPECT_EQ(a[i].width, b[i].width);
+    EXPECT_EQ(a[i].runtime, b[i].runtime);
+  }
+}
+
+TEST(TraceGenerator, ArrivalsAreMonotone) {
+  const auto jobs = generate_trace({}, 1);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].submit, jobs[i - 1].submit);
+  }
+}
+
+TEST(TraceGenerator, FieldsWithinConfiguredRanges) {
+  TraceConfig cfg;
+  cfg.jobs = 5000;
+  cfg.min_width_exp = 1;
+  cfg.max_width_exp = 5;
+  cfg.min_runtime = 10.0;
+  cfg.max_runtime = 1000.0;
+  cfg.max_overestimate = 3.0;
+  const auto jobs = generate_trace(cfg, 7);
+  for (const Job& j : jobs) {
+    EXPECT_GE(j.width, 1u);
+    EXPECT_LE(j.width, 32u);
+    EXPECT_GE(j.runtime, 10.0 - 1e-9);
+    EXPECT_LE(j.runtime, 1000.0 + 1e-6);
+    EXPECT_GE(j.estimate, j.runtime - 1e-9);
+    EXPECT_LE(j.estimate, 3.0 * j.runtime + 1e-6);
+  }
+}
+
+TEST(TraceGenerator, MeanInterarrivalRoughlyMatches) {
+  TraceConfig cfg;
+  cfg.jobs = 20000;
+  cfg.mean_interarrival = 30.0;
+  const auto jobs = generate_trace(cfg, 3);
+  const double span = jobs.back().submit - jobs.front().submit;
+  EXPECT_NEAR(span / static_cast<double>(cfg.jobs - 1), 30.0, 1.5);
+}
+
+TEST(TraceGenerator, PowerOfTwoBias) {
+  TraceConfig cfg;
+  cfg.jobs = 10000;
+  cfg.p_power_of_two = 1.0;
+  const auto jobs = generate_trace(cfg, 9);
+  for (const Job& j : jobs) {
+    EXPECT_EQ(j.width & (j.width - 1), 0u) << j.width;
+  }
+}
+
+TEST(OfferedLoad, ScalesInverselyWithNodes) {
+  const auto jobs = generate_trace({}, 5);
+  const double l128 = offered_load(jobs, 128);
+  const double l256 = offered_load(jobs, 256);
+  EXPECT_NEAR(l128 / l256, 2.0, 1e-9);
+}
+
+TEST(JobMetrics, WaitAndSlowdown) {
+  Job j;
+  j.submit = 100.0;
+  j.runtime = 50.0;
+  j.start = 130.0;
+  j.finish = 180.0;
+  EXPECT_DOUBLE_EQ(j.wait(), 30.0);
+  EXPECT_DOUBLE_EQ(j.bounded_slowdown(), 80.0 / 50.0);
+}
+
+TEST(JobMetrics, BoundedSlowdownUsesTenSecondFloor) {
+  Job j;
+  j.submit = 0.0;
+  j.runtime = 1.0;  // tiny job
+  j.start = 9.0;
+  j.finish = 10.0;
+  // (9 + 1) / max(1, 10) = 1.0
+  EXPECT_DOUBLE_EQ(j.bounded_slowdown(), 1.0);
+}
+
+}  // namespace
+}  // namespace polaris::sched

@@ -1,0 +1,50 @@
+#include "polaris/support/function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace polaris::support {
+namespace {
+
+TEST(UniqueFunction, InvokesLambda) {
+  UniqueFunction<int(int)> f = [](int x) { return x * 2; };
+  EXPECT_EQ(f(21), 42);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(7);
+  UniqueFunction<int()> f = [p = std::move(p)] { return *p; };
+  EXPECT_EQ(f(), 7);
+}
+
+TEST(UniqueFunction, MoveTransfersOwnership) {
+  UniqueFunction<std::string()> f = [] { return std::string("hello"); };
+  UniqueFunction<std::string()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(static_cast<bool>(g));
+  EXPECT_EQ(g(), "hello");
+}
+
+TEST(UniqueFunction, DefaultConstructedIsEmpty) {
+  UniqueFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, MutatesCapturedState) {
+  int calls = 0;
+  UniqueFunction<void()> f = [&calls] { ++calls; };
+  f();
+  f();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(UniqueFunction, ForwardsArguments) {
+  UniqueFunction<std::string(std::string, int)> f =
+      [](std::string s, int n) { return s + ":" + std::to_string(n); };
+  EXPECT_EQ(f("x", 3), "x:3");
+}
+
+}  // namespace
+}  // namespace polaris::support

@@ -1,0 +1,56 @@
+#include "polaris/support/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace polaris::support {
+namespace {
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1024), "1 KiB");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(4 * MiB), "4 MiB");
+  EXPECT_EQ(format_bytes(3 * GiB), "3 GiB");
+}
+
+TEST(Units, FormatTimePicksUnit) {
+  EXPECT_EQ(format_time(0.0), "0 s");
+  EXPECT_EQ(format_time(5e-9), "5 ns");
+  EXPECT_EQ(format_time(12e-6), "12 us");
+  EXPECT_EQ(format_time(3.5e-3), "3.5 ms");
+  EXPECT_EQ(format_time(2.0), "2 s");
+  EXPECT_EQ(format_time(600.0), "10 min");
+  EXPECT_EQ(format_time(7200.0), "2 h");
+}
+
+TEST(Units, FormatRate) {
+  EXPECT_EQ(format_rate(500.0), "500 B/s");
+  EXPECT_EQ(format_rate(1.25e9), "1.25 GB/s");
+}
+
+TEST(Units, FormatFlops) {
+  EXPECT_EQ(format_flops(2e9), "2 Gflops");
+  EXPECT_EQ(format_flops(1.5e15), "1.5 Pflops");
+}
+
+TEST(Units, FormatDollars) {
+  EXPECT_EQ(format_dollars(950.0), "$950");
+  EXPECT_EQ(format_dollars(2500.0), "$2.5k");
+  EXPECT_EQ(format_dollars(1.2e6), "$1.2M");
+  EXPECT_EQ(format_dollars(3.4e9), "$3.4B");
+}
+
+TEST(Units, FormatWatts) {
+  EXPECT_EQ(format_watts(850.0), "850 W");
+  EXPECT_EQ(format_watts(1.2e6), "1.2 MW");
+}
+
+TEST(Units, Constants) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+}
+
+}  // namespace
+}  // namespace polaris::support

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_fault_aware.dir/bench_f10_fault_aware.cpp.o"
+  "CMakeFiles/bench_f10_fault_aware.dir/bench_f10_fault_aware.cpp.o.d"
+  "bench_f10_fault_aware"
+  "bench_f10_fault_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_fault_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

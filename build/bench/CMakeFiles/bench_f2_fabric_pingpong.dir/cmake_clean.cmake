@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_fabric_pingpong.dir/bench_f2_fabric_pingpong.cpp.o"
+  "CMakeFiles/bench_f2_fabric_pingpong.dir/bench_f2_fabric_pingpong.cpp.o.d"
+  "bench_f2_fabric_pingpong"
+  "bench_f2_fabric_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_fabric_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f3_loggp.cpp" "bench/CMakeFiles/bench_f3_loggp.dir/bench_f3_loggp.cpp.o" "gcc" "bench/CMakeFiles/bench_f3_loggp.dir/bench_f3_loggp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/msg/CMakeFiles/polaris_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/polaris_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/polaris_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

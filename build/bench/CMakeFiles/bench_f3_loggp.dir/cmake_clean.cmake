@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_loggp.dir/bench_f3_loggp.cpp.o"
+  "CMakeFiles/bench_f3_loggp.dir/bench_f3_loggp.cpp.o.d"
+  "bench_f3_loggp"
+  "bench_f3_loggp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_loggp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_collectives.dir/bench_f4_collectives.cpp.o"
+  "CMakeFiles/bench_f4_collectives.dir/bench_f4_collectives.cpp.o.d"
+  "bench_f4_collectives"
+  "bench_f4_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_node_arch.dir/bench_f5_node_arch.cpp.o"
+  "CMakeFiles/bench_f5_node_arch.dir/bench_f5_node_arch.cpp.o.d"
+  "bench_f5_node_arch"
+  "bench_f5_node_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_node_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

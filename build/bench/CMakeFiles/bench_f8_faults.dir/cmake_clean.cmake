@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_faults.dir/bench_f8_faults.cpp.o"
+  "CMakeFiles/bench_f8_faults.dir/bench_f8_faults.cpp.o.d"
+  "bench_f8_faults"
+  "bench_f8_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

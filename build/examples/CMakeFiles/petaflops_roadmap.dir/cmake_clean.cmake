@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petaflops_roadmap.dir/petaflops_roadmap.cpp.o"
+  "CMakeFiles/petaflops_roadmap.dir/petaflops_roadmap.cpp.o.d"
+  "petaflops_roadmap"
+  "petaflops_roadmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petaflops_roadmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/polaris_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/simrt/CMakeFiles/polaris_simrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/polaris_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/polaris_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/polaris_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/polaris_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/polaris_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/algorithms.cpp" "src/coll/CMakeFiles/polaris_coll.dir/algorithms.cpp.o" "gcc" "src/coll/CMakeFiles/polaris_coll.dir/algorithms.cpp.o.d"
+  "/root/repo/src/coll/cost.cpp" "src/coll/CMakeFiles/polaris_coll.dir/cost.cpp.o" "gcc" "src/coll/CMakeFiles/polaris_coll.dir/cost.cpp.o.d"
+  "/root/repo/src/coll/local_exec.cpp" "src/coll/CMakeFiles/polaris_coll.dir/local_exec.cpp.o" "gcc" "src/coll/CMakeFiles/polaris_coll.dir/local_exec.cpp.o.d"
+  "/root/repo/src/coll/schedule.cpp" "src/coll/CMakeFiles/polaris_coll.dir/schedule.cpp.o" "gcc" "src/coll/CMakeFiles/polaris_coll.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/polaris_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/polaris_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_coll.dir/algorithms.cpp.o"
+  "CMakeFiles/polaris_coll.dir/algorithms.cpp.o.d"
+  "CMakeFiles/polaris_coll.dir/cost.cpp.o"
+  "CMakeFiles/polaris_coll.dir/cost.cpp.o.d"
+  "CMakeFiles/polaris_coll.dir/local_exec.cpp.o"
+  "CMakeFiles/polaris_coll.dir/local_exec.cpp.o.d"
+  "CMakeFiles/polaris_coll.dir/schedule.cpp.o"
+  "CMakeFiles/polaris_coll.dir/schedule.cpp.o.d"
+  "libpolaris_coll.a"
+  "libpolaris_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_des.dir/engine.cpp.o"
+  "CMakeFiles/polaris_des.dir/engine.cpp.o.d"
+  "libpolaris_des.a"
+  "libpolaris_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

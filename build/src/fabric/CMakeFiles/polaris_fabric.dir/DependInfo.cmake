@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/loggp.cpp" "src/fabric/CMakeFiles/polaris_fabric.dir/loggp.cpp.o" "gcc" "src/fabric/CMakeFiles/polaris_fabric.dir/loggp.cpp.o.d"
+  "/root/repo/src/fabric/network.cpp" "src/fabric/CMakeFiles/polaris_fabric.dir/network.cpp.o" "gcc" "src/fabric/CMakeFiles/polaris_fabric.dir/network.cpp.o.d"
+  "/root/repo/src/fabric/params.cpp" "src/fabric/CMakeFiles/polaris_fabric.dir/params.cpp.o" "gcc" "src/fabric/CMakeFiles/polaris_fabric.dir/params.cpp.o.d"
+  "/root/repo/src/fabric/topology.cpp" "src/fabric/CMakeFiles/polaris_fabric.dir/topology.cpp.o" "gcc" "src/fabric/CMakeFiles/polaris_fabric.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/polaris_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

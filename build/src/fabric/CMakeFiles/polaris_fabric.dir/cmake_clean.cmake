@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_fabric.dir/loggp.cpp.o"
+  "CMakeFiles/polaris_fabric.dir/loggp.cpp.o.d"
+  "CMakeFiles/polaris_fabric.dir/network.cpp.o"
+  "CMakeFiles/polaris_fabric.dir/network.cpp.o.d"
+  "CMakeFiles/polaris_fabric.dir/params.cpp.o"
+  "CMakeFiles/polaris_fabric.dir/params.cpp.o.d"
+  "CMakeFiles/polaris_fabric.dir/topology.cpp.o"
+  "CMakeFiles/polaris_fabric.dir/topology.cpp.o.d"
+  "libpolaris_fabric.a"
+  "libpolaris_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

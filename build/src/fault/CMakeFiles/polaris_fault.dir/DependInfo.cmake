@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/checkpoint.cpp" "src/fault/CMakeFiles/polaris_fault.dir/checkpoint.cpp.o" "gcc" "src/fault/CMakeFiles/polaris_fault.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/fault/detector.cpp" "src/fault/CMakeFiles/polaris_fault.dir/detector.cpp.o" "gcc" "src/fault/CMakeFiles/polaris_fault.dir/detector.cpp.o.d"
+  "/root/repo/src/fault/failure.cpp" "src/fault/CMakeFiles/polaris_fault.dir/failure.cpp.o" "gcc" "src/fault/CMakeFiles/polaris_fault.dir/failure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

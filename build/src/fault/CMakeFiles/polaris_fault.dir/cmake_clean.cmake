@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_fault.dir/checkpoint.cpp.o"
+  "CMakeFiles/polaris_fault.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/polaris_fault.dir/detector.cpp.o"
+  "CMakeFiles/polaris_fault.dir/detector.cpp.o.d"
+  "CMakeFiles/polaris_fault.dir/failure.cpp.o"
+  "CMakeFiles/polaris_fault.dir/failure.cpp.o.d"
+  "libpolaris_fault.a"
+  "libpolaris_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_hw.dir/cluster.cpp.o"
+  "CMakeFiles/polaris_hw.dir/cluster.cpp.o.d"
+  "CMakeFiles/polaris_hw.dir/node.cpp.o"
+  "CMakeFiles/polaris_hw.dir/node.cpp.o.d"
+  "CMakeFiles/polaris_hw.dir/tech.cpp.o"
+  "CMakeFiles/polaris_hw.dir/tech.cpp.o.d"
+  "libpolaris_hw.a"
+  "libpolaris_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

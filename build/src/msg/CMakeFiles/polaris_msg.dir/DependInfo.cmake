@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/active_msg.cpp" "src/msg/CMakeFiles/polaris_msg.dir/active_msg.cpp.o" "gcc" "src/msg/CMakeFiles/polaris_msg.dir/active_msg.cpp.o.d"
+  "/root/repo/src/msg/protocol.cpp" "src/msg/CMakeFiles/polaris_msg.dir/protocol.cpp.o" "gcc" "src/msg/CMakeFiles/polaris_msg.dir/protocol.cpp.o.d"
+  "/root/repo/src/msg/reg_cache.cpp" "src/msg/CMakeFiles/polaris_msg.dir/reg_cache.cpp.o" "gcc" "src/msg/CMakeFiles/polaris_msg.dir/reg_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/polaris_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/polaris_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_msg.dir/active_msg.cpp.o"
+  "CMakeFiles/polaris_msg.dir/active_msg.cpp.o.d"
+  "CMakeFiles/polaris_msg.dir/protocol.cpp.o"
+  "CMakeFiles/polaris_msg.dir/protocol.cpp.o.d"
+  "CMakeFiles/polaris_msg.dir/reg_cache.cpp.o"
+  "CMakeFiles/polaris_msg.dir/reg_cache.cpp.o.d"
+  "libpolaris_msg.a"
+  "libpolaris_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

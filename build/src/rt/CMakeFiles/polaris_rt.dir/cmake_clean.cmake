@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_rt.dir/runtime.cpp.o"
+  "CMakeFiles/polaris_rt.dir/runtime.cpp.o.d"
+  "libpolaris_rt.a"
+  "libpolaris_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

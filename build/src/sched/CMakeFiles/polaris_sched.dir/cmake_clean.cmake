@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_sched.dir/fault_aware.cpp.o"
+  "CMakeFiles/polaris_sched.dir/fault_aware.cpp.o.d"
+  "CMakeFiles/polaris_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/polaris_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/polaris_sched.dir/trace.cpp.o"
+  "CMakeFiles/polaris_sched.dir/trace.cpp.o.d"
+  "libpolaris_sched.a"
+  "libpolaris_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_simrt.dir/sim_world.cpp.o"
+  "CMakeFiles/polaris_simrt.dir/sim_world.cpp.o.d"
+  "libpolaris_simrt.a"
+  "libpolaris_simrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_simrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_support.dir/rng.cpp.o"
+  "CMakeFiles/polaris_support.dir/rng.cpp.o.d"
+  "CMakeFiles/polaris_support.dir/stats.cpp.o"
+  "CMakeFiles/polaris_support.dir/stats.cpp.o.d"
+  "CMakeFiles/polaris_support.dir/table.cpp.o"
+  "CMakeFiles/polaris_support.dir/table.cpp.o.d"
+  "CMakeFiles/polaris_support.dir/units.cpp.o"
+  "CMakeFiles/polaris_support.dir/units.cpp.o.d"
+  "libpolaris_support.a"
+  "libpolaris_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

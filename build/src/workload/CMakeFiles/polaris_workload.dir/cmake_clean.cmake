@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_workload.dir/apps.cpp.o"
+  "CMakeFiles/polaris_workload.dir/apps.cpp.o.d"
+  "libpolaris_workload.a"
+  "libpolaris_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

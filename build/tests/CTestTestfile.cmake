@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("des")
+subdirs("hw")
+subdirs("fabric")
+subdirs("msg")
+subdirs("coll")
+subdirs("rt")
+subdirs("simrt")
+subdirs("sched")
+subdirs("fault")
+subdirs("workload")
+subdirs("integration")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coll/correctness_test.cpp" "tests/coll/CMakeFiles/test_coll.dir/correctness_test.cpp.o" "gcc" "tests/coll/CMakeFiles/test_coll.dir/correctness_test.cpp.o.d"
+  "/root/repo/tests/coll/cost_test.cpp" "tests/coll/CMakeFiles/test_coll.dir/cost_test.cpp.o" "gcc" "tests/coll/CMakeFiles/test_coll.dir/cost_test.cpp.o.d"
+  "/root/repo/tests/coll/schedule_test.cpp" "tests/coll/CMakeFiles/test_coll.dir/schedule_test.cpp.o" "gcc" "tests/coll/CMakeFiles/test_coll.dir/schedule_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coll/CMakeFiles/polaris_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/polaris_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/polaris_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

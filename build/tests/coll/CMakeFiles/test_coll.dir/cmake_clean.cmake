@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll.dir/correctness_test.cpp.o"
+  "CMakeFiles/test_coll.dir/correctness_test.cpp.o.d"
+  "CMakeFiles/test_coll.dir/cost_test.cpp.o"
+  "CMakeFiles/test_coll.dir/cost_test.cpp.o.d"
+  "CMakeFiles/test_coll.dir/schedule_test.cpp.o"
+  "CMakeFiles/test_coll.dir/schedule_test.cpp.o.d"
+  "test_coll"
+  "test_coll.pdb"
+  "test_coll[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

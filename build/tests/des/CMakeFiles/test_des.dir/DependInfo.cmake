@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/des/engine_test.cpp" "tests/des/CMakeFiles/test_des.dir/engine_test.cpp.o" "gcc" "tests/des/CMakeFiles/test_des.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/des/sync_test.cpp" "tests/des/CMakeFiles/test_des.dir/sync_test.cpp.o" "gcc" "tests/des/CMakeFiles/test_des.dir/sync_test.cpp.o.d"
+  "/root/repo/tests/des/task_test.cpp" "tests/des/CMakeFiles/test_des.dir/task_test.cpp.o" "gcc" "tests/des/CMakeFiles/test_des.dir/task_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/polaris_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

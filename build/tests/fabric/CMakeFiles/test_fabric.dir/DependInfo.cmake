@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fabric/loggp_test.cpp" "tests/fabric/CMakeFiles/test_fabric.dir/loggp_test.cpp.o" "gcc" "tests/fabric/CMakeFiles/test_fabric.dir/loggp_test.cpp.o.d"
+  "/root/repo/tests/fabric/network_test.cpp" "tests/fabric/CMakeFiles/test_fabric.dir/network_test.cpp.o" "gcc" "tests/fabric/CMakeFiles/test_fabric.dir/network_test.cpp.o.d"
+  "/root/repo/tests/fabric/params_test.cpp" "tests/fabric/CMakeFiles/test_fabric.dir/params_test.cpp.o" "gcc" "tests/fabric/CMakeFiles/test_fabric.dir/params_test.cpp.o.d"
+  "/root/repo/tests/fabric/topology_test.cpp" "tests/fabric/CMakeFiles/test_fabric.dir/topology_test.cpp.o" "gcc" "tests/fabric/CMakeFiles/test_fabric.dir/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/polaris_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/polaris_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

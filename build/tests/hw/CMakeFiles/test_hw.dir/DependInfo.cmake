@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/cluster_test.cpp" "tests/hw/CMakeFiles/test_hw.dir/cluster_test.cpp.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/cluster_test.cpp.o.d"
+  "/root/repo/tests/hw/node_test.cpp" "tests/hw/CMakeFiles/test_hw.dir/node_test.cpp.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/node_test.cpp.o.d"
+  "/root/repo/tests/hw/tech_test.cpp" "tests/hw/CMakeFiles/test_hw.dir/tech_test.cpp.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/tech_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/polaris_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/msg/active_msg_test.cpp" "tests/msg/CMakeFiles/test_msg.dir/active_msg_test.cpp.o" "gcc" "tests/msg/CMakeFiles/test_msg.dir/active_msg_test.cpp.o.d"
+  "/root/repo/tests/msg/completion_test.cpp" "tests/msg/CMakeFiles/test_msg.dir/completion_test.cpp.o" "gcc" "tests/msg/CMakeFiles/test_msg.dir/completion_test.cpp.o.d"
+  "/root/repo/tests/msg/protocol_test.cpp" "tests/msg/CMakeFiles/test_msg.dir/protocol_test.cpp.o" "gcc" "tests/msg/CMakeFiles/test_msg.dir/protocol_test.cpp.o.d"
+  "/root/repo/tests/msg/reg_cache_test.cpp" "tests/msg/CMakeFiles/test_msg.dir/reg_cache_test.cpp.o" "gcc" "tests/msg/CMakeFiles/test_msg.dir/reg_cache_test.cpp.o.d"
+  "/root/repo/tests/msg/tag_matcher_test.cpp" "tests/msg/CMakeFiles/test_msg.dir/tag_matcher_test.cpp.o" "gcc" "tests/msg/CMakeFiles/test_msg.dir/tag_matcher_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/msg/CMakeFiles/polaris_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/polaris_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/polaris_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

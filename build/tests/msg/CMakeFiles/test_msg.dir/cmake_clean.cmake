@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msg.dir/active_msg_test.cpp.o"
+  "CMakeFiles/test_msg.dir/active_msg_test.cpp.o.d"
+  "CMakeFiles/test_msg.dir/completion_test.cpp.o"
+  "CMakeFiles/test_msg.dir/completion_test.cpp.o.d"
+  "CMakeFiles/test_msg.dir/protocol_test.cpp.o"
+  "CMakeFiles/test_msg.dir/protocol_test.cpp.o.d"
+  "CMakeFiles/test_msg.dir/reg_cache_test.cpp.o"
+  "CMakeFiles/test_msg.dir/reg_cache_test.cpp.o.d"
+  "CMakeFiles/test_msg.dir/tag_matcher_test.cpp.o"
+  "CMakeFiles/test_msg.dir/tag_matcher_test.cpp.o.d"
+  "test_msg"
+  "test_msg.pdb"
+  "test_msg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt.dir/collectives_test.cpp.o"
+  "CMakeFiles/test_rt.dir/collectives_test.cpp.o.d"
+  "CMakeFiles/test_rt.dir/runtime_test.cpp.o"
+  "CMakeFiles/test_rt.dir/runtime_test.cpp.o.d"
+  "CMakeFiles/test_rt.dir/spsc_ring_test.cpp.o"
+  "CMakeFiles/test_rt.dir/spsc_ring_test.cpp.o.d"
+  "test_rt"
+  "test_rt.pdb"
+  "test_rt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,5 +1,7 @@
 #include "polaris/des/engine.hpp"
 
+#include <algorithm>
+
 #include "polaris/des/task.hpp"
 #include "polaris/support/check.hpp"
 
@@ -9,6 +11,8 @@ EventId Engine::schedule_at(SimTime t, Callback cb) {
   POLARIS_CHECK_MSG(t >= now_, "cannot schedule into the simulated past");
   const std::uint64_t seq = next_seq_++;
   queue_.push(Event{t, seq, std::move(cb)});
+  ++stats_.scheduled;
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
   return EventId{seq};
 }
 
@@ -19,6 +23,7 @@ bool Engine::step() {
     queue_.pop();
     if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
       cancelled_.erase(it);
+      ++stats_.cancelled_skipped;
       continue;
     }
     now_ = ev.t;

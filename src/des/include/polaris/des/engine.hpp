@@ -26,6 +26,15 @@ struct EventId {
   std::uint64_t seq = 0;
 };
 
+/// Always-on engine instrumentation: a few integer ops per event, read by
+/// the observability layer (polaris::obs) after or during a run.
+struct EngineStats {
+  std::uint64_t scheduled = 0;          ///< events ever enqueued
+  std::uint64_t executed = 0;           ///< events run to completion
+  std::uint64_t cancelled_skipped = 0;  ///< cancelled events skipped at pop
+  std::size_t max_queue_depth = 0;      ///< event-queue high watermark
+};
+
 class Engine {
  public:
   using Callback = support::UniqueFunction<void()>;
@@ -70,6 +79,16 @@ class Engine {
   /// Total events executed since construction.
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Scheduling/queue statistics since construction.
+  EngineStats stats() const {
+    EngineStats s = stats_;
+    s.executed = executed_;
+    return s;
+  }
+
+  /// Current event-queue depth (includes cancelled-but-not-reaped events).
+  std::size_t queue_depth() const { return queue_.size(); }
+
   /// True when no events remain queued.  A queue holding only cancelled
   /// events reports non-empty until run() skips past them.
   bool empty() const { return queue_.empty(); }
@@ -103,6 +122,7 @@ class Engine {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  EngineStats stats_;  ///< executed lives in executed_; see stats()
   std::size_t live_processes_ = 0;
   bool stopped_ = false;
   std::exception_ptr error_;

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <list>
 #include <memory>
 #include <unordered_map>
@@ -30,6 +31,7 @@
 #include "polaris/des/task.hpp"
 #include "polaris/fabric/params.hpp"
 #include "polaris/fabric/topology.hpp"
+#include "polaris/obs/trace.hpp"
 
 namespace polaris::fabric {
 
@@ -70,6 +72,12 @@ class SimNetwork {
   des::Engine& engine() { return engine_; }
   const NetworkStats& stats() const { return stats_; }
 
+  /// Attaches a tracer: every packet's serialization occupancy becomes a
+  /// span on that link's track (process "links", created lazily so quiet
+  /// links stay invisible), and circuit establishment emits instant
+  /// events.  Untraced runs pay one null-pointer branch per packet hop.
+  void attach_tracer(obs::Tracer& tracer);
+
   /// Busy seconds accumulated on one link (serialization occupancy).
   double link_busy_seconds(LinkId id) const;
 
@@ -88,12 +96,20 @@ class SimNetwork {
     return des::from_seconds(static_cast<double>(bytes) / params_.link_bw);
   }
 
+  /// Lazily-created trace track of a link (only called when tracer_ set).
+  obs::TrackId link_track(LinkId id);
+
   des::Engine& engine_;
   FabricParams params_;
   const Topology& topo_;
   std::vector<std::unique_ptr<des::Semaphore>> links_;
   std::vector<double> link_busy_s_;
   NetworkStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  static constexpr obs::TrackId kNoTrack =
+      std::numeric_limits<obs::TrackId>::max();
+  std::vector<obs::TrackId> link_tracks_;
+  obs::TrackId circuit_track_ = kNoTrack;
 
   // Optical circuit cache: per source, LRU list of destinations.
   struct CircuitCache {

@@ -80,6 +80,10 @@ des::Task<void> SimNetwork::send_packet(std::vector<LinkId> path,
     links_[l]->release();
     link_busy_s_[l] += des::to_seconds(ser);
     stats_.total_link_busy_s += des::to_seconds(ser);
+    if (tracer_) {
+      tracer_->complete_span(link_track(l), "busy", "link",
+                             engine_.now() - ser, ser);
+    }
     // Propagation: wire always; switch forwarding except after final link.
     double prop = params_.wire_latency;
     if (j + 1 < hops) prop += params_.switch_latency;
@@ -92,9 +96,22 @@ des::Task<void> SimNetwork::ensure_circuit(NodeId src, NodeId dst) {
   if (auto it = cache.index.find(dst); it != cache.index.end()) {
     cache.lru.splice(cache.lru.begin(), cache.lru, it->second);
     ++stats_.circuit_hits;
+    if (tracer_) {
+      tracer_->instant(circuit_track_,
+                       "hit " + std::to_string(src) + "->" +
+                           std::to_string(dst),
+                       "circuit");
+    }
     co_return;
   }
   ++stats_.circuit_misses;
+  if (tracer_) {
+    tracer_->complete_span(circuit_track_,
+                           "setup " + std::to_string(src) + "->" +
+                               std::to_string(dst),
+                           "circuit", engine_.now(),
+                           des::from_seconds(params_.circuit_setup));
+  }
   // Install before the delay so concurrent senders to the same destination
   // pay setup once (optimistic: their data rides the path being set up).
   cache.lru.push_front(dst);
@@ -125,6 +142,22 @@ double SimNetwork::uncongested_seconds(NodeId src, NodeId dst,
 double SimNetwork::link_busy_seconds(LinkId id) const {
   POLARIS_CHECK(id < link_busy_s_.size());
   return link_busy_s_[id];
+}
+
+void SimNetwork::attach_tracer(obs::Tracer& tracer) {
+  tracer_ = &tracer;
+  link_tracks_.assign(topo_.link_count(), kNoTrack);
+  if (params_.circuit_setup > 0.0) {
+    circuit_track_ = tracer.add_track("links", "circuits");
+  }
+}
+
+obs::TrackId SimNetwork::link_track(LinkId id) {
+  obs::TrackId& track = link_tracks_[id];
+  if (track == kNoTrack) {
+    track = tracer_->add_track("links", "link " + std::to_string(id));
+  }
+  return track;
 }
 
 }  // namespace polaris::fabric

@@ -1,0 +1,167 @@
+#include "polaris/obs/analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+#include <unordered_map>
+
+#include "polaris/des/time.hpp"
+
+namespace polaris::obs {
+
+TraceAnalysis::TraceAnalysis(const Tracer& tracer)
+    : events_(tracer.snapshot()), tracks_(tracer.tracks()) {}
+
+TraceAnalysis::TraceAnalysis(std::vector<TraceEvent> events,
+                             std::vector<Tracer::Track> tracks)
+    : events_(std::move(events)), tracks_(std::move(tracks)) {}
+
+std::vector<std::size_t> TraceAnalysis::spans_in(
+    std::string_view process) const {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& ev = events_[i];
+    if (ev.kind != EventKind::kSpan) continue;
+    if (!process.empty() && ev.track < tracks_.size() &&
+        tracks_[ev.track].process != process) {
+      continue;
+    }
+    idx.push_back(i);
+  }
+  return idx;
+}
+
+CriticalPath TraceAnalysis::critical_path(std::string_view process) const {
+  CriticalPath path;
+  std::vector<std::size_t> idx = spans_in(process);
+  if (idx.empty()) return path;
+
+  // Latest end first; the prefix of this order is "every span still running
+  // at or after time t" as the backward walk lowers t.
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return events_[a].end_ns() > events_[b].end_ns();
+  });
+  std::int64_t t_begin = events_[idx[0]].start_ns;
+  for (const std::size_t i : idx) {
+    t_begin = std::min(t_begin, events_[i].start_ns);
+  }
+  const std::int64_t t_end = events_[idx[0]].end_ns();
+  path.makespan_s = des::to_seconds(t_end - t_begin);
+
+  // Backward walk.  At time t the chain extends with the active span of
+  // earliest start (largest coverage); with none active it jumps across the
+  // instrumentation gap to the latest span that ended before t.  Each span
+  // is consumed at most once, so the walk is O(n log n).
+  using StartKey = std::pair<std::int64_t, std::size_t>;
+  std::priority_queue<StartKey, std::vector<StartKey>, std::greater<>> active;
+  std::size_t q = 0;  // prefix boundary into idx (spans with end >= t)
+  std::int64_t t = t_end;
+  std::int64_t covered_total = 0;
+  while (t > t_begin) {
+    while (q < idx.size() && events_[idx[q]].end_ns() >= t) {
+      active.emplace(events_[idx[q]].start_ns, idx[q]);
+      ++q;
+    }
+    // Entries whose start has caught up with t can never be active again.
+    while (!active.empty() && active.top().first >= t) active.pop();
+
+    std::size_t chosen;
+    if (!active.empty()) {
+      chosen = active.top().second;
+      active.pop();
+    } else if (q < idx.size()) {
+      chosen = idx[q];  // latest end < t; re-enters the prefix as spent
+    } else {
+      break;
+    }
+
+    const TraceEvent& ev = events_[chosen];
+    PathStep step;
+    step.track = ev.track;
+    step.name = ev.name;
+    step.start_ns = ev.start_ns;
+    step.end_ns = ev.end_ns();
+    step.covered_ns = std::min(ev.end_ns(), t) - ev.start_ns;
+    covered_total += step.covered_ns;
+    path.steps.push_back(std::move(step));
+    t = ev.start_ns;
+  }
+  std::reverse(path.steps.begin(), path.steps.end());
+  path.length_s = des::to_seconds(covered_total);
+  path.coverage =
+      path.makespan_s > 0.0 ? path.length_s / path.makespan_s : 1.0;
+
+  std::unordered_map<std::string, Contribution> by_name;
+  for (const PathStep& step : path.steps) {
+    Contribution& c = by_name[step.name];
+    c.name = step.name;
+    c.seconds += des::to_seconds(step.covered_ns);
+    ++c.spans;
+  }
+  path.contributors.reserve(by_name.size());
+  for (auto& [name, c] : by_name) {
+    c.fraction = path.length_s > 0.0 ? c.seconds / path.length_s : 0.0;
+    path.contributors.push_back(std::move(c));
+  }
+  std::sort(path.contributors.begin(), path.contributors.end(),
+            [](const Contribution& a, const Contribution& b) {
+              return a.seconds > b.seconds;
+            });
+  return path;
+}
+
+std::vector<Contribution> TraceAnalysis::total_by_name(
+    std::string_view process) const {
+  const std::vector<std::size_t> idx = spans_in(process);
+  std::int64_t t_begin = 0, t_end = 0;
+  bool any = false;
+  std::unordered_map<std::string, Contribution> by_name;
+  for (const std::size_t i : idx) {
+    const TraceEvent& ev = events_[i];
+    if (!any) {
+      t_begin = ev.start_ns;
+      t_end = ev.end_ns();
+      any = true;
+    } else {
+      t_begin = std::min(t_begin, ev.start_ns);
+      t_end = std::max(t_end, ev.end_ns());
+    }
+    Contribution& c = by_name[ev.name];
+    c.name = ev.name;
+    c.seconds += des::to_seconds(ev.dur_ns);
+    ++c.spans;
+  }
+  const double makespan = des::to_seconds(t_end - t_begin);
+  std::vector<Contribution> out;
+  out.reserve(by_name.size());
+  for (auto& [name, c] : by_name) {
+    c.fraction = makespan > 0.0 ? c.seconds / makespan : 0.0;
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Contribution& a, const Contribution& b) {
+              return a.seconds > b.seconds;
+            });
+  return out;
+}
+
+void TraceAnalysis::report(std::ostream& os, const CriticalPath& path,
+                           std::size_t top_n) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "critical path: %.6f s of %.6f s makespan (%.1f%% covered, "
+                "%zu steps)\n",
+                path.length_s, path.makespan_s, 100.0 * path.coverage,
+                path.steps.size());
+  os << line;
+  os << "top contributors:\n";
+  std::size_t shown = 0;
+  for (const Contribution& c : path.contributors) {
+    if (shown++ >= top_n) break;
+    std::snprintf(line, sizeof(line), "  %-24s %10.6f s  %5.1f%%  (%zu spans)\n",
+                  c.name.c_str(), c.seconds, 100.0 * c.fraction, c.spans);
+    os << line;
+  }
+}
+
+}  // namespace polaris::obs

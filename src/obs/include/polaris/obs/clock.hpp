@@ -1,0 +1,49 @@
+// Clock abstraction for the tracer.
+//
+// The same Tracer serves both runtimes: the simulated runtime stamps spans
+// with des::Engine simulated nanoseconds, the real threaded runtime with a
+// monotonic wall clock zeroed at construction.  Both produce int64
+// nanoseconds since "trace start", so exports and analysis are
+// clock-agnostic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "polaris/des/engine.hpp"
+
+namespace polaris::obs {
+
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+  virtual std::int64_t now_ns() const = 0;
+};
+
+/// Monotonic wall clock; zero at construction.
+class WallClock final : public ClockSource {
+ public:
+  WallClock() : t0_(std::chrono::steady_clock::now()) {}
+
+  std::int64_t now_ns() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Simulated time of a DES engine (already integer nanoseconds).
+class SimClock final : public ClockSource {
+ public:
+  explicit SimClock(const des::Engine& engine) : engine_(&engine) {}
+
+  std::int64_t now_ns() const override { return engine_->now(); }
+
+ private:
+  const des::Engine* engine_;
+};
+
+}  // namespace polaris::obs

@@ -1,0 +1,126 @@
+// Metrics registry: named counters, gauges and histograms.
+//
+// Instrumented code holds a raw pointer to a metric object (obtained once
+// from the registry) and updates it with one atomic op; a null pointer
+// means "no observer attached" and costs one predictable branch.  Metric
+// objects live as long as the registry, so cached pointers never dangle.
+// Counters and gauges are lock-free; histograms take a short mutex because
+// they retain samples for exact percentiles (cross-checked against
+// support::Summary in tests).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "polaris/support/stats.hpp"
+
+namespace polaris::obs {
+
+/// Monotonic event count.  add() is wait-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, occupancy, temperature).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  /// Retains the maximum of all observations (high-watermark gauge).
+  void observe_max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Sample distribution with exact percentiles.  record() appends under a
+/// mutex; reads snapshot under the same mutex.  Intended for per-operation
+/// latencies/sizes at experiment scale, not unbounded streams.
+class Histogram {
+ public:
+  void record(double x) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    summary_.add(x);
+  }
+
+  std::size_t count() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return summary_.count();
+  }
+  double mean() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return summary_.count() ? summary_.mean() : 0.0;
+  }
+  double min() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return summary_.count() ? summary_.min() : 0.0;
+  }
+  double max() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return summary_.count() ? summary_.max() : 0.0;
+  }
+  double sum() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return summary_.count() ? summary_.sum() : 0.0;
+  }
+  /// Linear-interpolated percentile, p in [0, 100]; same definition as
+  /// support::Summary::percentile.
+  double percentile(double p) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return summary_.count() ? summary_.percentile(p) : 0.0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  support::Summary summary_;
+};
+
+/// Owner and name directory of all metrics.  Lookup is mutex-protected and
+/// intended for attach time, not the hot path: fetch the metric once, keep
+/// the reference.  Metrics are created on first lookup.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  std::size_t size() const;
+
+  /// Writes every metric as one "name kind value [stats]" line, sorted by
+  /// name (stable across runs; greppable).
+  void dump(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace polaris::obs

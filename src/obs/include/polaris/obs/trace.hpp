@@ -1,0 +1,159 @@
+// Scoped-span tracer with Chrome trace-event JSON export.
+//
+// A Tracer collects spans (operations with duration), instants (point
+// events) and counter samples on named tracks, stamped by a ClockSource
+// (simulated or wall time).  write_json() emits the Chrome trace-event
+// format, loadable in chrome://tracing or ui.perfetto.dev: tracks are
+// grouped into processes ("ranks", "links", ...), and spans that overlap
+// on one track — background isends, concurrent sendrecv halves — are
+// packed into extra lanes so every exported thread timeline is properly
+// nested.
+//
+// Instrumented code holds a `Tracer*` that is null until an observer
+// attaches; every hook is a branch on that pointer, so an untraced run
+// pays nothing else.  Recording is thread-safe (one mutex around the event
+// log): the DES engine is single-threaded, the real runtime's rank threads
+// contend only while tracing is on.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "polaris/obs/clock.hpp"
+
+namespace polaris::obs {
+
+using TrackId = std::uint32_t;
+
+enum class EventKind : std::uint8_t {
+  kSpan,     ///< has start and duration
+  kInstant,  ///< point in time
+  kCounter,  ///< sampled value
+};
+
+struct TraceEvent {
+  TrackId track = 0;
+  EventKind kind = EventKind::kSpan;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;  ///< spans only; -1 while still open
+  double value = 0.0;       ///< counters only
+  std::string name;
+  std::string category;
+
+  bool open() const { return kind == EventKind::kSpan && dur_ns < 0; }
+  std::int64_t end_ns() const { return start_ns + (dur_ns < 0 ? 0 : dur_ns); }
+};
+
+/// Handle for an open span (index into the event log).
+struct SpanId {
+  std::size_t index = std::numeric_limits<std::size_t>::max();
+  bool valid() const {
+    return index != std::numeric_limits<std::size_t>::max();
+  }
+};
+
+class Tracer {
+ public:
+  /// Spans stamped by `clock`; the clock must outlive the tracer.
+  explicit Tracer(const ClockSource& clock) : clock_(&clock) {}
+
+  /// Clockless tracer: only complete_span/instant_at with explicit
+  /// timestamps are meaningful (e.g. post-hoc Gantt export).
+  Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Registers a track.  `process` groups tracks into one Chrome process
+  /// row ("ranks", "links", "jobs"); `name` labels the thread timeline.
+  TrackId add_track(std::string process, std::string name);
+
+  std::int64_t now_ns() const { return clock_ ? clock_->now_ns() : 0; }
+
+  /// Opens a span at the current clock time.  end_span() closes it; a span
+  /// never closed is exported with zero duration.
+  SpanId begin_span(TrackId track, std::string name,
+                    std::string category = {});
+  void end_span(SpanId id);
+
+  /// Records an already-finished span with explicit timestamps.
+  void complete_span(TrackId track, std::string name, std::string category,
+                     std::int64_t start_ns, std::int64_t dur_ns);
+
+  /// Point event at the current clock time.
+  void instant(TrackId track, std::string name, std::string category = {});
+  void instant_at(TrackId track, std::string name, std::string category,
+                  std::int64_t at_ns);
+
+  /// Samples a counter series (rendered as a stacked area in the viewer).
+  void counter(TrackId track, std::string name, double value);
+
+  std::size_t event_count() const;
+  std::size_t track_count() const;
+
+  /// Snapshot of the event log; open spans are closed at the current clock
+  /// time so analysis never sees negative durations.
+  std::vector<TraceEvent> snapshot() const;
+
+  struct Track {
+    std::string process;
+    std::string name;
+  };
+  std::vector<Track> tracks() const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}), one event per line,
+  /// sorted by start time within each exported lane.
+  void write_json(std::ostream& os) const;
+
+ private:
+  const ClockSource* clock_ = nullptr;
+  mutable std::mutex mu_;
+  std::vector<Track> tracks_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span; a null tracer makes every operation a no-op, so call sites
+/// need no branches of their own.  Safe to keep across co_await (lives in
+/// the coroutine frame).
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, TrackId track, std::string name,
+             std::string category = {})
+      : tracer_(tracer) {
+    if (tracer_) {
+      id_ = tracer_->begin_span(track, std::move(name), std::move(category));
+    }
+  }
+  ~ScopedSpan() { end(); }
+
+  ScopedSpan(ScopedSpan&& other) noexcept
+      : tracer_(std::exchange(other.tracer_, nullptr)), id_(other.id_) {}
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+    if (this != &other) {
+      end();
+      tracer_ = std::exchange(other.tracer_, nullptr);
+      id_ = other.id_;
+    }
+    return *this;
+  }
+
+  /// Closes the span early (idempotent).
+  void end() {
+    if (tracer_) {
+      tracer_->end_span(id_);
+      tracer_ = nullptr;
+    }
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanId id_;
+};
+
+}  // namespace polaris::obs

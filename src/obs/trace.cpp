@@ -1,0 +1,302 @@
+#include "polaris/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::obs {
+
+TrackId Tracer::add_track(std::string process, std::string name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  tracks_.push_back(Track{std::move(process), std::move(name)});
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+SpanId Tracer::begin_span(TrackId track, std::string name,
+                          std::string category) {
+  const std::int64_t t = now_ns();
+  const std::lock_guard<std::mutex> lock(mu_);
+  POLARIS_CHECK(track < tracks_.size());
+  TraceEvent ev;
+  ev.track = track;
+  ev.kind = EventKind::kSpan;
+  ev.start_ns = t;
+  ev.dur_ns = -1;  // open
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  events_.push_back(std::move(ev));
+  return SpanId{events_.size() - 1};
+}
+
+void Tracer::end_span(SpanId id) {
+  const std::int64_t t = now_ns();
+  const std::lock_guard<std::mutex> lock(mu_);
+  POLARIS_CHECK(id.valid() && id.index < events_.size());
+  TraceEvent& ev = events_[id.index];
+  POLARIS_CHECK_MSG(ev.open(), "end_span on a closed span");
+  ev.dur_ns = t - ev.start_ns;
+}
+
+void Tracer::complete_span(TrackId track, std::string name,
+                           std::string category, std::int64_t start_ns,
+                           std::int64_t dur_ns) {
+  POLARIS_CHECK(dur_ns >= 0);
+  const std::lock_guard<std::mutex> lock(mu_);
+  POLARIS_CHECK(track < tracks_.size());
+  TraceEvent ev;
+  ev.track = track;
+  ev.kind = EventKind::kSpan;
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(TrackId track, std::string name, std::string category) {
+  instant_at(track, std::move(name), std::move(category), now_ns());
+}
+
+void Tracer::instant_at(TrackId track, std::string name,
+                        std::string category, std::int64_t at_ns) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  POLARIS_CHECK(track < tracks_.size());
+  TraceEvent ev;
+  ev.track = track;
+  ev.kind = EventKind::kInstant;
+  ev.start_ns = at_ns;
+  ev.dur_ns = 0;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::counter(TrackId track, std::string name, double value) {
+  const std::int64_t t = now_ns();
+  const std::lock_guard<std::mutex> lock(mu_);
+  POLARIS_CHECK(track < tracks_.size());
+  TraceEvent ev;
+  ev.track = track;
+  ev.kind = EventKind::kCounter;
+  ev.start_ns = t;
+  ev.dur_ns = 0;
+  ev.value = value;
+  ev.name = std::move(name);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t Tracer::track_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return tracks_.size();
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  const std::int64_t t = now_ns();
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out = events_;
+  for (TraceEvent& ev : out) {
+    if (ev.open()) ev.dur_ns = std::max<std::int64_t>(t - ev.start_ns, 0);
+  }
+  return out;
+}
+
+std::vector<Tracer::Track> Tracer::tracks() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return tracks_;
+}
+
+// ------------------------------------------------------------- JSON export
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Microsecond timestamp with nanosecond precision kept as a fraction.
+std::string format_us(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000 < 0 ? -(ns % 1000)
+                                                     : ns % 1000));
+  return buf;
+}
+
+void write_metadata(std::ostream& os, const char* what, int pid, int tid,
+                    const std::string& value, int sort_index, bool* first) {
+  std::string name;
+  append_escaped(name, value);
+  if (!*first) os << ",\n";
+  *first = false;
+  os << R"({"ph":"M","pid":)" << pid;
+  if (tid >= 0) os << R"(,"tid":)" << tid;
+  os << R"(,"name":")" << what << R"(","args":{"name":")" << name
+     << R"("}})";
+  if (sort_index >= 0) {
+    os << ",\n"
+       << R"({"ph":"M","pid":)" << pid;
+    if (tid >= 0) os << R"(,"tid":)" << tid;
+    os << R"(,"name":")" << (tid >= 0 ? "thread_sort_index"
+                                      : "process_sort_index")
+       << R"(","args":{"sort_index":)" << sort_index << "}}";
+  }
+}
+
+}  // namespace
+
+void Tracer::write_json(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot();
+  const std::vector<Track> tracks = this->tracks();
+
+  // Process name -> pid, in first-registration order.
+  std::map<std::string, int> pids;
+  std::vector<std::string> pid_names;
+  std::vector<int> track_pid(tracks.size(), 0);
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    auto [it, inserted] =
+        pids.emplace(tracks[i].process, static_cast<int>(pids.size()));
+    if (inserted) pid_names.push_back(tracks[i].process);
+    track_pid[i] = it->second;
+  }
+
+  // Sort span/instant event indices per track by start time (counters are
+  // emitted in recorded order; the viewer interpolates the series anyway).
+  std::vector<std::size_t> order(events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (events[a].track != events[b].track) {
+                       return events[a].track < events[b].track;
+                     }
+                     if (events[a].start_ns != events[b].start_ns) {
+                       return events[a].start_ns < events[b].start_ns;
+                     }
+                     // Longer spans first so parents precede children.
+                     return events[a].dur_ns > events[b].dur_ns;
+                   });
+
+  // Lane allocation: spans that only nest share lane 0; a span that
+  // partially overlaps every open lane gets a fresh lane.  Each (track,
+  // lane) pair becomes one exported tid, so every exported timeline is
+  // properly nested and Chrome renders it without warnings.
+  struct Lane {
+    std::vector<std::int64_t> open_ends;  // stack of enclosing span ends
+  };
+  std::vector<std::vector<Lane>> lanes(tracks.size());
+  std::vector<int> event_lane(events.size(), 0);
+  for (const std::size_t i : order) {
+    const TraceEvent& ev = events[i];
+    if (ev.kind != EventKind::kSpan) continue;
+    auto& track_lanes = lanes[ev.track];
+    int lane = -1;
+    for (std::size_t l = 0; l < track_lanes.size(); ++l) {
+      auto& open = track_lanes[l].open_ends;
+      while (!open.empty() && open.back() <= ev.start_ns) open.pop_back();
+      if (open.empty() || ev.end_ns() <= open.back()) {
+        lane = static_cast<int>(l);
+        break;
+      }
+    }
+    if (lane < 0) {
+      track_lanes.emplace_back();
+      lane = static_cast<int>(track_lanes.size()) - 1;
+    }
+    track_lanes[static_cast<std::size_t>(lane)].open_ends.push_back(
+        ev.end_ns());
+    event_lane[i] = lane;
+  }
+
+  // tid assignment: lanes of one track are adjacent; lane 0 keeps the
+  // track's name, extra lanes get a ~n suffix.
+  constexpr int kMaxLanesPerTrack = 64;
+  auto tid_of = [&](TrackId track, int lane) {
+    return static_cast<int>(track) * kMaxLanesPerTrack +
+           std::min(lane, kMaxLanesPerTrack - 1);
+  };
+
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (int pid = 0; pid < static_cast<int>(pid_names.size()); ++pid) {
+    write_metadata(os, "process_name", pid, -1, pid_names[static_cast<
+                       std::size_t>(pid)], pid, &first);
+  }
+  for (std::size_t t = 0; t < tracks.size(); ++t) {
+    const std::size_t n_lanes = std::max<std::size_t>(lanes[t].size(), 1);
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+      std::string name = tracks[t].name;
+      if (l > 0) name += " ~" + std::to_string(l);
+      write_metadata(os, "thread_name", track_pid[t],
+                     tid_of(static_cast<TrackId>(t), static_cast<int>(l)),
+                     name, tid_of(static_cast<TrackId>(t),
+                                  static_cast<int>(l)),
+                     &first);
+    }
+  }
+
+  for (const std::size_t i : order) {
+    const TraceEvent& ev = events[i];
+    std::string name, cat;
+    append_escaped(name, ev.name);
+    append_escaped(cat, ev.category.empty() ? std::string("polaris")
+                                            : ev.category);
+    const int pid = track_pid[ev.track];
+    const int tid = tid_of(ev.track, event_lane[i]);
+    if (!first) os << ",\n";
+    first = false;
+    switch (ev.kind) {
+      case EventKind::kSpan:
+        os << R"({"ph":"X","pid":)" << pid << R"(,"tid":)" << tid
+           << R"(,"ts":)" << format_us(ev.start_ns) << R"(,"dur":)"
+           << format_us(ev.dur_ns) << R"(,"name":")" << name
+           << R"(","cat":")" << cat << R"("})";
+        break;
+      case EventKind::kInstant:
+        os << R"({"ph":"i","pid":)" << pid << R"(,"tid":)" << tid
+           << R"(,"ts":)" << format_us(ev.start_ns) << R"(,"s":"t","name":")"
+           << name << R"(","cat":")" << cat << R"("})";
+        break;
+      case EventKind::kCounter:
+        os << R"({"ph":"C","pid":)" << pid << R"(,"tid":)" << tid
+           << R"(,"ts":)" << format_us(ev.start_ns) << R"(,"name":")" << name
+           << R"(","args":{"value":)" << ev.value << "}}";
+        break;
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace polaris::obs

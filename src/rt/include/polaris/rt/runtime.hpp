@@ -29,6 +29,8 @@
 #include "polaris/msg/active_msg.hpp"
 #include "polaris/msg/completion.hpp"
 #include "polaris/msg/tag_matcher.hpp"
+#include "polaris/obs/metrics.hpp"
+#include "polaris/obs/trace.hpp"
 #include "polaris/rt/spsc_ring.hpp"
 
 namespace polaris::rt {
@@ -148,6 +150,11 @@ class Communicator {
   std::uint64_t eager_sends() const { return eager_sends_; }
   std::uint64_t rendezvous_sends() const { return rendezvous_sends_; }
 
+  /// This rank's trace track (valid after ShmWorld::attach_tracer); rank
+  /// code may add its own spans around application phases.
+  obs::Tracer* tracer() const { return tracer_; }
+  obs::TrackId track() const { return track_; }
+
  private:
   friend class ShmWorld;
   Communicator() = default;
@@ -176,6 +183,14 @@ class Communicator {
   msg::ActiveMessageTable am_table_;
   std::uint64_t eager_sends_ = 0;
   std::uint64_t rendezvous_sends_ = 0;
+
+  // Observability hooks; null until ShmWorld::attach_* is called, and every
+  // instrumented path branches on that (zero cost when unobserved).
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
+  obs::Gauge* ring_depth_ = nullptr;
+  obs::Counter* sends_counter_ = nullptr;
+  obs::Histogram* msg_bytes_ = nullptr;
 };
 
 /// Spawns `ranks` threads, each running `fn(Communicator&)`, and joins.
@@ -195,11 +210,22 @@ class ShmWorld {
   /// handlers or read stats).  Do not call while run() is active.
   Communicator& comm(int rank);
 
+  /// Attaches a tracer (use an obs::WallClock): one track per rank with
+  /// spans around sends, receives, waits and collectives, stamped in real
+  /// time from each rank's own thread.  Call before run().
+  void attach_tracer(obs::Tracer& tracer);
+
+  /// Attaches a metrics registry: send counters and size histograms updated
+  /// live from rank threads, a ring-occupancy high-water gauge sampled in
+  /// progress(), and eager/rendezvous totals mirrored after each run().
+  void attach_metrics(obs::MetricsRegistry& metrics);
+
  private:
   int size_;
   std::atomic<bool> abort_flag_{false};
   std::vector<std::unique_ptr<SpscRing<detail::WireMsg>>> rings_;
   std::vector<std::unique_ptr<Communicator>> comms_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace polaris::rt

@@ -64,11 +64,18 @@ void Communicator::send(int dst, int tag, std::span<const std::byte> data) {
   POLARIS_CHECK(dst >= 0 && dst < size_);
   POLARIS_CHECK_MSG(tag >= 0 && tag <= kCollTag,
                     "user tags must be non-negative");
+  const bool eager = data.size() <= opts_.eager_threshold;
+  obs::ScopedSpan span(tracer_, track_, "send",
+                       eager ? "eager" : "rendezvous");
+  if (sends_counter_) {
+    sends_counter_->add();
+    msg_bytes_->record(static_cast<double>(data.size()));
+  }
   if (dst == rank_) {
     deliver_local(tag, data);
     return;
   }
-  if (data.size() <= opts_.eager_threshold) {
+  if (eager) {
     ++eager_sends_;
     detail::WireMsg m;
     m.kind = detail::WireMsg::Kind::kEager;
@@ -143,6 +150,7 @@ bool Communicator::test(Request& r) {
 
 RecvStatus Communicator::wait(Request& r) {
   POLARIS_CHECK_MSG(r.valid(), "wait on an empty request");
+  obs::ScopedSpan span(tracer_, track_, "wait", "p2p");
   while (!r.state_->done.load(std::memory_order_acquire)) {
     progress();
     if (abort_flag_->load(std::memory_order_relaxed)) {
@@ -159,6 +167,7 @@ RecvStatus Communicator::wait(Request& r) {
 }
 
 RecvStatus Communicator::recv(int src, int tag, std::span<std::byte> out) {
+  obs::ScopedSpan span(tracer_, track_, "recv", "p2p");
   Request r = irecv(src, tag, out);
   return wait(r);
 }
@@ -168,6 +177,9 @@ void Communicator::progress() {
   for (int src = 0; src < size_; ++src) {
     if (src == rank_) continue;
     auto& ring = ring_from(src);
+    if (ring_depth_) {
+      ring_depth_->observe_max(static_cast<double>(ring.size_approx()));
+    }
     while (ring.try_pop(m)) {
       handle_incoming(m);
     }
@@ -221,6 +233,7 @@ msg::AmHandlerId Communicator::register_am(msg::AmHandler handler) {
 void Communicator::am_send(int dst, msg::AmHandlerId handler,
                            std::span<const std::byte> payload) {
   POLARIS_CHECK(dst >= 0 && dst < size_);
+  obs::ScopedSpan span(tracer_, track_, "am_send", "am");
   detail::WireMsg m;
   m.kind = detail::WireMsg::Kind::kAm;
   m.src = rank_;
@@ -294,6 +307,7 @@ void Communicator::run_schedule(const coll::Schedule& schedule,
 }
 
 void Communicator::barrier() {
+  obs::ScopedSpan span(tracer_, track_, "barrier", "coll");
   const auto schedule =
       coll::barrier(static_cast<std::size_t>(size_));
   double dummy = 0.0;
@@ -301,6 +315,7 @@ void Communicator::barrier() {
 }
 
 void Communicator::broadcast(std::span<double> buf, int root) {
+  obs::ScopedSpan span(tracer_, track_, "broadcast", "coll");
   const auto a = pick(coll::Collective::kBroadcast, buf.size(), root);
   run_schedule(coll::broadcast(static_cast<std::size_t>(size_), buf.size(),
                                root, a),
@@ -309,6 +324,7 @@ void Communicator::broadcast(std::span<double> buf, int root) {
 
 void Communicator::reduce(std::span<double> buf, coll::ReduceOp op,
                           int root) {
+  obs::ScopedSpan span(tracer_, track_, "reduce", "coll");
   const auto a = pick(coll::Collective::kReduce, buf.size(), root);
   run_schedule(
       coll::reduce(static_cast<std::size_t>(size_), buf.size(), root, a),
@@ -316,12 +332,14 @@ void Communicator::reduce(std::span<double> buf, coll::ReduceOp op,
 }
 
 void Communicator::allreduce(std::span<double> buf, coll::ReduceOp op) {
+  obs::ScopedSpan span(tracer_, track_, "allreduce", "coll");
   const auto a = pick(coll::Collective::kAllreduce, buf.size(), 0);
   run_schedule(coll::allreduce(static_cast<std::size_t>(size_), buf.size(), a),
                buf, op);
 }
 
 void Communicator::allgather(std::span<double> buf, std::size_t block) {
+  obs::ScopedSpan span(tracer_, track_, "allgather", "coll");
   POLARIS_CHECK(buf.size() >= block * static_cast<std::size_t>(size_));
   const auto a = pick(coll::Collective::kAllgather, block, 0);
   run_schedule(coll::allgather(static_cast<std::size_t>(size_), block, a),
@@ -330,6 +348,7 @@ void Communicator::allgather(std::span<double> buf, std::size_t block) {
 
 void Communicator::alltoall(std::span<const double> in,
                             std::span<double> out, std::size_t block) {
+  obs::ScopedSpan span(tracer_, track_, "alltoall", "coll");
   POLARIS_CHECK(in.size() >= block * static_cast<std::size_t>(size_));
   POLARIS_CHECK(out.size() >= block * static_cast<std::size_t>(size_));
   run_schedule(coll::alltoall(static_cast<std::size_t>(size_), block,
@@ -339,6 +358,7 @@ void Communicator::alltoall(std::span<const double> in,
 
 void Communicator::reduce_scatter(std::span<double> buf, coll::ReduceOp op,
                                   std::size_t block) {
+  obs::ScopedSpan span(tracer_, track_, "reduce_scatter", "coll");
   POLARIS_CHECK(buf.size() >= block * static_cast<std::size_t>(size_));
   const auto a = pick(coll::Collective::kReduceScatter, block, 0);
   run_schedule(
@@ -347,6 +367,7 @@ void Communicator::reduce_scatter(std::span<double> buf, coll::ReduceOp op,
 }
 
 void Communicator::scan(std::span<double> buf, coll::ReduceOp op) {
+  obs::ScopedSpan span(tracer_, track_, "scan", "coll");
   run_schedule(coll::scan(static_cast<std::size_t>(size_), buf.size()), buf,
                op);
 }
@@ -377,6 +398,23 @@ Communicator& ShmWorld::comm(int rank) {
   return *comms_[rank];
 }
 
+void ShmWorld::attach_tracer(obs::Tracer& tracer) {
+  for (auto& c : comms_) {
+    c->tracer_ = &tracer;
+    c->track_ =
+        tracer.add_track("ranks", "rank " + std::to_string(c->rank_));
+  }
+}
+
+void ShmWorld::attach_metrics(obs::MetricsRegistry& metrics) {
+  metrics_ = &metrics;
+  for (auto& c : comms_) {
+    c->sends_counter_ = &metrics.counter("rt.sends");
+    c->msg_bytes_ = &metrics.histogram("rt.msg_bytes");
+    c->ring_depth_ = &metrics.gauge("rt.ring_depth_max");
+  }
+}
+
 void ShmWorld::run(const std::function<void(Communicator&)>& fn) {
   abort_flag_.store(false);
   std::mutex error_mutex;
@@ -399,6 +437,17 @@ void ShmWorld::run(const std::function<void(Communicator&)>& fn) {
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+
+  if (metrics_) {
+    std::uint64_t eager = 0, rendezvous = 0;
+    for (const auto& c : comms_) {
+      eager += c->eager_sends_;
+      rendezvous += c->rendezvous_sends_;
+    }
+    metrics_->gauge("rt.eager_sends").set(static_cast<double>(eager));
+    metrics_->gauge("rt.rendezvous_sends")
+        .set(static_cast<double>(rendezvous));
+  }
 }
 
 }  // namespace polaris::rt

@@ -1,0 +1,27 @@
+#include "polaris/sched/gantt.hpp"
+
+#include <string>
+
+#include "polaris/des/time.hpp"
+
+namespace polaris::sched {
+
+std::size_t export_gantt(const std::vector<Job>& jobs, obs::Tracer& tracer) {
+  const obs::TrackId run_track = tracer.add_track("sched", "jobs");
+  const obs::TrackId queue_track = tracer.add_track("sched", "queue");
+  std::size_t exported = 0;
+  for (const Job& j : jobs) {
+    tracer.instant_at(queue_track, "submit " + std::to_string(j.id),
+                      "sched", des::from_seconds(j.submit));
+    if (!j.scheduled()) continue;
+    tracer.complete_span(run_track,
+                         "job " + std::to_string(j.id) + " x" +
+                             std::to_string(j.width),
+                         "job", des::from_seconds(j.start),
+                         des::from_seconds(j.finish - j.start));
+    ++exported;
+  }
+  return exported;
+}
+
+}  // namespace polaris::sched

@@ -1,0 +1,25 @@
+// Gantt-chart export of a scheduled job trace.
+//
+// Emits one span per scheduled job into an obs::Tracer; written as Chrome
+// trace JSON the result is a machine-utilization Gantt chart (the tracer's
+// export-time lane packing stacks concurrently-running jobs on separate
+// rows).  Submission times appear as instant markers so queueing delay is
+// visible as the gap between marker and span.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "polaris/obs/trace.hpp"
+#include "polaris/sched/job.hpp"
+
+namespace polaris::sched {
+
+/// Adds every scheduled job in `jobs` to `tracer` as a complete span on a
+/// "jobs" track (plus "submit" instants on a "queue" track).  Use a
+/// clockless tracer; job times are seconds and map to simulated
+/// nanoseconds.  Returns the number of jobs exported (unscheduled jobs are
+/// skipped).
+std::size_t export_gantt(const std::vector<Job>& jobs, obs::Tracer& tracer);
+
+}  // namespace polaris::sched

@@ -39,6 +39,8 @@
 #include "polaris/msg/protocol.hpp"
 #include "polaris/msg/reg_cache.hpp"
 #include "polaris/msg/tag_matcher.hpp"
+#include "polaris/obs/metrics.hpp"
+#include "polaris/obs/trace.hpp"
 
 namespace polaris::simrt {
 
@@ -145,6 +147,11 @@ class SimComm {
   std::uint64_t rendezvous_count() const { return rendezvous_count_; }
   const msg::RegCacheStats& reg_stats() const;
 
+  /// This rank's trace track (valid after SimWorld::attach_tracer); user
+  /// programs may add their own spans to it.
+  obs::Tracer* tracer() const { return tracer_; }
+  obs::TrackId track() const { return track_; }
+
  private:
   friend class SimWorld;
 
@@ -202,6 +209,13 @@ class SimComm {
   std::vector<AmHandler> am_handlers_;
   std::uint64_t am_dispatched_ = 0;
   std::unique_ptr<msg::RegistrationCache> reg_cache_;
+
+  // Observability hooks; null until SimWorld::attach_* is called, and every
+  // instrumented path branches on that (zero cost when unobserved).
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
+  obs::Counter* sends_counter_ = nullptr;
+  obs::Histogram* msg_bytes_ = nullptr;
 };
 
 /// Owner of the simulated cluster: engine, topology, network, node model
@@ -240,6 +254,18 @@ class SimWorld {
   /// LogGP view of this world's fabric at its typical hop count.
   fabric::LogGPParams loggp() const;
 
+  /// Attaches a tracer (use an obs::SimClock over this world's engine):
+  /// one track per rank plus the network's per-link tracks.  Rank spans
+  /// cover every operation — send/recv with protocol-phase sub-spans,
+  /// collectives, compute, waits — so TraceAnalysis can reconstruct the
+  /// critical path.  Call before launch().
+  void attach_tracer(obs::Tracer& tracer);
+
+  /// Attaches a metrics registry: live send counters/size histograms
+  /// during the run, plus engine, fabric and registration-cache totals
+  /// mirrored at the end of each run().
+  void attach_metrics(obs::MetricsRegistry& metrics);
+
   /// Selected-and-generated schedule for a collective, memoized per world:
   /// every rank of every iteration reuses one selection + one schedule
   /// (selection alone costs more than a small collective's simulation).
@@ -252,6 +278,7 @@ class SimWorld {
   std::unique_ptr<fabric::SimNetwork> network_;
   hw::NodeModel node_;
   std::uint32_t eager_threshold_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::vector<std::unique_ptr<SimComm>> comms_;
   // Launched programs; std::list keeps closure addresses stable because
   // coroutine frames created from a closure reference that exact object.

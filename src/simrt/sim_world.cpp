@@ -64,6 +64,13 @@ des::Task<void> SimComm::send_impl(int dst, int tag, std::uint64_t bytes,
   inflight->matched = std::make_unique<des::Trigger>(world_->engine());
   inflight->delivered = std::make_unique<des::Trigger>(world_->engine());
 
+  obs::ScopedSpan span(tracer_, track_, "send",
+                       msg::to_string(inflight->proto));
+  if (sends_counter_) {
+    sends_counter_->add();
+    msg_bytes_->record(static_cast<double>(bytes));
+  }
+
   // Enforce the NIC's inter-message gap.
   auto& eng = world_->engine();
   if (eng.now() < earliest_next_send_) {
@@ -84,7 +91,10 @@ des::Task<void> SimComm::send_eager(int dst, InFlightPtr inflight) {
   auto& eng = world_->engine();
   // CPU: overhead plus the copy into the injection/bounce path.
   const double copy = static_cast<double>(inflight->bytes) / p.copy_bw;
-  co_await des::delay(eng, des::from_seconds(p.o_send + copy));
+  {
+    obs::ScopedSpan inject(tracer_, track_, "eager:inject", "protocol");
+    co_await des::delay(eng, des::from_seconds(p.o_send + copy));
+  }
   earliest_next_send_ =
       eng.now() + des::from_seconds(std::max(p.gap - p.o_send, 0.0));
   // The wire part proceeds without blocking the sender (buffered send).
@@ -106,8 +116,14 @@ des::Task<void> SimComm::send_rendezvous(int dst, InFlightPtr inflight,
   auto& eng = world_->engine();
   const auto src_node = static_cast<fabric::NodeId>(rank_);
   const auto dst_node = static_cast<fabric::NodeId>(dst);
+  // Protocol-phase prefix: the RDMA variant shares the rendezvous
+  // handshake but lands the payload without receiver CPU.
+  const bool is_rdma = inflight->proto == msg::Protocol::kRdma;
+  const char* pre = is_rdma ? "rdma" : "rdv";
 
   // RTS (header-only).
+  obs::ScopedSpan rts(tracer_, track_, std::string(pre) + ":rts",
+                      "protocol");
   co_await des::delay(eng, des::from_seconds(p.o_send));
   earliest_next_send_ =
       eng.now() + des::from_seconds(std::max(p.gap - p.o_send, 0.0));
@@ -115,16 +131,23 @@ des::Task<void> SimComm::send_rendezvous(int dst, InFlightPtr inflight,
                                       SimWorld::kHeaderBytes);
   world_->comm(static_cast<std::size_t>(dst))
       .arrive_ordered(inflight);  // keep our reference for the payload
+  rts.end();
 
   // Wait for the receive to be posted, then the CTS travels back.
-  co_await inflight->matched->wait();
-  co_await world_->network().transfer(dst_node, src_node,
-                                      SimWorld::kHeaderBytes);
+  {
+    obs::ScopedSpan sync(tracer_, track_, std::string(pre) + ":sync",
+                         "protocol");
+    co_await inflight->matched->wait();
+    co_await world_->network().transfer(dst_node, src_node,
+                                        SimWorld::kHeaderBytes);
+  }
 
   // Pin the source buffer (cache-amortized), then move the payload.
   // Kernel-path fabrics cannot DMA from user memory: they still pay the
   // socket-buffer staging copy here (and the receiver pays its own).
   if (!p.os_bypass) {
+    obs::ScopedSpan stage(tracer_, track_, std::string(pre) + ":stage",
+                          "protocol");
     co_await des::delay(
         eng, des::from_seconds(static_cast<double>(inflight->bytes) /
                                p.copy_bw));
@@ -132,9 +155,21 @@ des::Task<void> SimComm::send_rendezvous(int dst, InFlightPtr inflight,
     const std::uintptr_t addr =
         buffer_addr != 0 ? buffer_addr : default_addr();
     const double reg = reg_cache_->acquire(addr, inflight->bytes);
-    if (reg > 0.0) co_await des::delay(eng, des::from_seconds(reg));
+    if (tracer_) {
+      tracer_->instant(track_, reg > 0.0 ? "reg-miss" : "reg-hit", "reg");
+    }
+    if (reg > 0.0) {
+      obs::ScopedSpan pin(tracer_, track_, std::string(pre) + ":reg",
+                          "protocol");
+      co_await des::delay(eng, des::from_seconds(reg));
+    }
   }
-  co_await world_->network().transfer(src_node, dst_node, inflight->bytes);
+  {
+    obs::ScopedSpan payload(tracer_, track_, std::string(pre) + ":payload",
+                            "protocol");
+    co_await world_->network().transfer(src_node, dst_node,
+                                        inflight->bytes);
+  }
   inflight->delivered->fire();
 }
 
@@ -188,6 +223,8 @@ des::Task<SimRecvStatus> SimComm::recv(int src, int tag) {
 
 des::Task<SimRecvStatus> SimComm::recv_impl(RecvTicket ticket) {
   auto& eng = world_->engine();
+  obs::ScopedSpan span(tracer_, track_, "recv", "p2p");
+  obs::ScopedSpan wait_span(tracer_, track_, "recv:wait", "protocol");
   InFlightPtr inf = std::move(ticket.inflight);
   if (!inf) {
     const msg::RecvId id = ticket.pending_id;
@@ -202,10 +239,14 @@ des::Task<SimRecvStatus> SimComm::recv_impl(RecvTicket ticket) {
     // Receiver pins its landing buffer before replying CTS.
     const double reg = reg_cache_->acquire(default_addr() + (1u << 30),
                                            inf->bytes);
+    if (tracer_) {
+      tracer_->instant(track_, reg > 0.0 ? "reg-miss" : "reg-hit", "reg");
+    }
     if (reg > 0.0) co_await des::delay(eng, des::from_seconds(reg));
   }
   inf->matched->fire();
   co_await inf->delivered->wait();
+  wait_span.end();
 
   // Receiver CPU cost by protocol.
   double cpu = 0.0;
@@ -223,7 +264,10 @@ des::Task<SimRecvStatus> SimComm::recv_impl(RecvTicket ticket) {
       cpu = 0.0;  // payload landed by remote DMA
       break;
   }
-  if (cpu > 0.0) co_await des::delay(eng, des::from_seconds(cpu));
+  if (cpu > 0.0) {
+    obs::ScopedSpan cpu_span(tracer_, track_, "recv:cpu", "protocol");
+    co_await des::delay(eng, des::from_seconds(cpu));
+  }
 
   SimRecvStatus st;
   st.src = inf->src;
@@ -266,11 +310,13 @@ SimRequest SimComm::irecv(int src, int tag) {
 
 des::Task<SimRecvStatus> SimComm::wait(SimRequest request) {
   POLARIS_CHECK_MSG(request.valid(), "wait on an empty request");
+  obs::ScopedSpan span(tracer_, track_, "wait", "p2p");
   co_await request.done_->wait();
   co_return *request.status_;
 }
 
 des::Task<void> SimComm::wait_all(std::vector<SimRequest> requests) {
+  obs::ScopedSpan span(tracer_, track_, "wait_all", "p2p");
   for (auto& r : requests) {
     POLARIS_CHECK_MSG(r.valid(), "wait_all on an empty request");
     co_await r.done_->wait();
@@ -282,6 +328,7 @@ des::Task<void> SimComm::put(int dst, std::uint64_t bytes,
   const auto& p = world_->params();
   POLARIS_CHECK_MSG(p.rdma, "put() requires an RDMA-capable fabric");
   auto& eng = world_->engine();
+  obs::ScopedSpan span(tracer_, track_, "put", "rdma");
   co_await des::delay(eng, des::from_seconds(p.o_send));
   const std::uintptr_t addr =
       buffer_addr != 0 ? buffer_addr : default_addr();
@@ -297,6 +344,7 @@ des::Task<void> SimComm::get(int src, std::uint64_t bytes,
   const auto& p = world_->params();
   POLARIS_CHECK_MSG(p.rdma, "get() requires an RDMA-capable fabric");
   auto& eng = world_->engine();
+  obs::ScopedSpan span(tracer_, track_, "get", "rdma");
   co_await des::delay(eng, des::from_seconds(p.o_send));
   const std::uintptr_t addr =
       buffer_addr != 0 ? buffer_addr : default_addr();
@@ -322,6 +370,7 @@ des::Task<void> SimComm::am_send(int dst, std::uint32_t handler,
   POLARIS_CHECK(dst >= 0 && dst < size());
   const auto& p = world_->params();
   auto& eng = world_->engine();
+  obs::ScopedSpan span(tracer_, track_, "am_send", "am");
   const double copy = static_cast<double>(bytes) / p.copy_bw;
   co_await des::delay(eng, des::from_seconds(p.o_send + copy));
   co_await world_->network().transfer(static_cast<fabric::NodeId>(rank_),
@@ -338,6 +387,7 @@ des::Task<void> SimComm::am_send(int dst, std::uint32_t handler,
 
 des::Task<void> SimComm::compute(double flops, double mem_bytes) {
   const double t = world_->node().kernel_time(flops, mem_bytes);
+  obs::ScopedSpan span(tracer_, track_, "compute", "cpu");
   co_await des::delay(world_->engine(), des::from_seconds(t));
 }
 
@@ -379,23 +429,27 @@ des::Task<void> SimComm::run_schedule(const coll::Schedule& schedule,
 }
 
 des::Task<void> SimComm::barrier() {
+  obs::ScopedSpan span(tracer_, track_, "barrier", "coll");
   co_await run_schedule(
       world_->collective_schedule(coll::Collective::kBarrier, 0, 0), 1);
 }
 
 des::Task<void> SimComm::broadcast(std::uint64_t bytes, int root) {
+  obs::ScopedSpan span(tracer_, track_, "broadcast", "coll");
   co_await run_schedule(
       world_->collective_schedule(coll::Collective::kBroadcast, bytes, root),
       1);
 }
 
 des::Task<void> SimComm::allreduce(std::uint64_t bytes) {
+  obs::ScopedSpan span(tracer_, track_, "allreduce", "coll");
   co_await run_schedule(
       world_->collective_schedule(coll::Collective::kAllreduce, bytes, 0),
       1);
 }
 
 des::Task<void> SimComm::allgather(std::uint64_t block_bytes) {
+  obs::ScopedSpan span(tracer_, track_, "allgather", "coll");
   co_await run_schedule(
       world_->collective_schedule(coll::Collective::kAllgather, block_bytes,
                                   0),
@@ -403,6 +457,7 @@ des::Task<void> SimComm::allgather(std::uint64_t block_bytes) {
 }
 
 des::Task<void> SimComm::alltoall(std::uint64_t block_bytes) {
+  obs::ScopedSpan span(tracer_, track_, "alltoall", "coll");
   co_await run_schedule(
       world_->collective_schedule(coll::Collective::kAlltoall, block_bytes,
                                   0),
@@ -440,9 +495,57 @@ void SimWorld::launch(std::function<des::Task<void>(SimComm&)> program) {
   }
 }
 
+void SimWorld::attach_tracer(obs::Tracer& tracer) {
+  for (auto& c : comms_) {
+    c->tracer_ = &tracer;
+    c->track_ =
+        tracer.add_track("ranks", "rank " + std::to_string(c->rank_));
+  }
+  network_->attach_tracer(tracer);
+}
+
+void SimWorld::attach_metrics(obs::MetricsRegistry& metrics) {
+  metrics_ = &metrics;
+  for (auto& c : comms_) {
+    c->sends_counter_ = &metrics.counter("simrt.sends");
+    c->msg_bytes_ = &metrics.histogram("simrt.msg_bytes");
+  }
+}
+
 double SimWorld::run() {
   const des::SimTime t0 = engine_.now();
   engine_.run();
+  if (metrics_) {
+    // Totals mirrored as gauges: idempotent across repeated run() calls.
+    const des::EngineStats es = engine_.stats();
+    metrics_->gauge("des.events_executed").set(
+        static_cast<double>(es.executed));
+    metrics_->gauge("des.events_scheduled").set(
+        static_cast<double>(es.scheduled));
+    metrics_->gauge("des.max_queue_depth").set(
+        static_cast<double>(es.max_queue_depth));
+    const fabric::NetworkStats& ns = network_->stats();
+    metrics_->gauge("fabric.messages").set(static_cast<double>(ns.messages));
+    metrics_->gauge("fabric.bytes").set(static_cast<double>(ns.bytes));
+    metrics_->gauge("fabric.packets").set(static_cast<double>(ns.packets));
+    metrics_->gauge("fabric.circuit_hits").set(
+        static_cast<double>(ns.circuit_hits));
+    metrics_->gauge("fabric.circuit_misses").set(
+        static_cast<double>(ns.circuit_misses));
+    metrics_->gauge("fabric.link_busy_s").set(ns.total_link_busy_s);
+    std::uint64_t eager = 0, rdv = 0, reg_hits = 0, reg_misses = 0;
+    for (const auto& c : comms_) {
+      eager += c->eager_count_;
+      rdv += c->rendezvous_count_;
+      reg_hits += c->reg_stats().hits;
+      reg_misses += c->reg_stats().misses;
+    }
+    metrics_->gauge("simrt.eager_sends").set(static_cast<double>(eager));
+    metrics_->gauge("simrt.rendezvous_sends").set(static_cast<double>(rdv));
+    metrics_->gauge("msg.reg_cache.hits").set(static_cast<double>(reg_hits));
+    metrics_->gauge("msg.reg_cache.misses").set(
+        static_cast<double>(reg_misses));
+  }
   return des::to_seconds(engine_.now() - t0);
 }
 

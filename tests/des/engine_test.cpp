@@ -137,6 +137,22 @@ TEST(Engine, EventsMayScheduleMoreEvents) {
   EXPECT_EQ(e.now(), 99);
 }
 
+TEST(Engine, StatsTrackQueueAndCancellations) {
+  Engine e;
+  for (int i = 0; i < 4; ++i) e.schedule_at(i, [] {});
+  const EventId victim = e.schedule_at(10, [] {});
+  EXPECT_EQ(e.queue_depth(), 5u);
+  e.cancel(victim);
+  e.run();
+
+  const EngineStats s = e.stats();
+  EXPECT_EQ(s.scheduled, 5u);
+  EXPECT_EQ(s.executed, 4u);
+  EXPECT_EQ(s.cancelled_skipped, 1u);
+  EXPECT_EQ(s.max_queue_depth, 5u);
+  EXPECT_EQ(e.queue_depth(), 0u);
+}
+
 TEST(TimeConversions, RoundTrip) {
   EXPECT_EQ(from_seconds(1.0), kSecond);
   EXPECT_EQ(from_seconds(1e-6), kMicrosecond);

@@ -1,0 +1,118 @@
+#include "polaris/obs/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "polaris/obs/trace.hpp"
+
+namespace polaris::obs {
+namespace {
+
+Tracer make_tracer() { return Tracer{}; }
+
+TEST(TraceAnalysis, GaplessChainCoversMakespan) {
+  Tracer tracer;
+  const TrackId r0 = tracer.add_track("ranks", "rank 0");
+  const TrackId r1 = tracer.add_track("ranks", "rank 1");
+  tracer.complete_span(r0, "compute", "", 0, 100);
+  tracer.complete_span(r1, "send", "", 100, 150);
+  tracer.complete_span(r0, "recv", "", 250, 50);
+
+  const TraceAnalysis analysis(tracer);
+  const CriticalPath path = analysis.critical_path("ranks");
+  EXPECT_DOUBLE_EQ(path.makespan_s, 300e-9);
+  EXPECT_DOUBLE_EQ(path.length_s, 300e-9);
+  EXPECT_DOUBLE_EQ(path.coverage, 1.0);
+  ASSERT_EQ(path.steps.size(), 3u);
+  EXPECT_EQ(path.steps[0].name, "compute");  // chronological
+  EXPECT_EQ(path.steps[1].name, "send");
+  EXPECT_EQ(path.steps[2].name, "recv");
+}
+
+TEST(TraceAnalysis, OverlapPrefersEarliestStartingActiveSpan) {
+  Tracer tracer;
+  const TrackId r0 = tracer.add_track("ranks", "rank 0");
+  const TrackId r1 = tracer.add_track("ranks", "rank 1");
+  tracer.complete_span(r0, "long", "", 0, 200);
+  tracer.complete_span(r1, "short", "", 150, 50);  // same end, later start
+
+  const TraceAnalysis analysis(tracer);
+  const CriticalPath path = analysis.critical_path("ranks");
+  ASSERT_EQ(path.steps.size(), 1u);
+  EXPECT_EQ(path.steps[0].name, "long");
+  EXPECT_DOUBLE_EQ(path.coverage, 1.0);
+}
+
+TEST(TraceAnalysis, GapsJumpToLatestEarlierSpan) {
+  Tracer tracer;
+  const TrackId r0 = tracer.add_track("ranks", "rank 0");
+  tracer.complete_span(r0, "early", "", 0, 100);
+  tracer.complete_span(r0, "late", "", 150, 100);  // hole in [100, 150)
+
+  const TraceAnalysis analysis(tracer);
+  const CriticalPath path = analysis.critical_path("ranks");
+  EXPECT_DOUBLE_EQ(path.makespan_s, 250e-9);
+  EXPECT_DOUBLE_EQ(path.length_s, 200e-9);
+  EXPECT_NEAR(path.coverage, 0.8, 1e-12);
+  ASSERT_EQ(path.steps.size(), 2u);
+  EXPECT_EQ(path.steps[0].name, "early");
+  EXPECT_EQ(path.steps[1].name, "late");
+}
+
+TEST(TraceAnalysis, ContributorsAggregateByName) {
+  Tracer tracer;
+  const TrackId r0 = tracer.add_track("ranks", "rank 0");
+  tracer.complete_span(r0, "wait", "", 0, 100);
+  tracer.complete_span(r0, "compute", "", 100, 50);
+  tracer.complete_span(r0, "wait", "", 150, 300);
+
+  const TraceAnalysis analysis(tracer);
+  const CriticalPath path = analysis.critical_path("ranks");
+  ASSERT_EQ(path.contributors.size(), 2u);
+  EXPECT_EQ(path.contributors[0].name, "wait");  // descending by time
+  EXPECT_EQ(path.contributors[0].spans, 2u);
+  EXPECT_DOUBLE_EQ(path.contributors[0].seconds, 400e-9);
+  EXPECT_NEAR(path.contributors[0].fraction, 400.0 / 450.0, 1e-12);
+}
+
+TEST(TraceAnalysis, ProcessFilterSelectsTracks) {
+  Tracer tracer;
+  const TrackId r0 = tracer.add_track("ranks", "rank 0");
+  const TrackId l0 = tracer.add_track("links", "link 0");
+  tracer.complete_span(r0, "compute", "", 0, 100);
+  tracer.complete_span(l0, "busy", "", 0, 500);
+
+  const TraceAnalysis analysis(tracer);
+  const CriticalPath ranks = analysis.critical_path("ranks");
+  EXPECT_DOUBLE_EQ(ranks.makespan_s, 100e-9);
+  ASSERT_EQ(ranks.steps.size(), 1u);
+  EXPECT_EQ(ranks.steps[0].name, "compute");
+
+  const auto totals = analysis.total_by_name("links");
+  ASSERT_EQ(totals.size(), 1u);
+  EXPECT_EQ(totals[0].name, "busy");
+  EXPECT_DOUBLE_EQ(totals[0].seconds, 500e-9);
+}
+
+TEST(TraceAnalysis, EmptyTraceIsBenign) {
+  const Tracer tracer = make_tracer();
+  const TraceAnalysis analysis(tracer);
+  const CriticalPath path = analysis.critical_path("ranks");
+  EXPECT_DOUBLE_EQ(path.makespan_s, 0.0);
+  EXPECT_TRUE(path.steps.empty());
+}
+
+TEST(TraceAnalysis, ReportMentionsCoverageAndContributors) {
+  Tracer tracer;
+  const TrackId r0 = tracer.add_track("ranks", "rank 0");
+  tracer.complete_span(r0, "compute", "", 0, 100);
+  const TraceAnalysis analysis(tracer);
+  std::ostringstream os;
+  TraceAnalysis::report(os, analysis.critical_path("ranks"));
+  EXPECT_NE(os.str().find("critical path"), std::string::npos);
+  EXPECT_NE(os.str().find("compute"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace polaris::obs

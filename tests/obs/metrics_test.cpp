@@ -1,0 +1,126 @@
+#include "polaris/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "polaris/support/stats.hpp"
+
+namespace polaris::obs {
+namespace {
+
+TEST(Counter, ConcurrentAddsSumExactly) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("hits");
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  // Same name resolves to the same object, so the registry sees the total.
+  EXPECT_EQ(registry.counter("hits").value(), kThreads * kPerThread);
+}
+
+TEST(Counter, AddWithArgument) {
+  Counter c;
+  c.add(5);
+  c.add(7);
+  EXPECT_EQ(c.value(), 12u);
+}
+
+TEST(Gauge, SetOverwritesObserveMaxRetains) {
+  Gauge g;
+  g.set(3.0);
+  g.set(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  g.observe_max(5.0);
+  g.observe_max(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+}
+
+TEST(Gauge, ConcurrentObserveMaxKeepsGlobalMax) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < 10'000; ++i) {
+        g.observe_max(static_cast<double>(t * 10'000 + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), 8.0 * 10'000 - 1);
+}
+
+TEST(HistogramMetric, PercentilesMatchSupportSummary) {
+  Histogram h;
+  support::Summary reference;
+  // Deterministic pseudo-random stream (LCG).
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 10'000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double x = static_cast<double>(state >> 40);
+    h.record(x);
+    reference.add(x);
+  }
+  EXPECT_EQ(h.count(), reference.count());
+  EXPECT_DOUBLE_EQ(h.mean(), reference.mean());
+  EXPECT_DOUBLE_EQ(h.min(), reference.min());
+  EXPECT_DOUBLE_EQ(h.max(), reference.max());
+  EXPECT_DOUBLE_EQ(h.sum(), reference.sum());
+  for (double p : {0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), reference.percentile(p)) << "p" << p;
+  }
+}
+
+TEST(HistogramMetric, EmptyIsZeroes) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(MetricsRegistry, StableIdentityAcrossLookups) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Gauge& g = registry.gauge("x");  // same name, different kind: distinct
+  Histogram& h = registry.histogram("x");
+  EXPECT_EQ(&a, &registry.counter("x"));
+  EXPECT_EQ(&g, &registry.gauge("x"));
+  EXPECT_EQ(&h, &registry.histogram("x"));
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistry, DumpIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("b.count").add(2);
+  registry.counter("a.count").add(1);
+  registry.gauge("depth").set(4.5);
+  registry.histogram("lat").record(1.0);
+
+  std::ostringstream os;
+  registry.dump(os);
+  const std::string out = os.str();
+  const auto a = out.find("a.count");
+  const auto b = out.find("b.count");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_NE(out.find("depth"), std::string::npos);
+  EXPECT_NE(out.find("lat"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace polaris::obs

@@ -5,8 +5,13 @@
 // For each fabric: half round trip and delivered bandwidth per message
 // size, simulated over a 2-node fabric, plus the small-message and
 // large-message headline numbers.
+//
+// Each fabric is an independent simulation, so the sweep fans out across a
+// SweepRunner thread pool (POLARIS_SWEEP_THREADS=1 forces serial); output
+// is byte-identical at any thread count.
 #include <iostream>
 
+#include "polaris/des/sweep.hpp"
 #include "polaris/support/table.hpp"
 #include "polaris/support/units.hpp"
 #include "polaris/workload/apps.hpp"
@@ -21,15 +26,17 @@ int main() {
 
   support::Table lat("F2a: one-way latency by message size (half RTT)");
   std::vector<std::string> header{"bytes"};
-  std::vector<workload::PingPongResult> results;
-  for (const auto& params : fabric::fabrics::all()) {
-    header.push_back(params.name);
-    workload::PingPongResult res;
-    simrt::SimWorld world(2, params);
-    world.launch(workload::make_pingpong(cfg, &res));
-    world.run();
-    results.push_back(std::move(res));
-  }
+  const std::vector<fabric::FabricParams> sweep = fabric::fabrics::all();
+  for (const auto& params : sweep) header.push_back(params.name);
+  des::SweepRunner runner;
+  const std::vector<workload::PingPongResult> results = runner.map(
+      sweep, [&cfg](const fabric::FabricParams& params, std::size_t) {
+        workload::PingPongResult res;
+        simrt::SimWorld world(2, params);
+        world.launch(workload::make_pingpong(cfg, &res));
+        world.run();
+        return res;
+      });
   lat.header(header);
   for (std::size_t i = 0; i < cfg.sizes.size(); ++i) {
     std::vector<std::string> row{support::format_bytes(cfg.sizes[i])};

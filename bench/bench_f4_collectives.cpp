@@ -3,22 +3,54 @@
 // Simulated allreduce/broadcast/barrier across node counts and payloads,
 // per algorithm, over InfiniBand fat trees; shows the linear->log->ring
 // crossovers and that automatic selection tracks the per-regime winner.
+//
+// Every (ranks, payload, algorithm) cell is an independent simulation, so
+// the grid fans out across a SweepRunner thread pool; result vectors come
+// back in point order and the printed tables are byte-identical no matter
+// how many threads ran (POLARIS_SWEEP_THREADS=1 forces serial).
+#include <cstddef>
 #include <iostream>
+#include <vector>
 
 #include "polaris/coll/cost.hpp"
+#include "polaris/des/sweep.hpp"
 #include "polaris/simrt/sim_world.hpp"
 #include "polaris/support/table.hpp"
 #include "polaris/support/units.hpp"
 
 namespace {
 
-double timed(std::size_t ranks, const polaris::coll::Schedule& schedule,
-             std::size_t elem_bytes) {
-  polaris::simrt::SimWorld world(ranks,
-                                 polaris::fabric::fabrics::infiniband_4x());
+/// One grid cell: simulate `ranks` executing the schedule for this
+/// collective/algorithm with a payload of `count` x `elem_bytes`.
+struct Cell {
+  polaris::coll::Collective kind;
+  polaris::coll::Algorithm algo;
+  std::size_t ranks;
+  std::size_t count;
+  std::size_t elem_bytes;
+  int root = 0;
+};
+
+double timed(const Cell& cell) {
+  using namespace polaris;
+  coll::Schedule schedule;
+  switch (cell.kind) {
+    case coll::Collective::kAllreduce:
+      schedule = coll::allreduce(cell.ranks, cell.count, cell.algo);
+      break;
+    case coll::Collective::kBroadcast:
+      schedule =
+          coll::broadcast(cell.ranks, cell.count, cell.root, cell.algo);
+      break;
+    default:
+      schedule = coll::barrier(cell.ranks, cell.algo);
+      break;
+  }
+  simrt::SimWorld world(cell.ranks,
+                        fabric::fabrics::infiniband_4x());
   world.launch(
-      [&](polaris::simrt::SimComm& c) -> polaris::des::Task<void> {
-        co_await c.run_schedule(schedule, elem_bytes);
+      [&](simrt::SimComm& c) -> des::Task<void> {
+        co_await c.run_schedule(schedule, cell.elem_bytes);
       });
   return world.run();
 }
@@ -28,6 +60,24 @@ double timed(std::size_t ranks, const polaris::coll::Schedule& schedule,
 int main() {
   using namespace polaris;
   const std::size_t rank_set[] = {4, 16, 64, 256};
+  const coll::Algorithm ar_algos[] = {
+      coll::Algorithm::kBinomial, coll::Algorithm::kRing,
+      coll::Algorithm::kRecursiveDoubling, coll::Algorithm::kRabenseifner};
+
+  des::SweepRunner runner;
+
+  // One flat grid per figure; each consumed in point order below.
+  std::vector<Cell> ar_cells;
+  for (std::size_t p : rank_set) {
+    for (std::size_t count : {std::size_t{1}, std::size_t{128 * 1024}}) {
+      for (coll::Algorithm a : ar_algos) {
+        ar_cells.push_back(
+            {coll::Collective::kAllreduce, a, p, count, 8});
+      }
+    }
+  }
+  const std::vector<double> ar_times =
+      runner.map(ar_cells, [](const Cell& c, std::size_t) { return timed(c); });
 
   support::Table ar8("F4a: allreduce, 8 B payload (latency regime)");
   support::Table ar1m("F4b: allreduce, 1 MiB payload (bandwidth regime)");
@@ -35,17 +85,14 @@ int main() {
     t->header({"ranks", "binomial", "ring", "recursive-doubling",
                "rabenseifner", "selected"});
   }
+  std::size_t ar_at = 0;
   for (std::size_t p : rank_set) {
     for (auto [table, count] :
          {std::pair<support::Table*, std::size_t>{&ar8, 1},
           {&ar1m, 128 * 1024}}) {
       std::vector<std::string> row{std::to_string(p)};
-      for (coll::Algorithm a :
-           {coll::Algorithm::kBinomial, coll::Algorithm::kRing,
-            coll::Algorithm::kRecursiveDoubling,
-            coll::Algorithm::kRabenseifner}) {
-        row.push_back(support::format_time(
-            timed(p, coll::allreduce(p, count, a), 8)));
+      for (std::size_t a = 0; a < std::size(ar_algos); ++a) {
+        row.push_back(support::format_time(ar_times[ar_at++]));
       }
       // Selection column.
       simrt::SimWorld probe(p, fabric::fabrics::infiniband_4x());
@@ -60,32 +107,47 @@ int main() {
   ar1m.print(std::cout);
 
   std::cout << "\n";
+  std::vector<Cell> bc_cells;
+  for (std::size_t p : rank_set) {
+    for (coll::Algorithm a : {coll::Algorithm::kLinear,
+                              coll::Algorithm::kBinomial,
+                              coll::Algorithm::kRing}) {
+      bc_cells.push_back(
+          {coll::Collective::kBroadcast, a, p, 64 * 1024, 1});
+    }
+  }
+  const std::vector<double> bc_times =
+      runner.map(bc_cells, [](const Cell& c, std::size_t) { return timed(c); });
   support::Table bc("F4c: broadcast 64 KiB by algorithm");
   bc.header({"ranks", "linear", "binomial", "ring-pipelined"});
+  std::size_t bc_at = 0;
   for (std::size_t p : rank_set) {
     bc.add(static_cast<unsigned long long>(p),
-           support::format_time(
-               timed(p, coll::broadcast(p, 64 * 1024, 0,
-                                        coll::Algorithm::kLinear), 1)),
-           support::format_time(
-               timed(p, coll::broadcast(p, 64 * 1024, 0,
-                                        coll::Algorithm::kBinomial), 1)),
-           support::format_time(timed(
-               p, coll::broadcast(p, 64 * 1024, 0, coll::Algorithm::kRing),
-               1)));
+           support::format_time(bc_times[bc_at]),
+           support::format_time(bc_times[bc_at + 1]),
+           support::format_time(bc_times[bc_at + 2]));
+    bc_at += 3;
   }
   bc.print(std::cout);
 
   std::cout << "\n";
+  std::vector<Cell> ba_cells;
+  for (std::size_t p : {4u, 16u, 64u, 256u, 1024u}) {
+    for (coll::Algorithm a :
+         {coll::Algorithm::kDissemination, coll::Algorithm::kLinear}) {
+      ba_cells.push_back({coll::Collective::kBarrier, a, p, 1, 1});
+    }
+  }
+  const std::vector<double> ba_times =
+      runner.map(ba_cells, [](const Cell& c, std::size_t) { return timed(c); });
   support::Table ba("F4d: barrier");
   ba.header({"ranks", "dissemination", "linear"});
+  std::size_t ba_at = 0;
   for (std::size_t p : {4u, 16u, 64u, 256u, 1024u}) {
     ba.add(static_cast<unsigned long long>(p),
-           support::format_time(
-               timed(p, coll::barrier(p, coll::Algorithm::kDissemination),
-                     1)),
-           support::format_time(
-               timed(p, coll::barrier(p, coll::Algorithm::kLinear), 1)));
+           support::format_time(ba_times[ba_at]),
+           support::format_time(ba_times[ba_at + 1]));
+    ba_at += 2;
   }
   ba.print(std::cout);
 

@@ -3,11 +3,24 @@
 // The 2-D halo-exchange stencil (weak scaling) and the CG-like solver
 // (strong-scaling behaviour of its latency-bound allreduces) across
 // fabrics and rank counts.
+//
+// Each (app, ranks, fabric) cell simulates an independent world, so the
+// grids fan out across a SweepRunner thread pool; tables print from the
+// ordered result vectors and are byte-identical at any thread count.
+#include <cstddef>
 #include <iostream>
+#include <vector>
 
+#include "polaris/des/sweep.hpp"
 #include "polaris/support/table.hpp"
 #include "polaris/support/units.hpp"
 #include "polaris/workload/apps.hpp"
+
+namespace {
+
+using polaris::workload::AppResult;
+
+}  // namespace
 
 int main() {
   using namespace polaris;
@@ -15,6 +28,8 @@ int main() {
   const std::vector<fabric::FabricParams> fabrics = {
       fabric::fabrics::gig_ethernet(), fabric::fabrics::myrinet2000(),
       fabric::fabrics::infiniband_4x()};
+
+  des::SweepRunner runner;
 
   support::Table halo("F6a: halo2d weak scaling (256^2 per rank, 10 iter): "
                       "time and comm%");
@@ -26,13 +41,27 @@ int main() {
   halo.header(header);
   workload::Halo2DConfig hcfg;
   hcfg.iterations = 10;
+  struct GridPoint {
+    std::size_t ranks;
+    fabric::FabricParams fabric;
+  };
+  std::vector<GridPoint> grid;
+  for (std::size_t p : rank_set) {
+    for (const auto& f : fabrics) grid.push_back({p, f});
+  }
+  const std::vector<AppResult> halo_res = runner.map(
+      grid, [&hcfg](const GridPoint& g, std::size_t) {
+        AppResult res;
+        simrt::SimWorld world(g.ranks, g.fabric);
+        world.launch(workload::make_halo2d(hcfg, g.ranks, &res));
+        world.run();
+        return res;
+      });
+  std::size_t at = 0;
   for (std::size_t p : rank_set) {
     std::vector<std::string> row{std::to_string(p)};
-    for (const auto& f : fabrics) {
-      workload::AppResult res;
-      simrt::SimWorld world(p, f);
-      world.launch(workload::make_halo2d(hcfg, p, &res));
-      world.run();
+    for (std::size_t f = 0; f < fabrics.size(); ++f) {
+      const AppResult& res = halo_res[at++];
       row.push_back(support::format_time(res.elapsed));
       row.push_back(support::Table::to_cell(100.0 * res.comm_fraction));
     }
@@ -46,13 +75,19 @@ int main() {
   cg.header(header);
   workload::CgConfig ccfg;
   ccfg.iterations = 20;
+  const std::vector<AppResult> cg_res = runner.map(
+      grid, [&ccfg](const GridPoint& g, std::size_t) {
+        AppResult res;
+        simrt::SimWorld world(g.ranks, g.fabric);
+        world.launch(workload::make_cg(ccfg, g.ranks, &res));
+        world.run();
+        return res;
+      });
+  at = 0;
   for (std::size_t p : rank_set) {
     std::vector<std::string> row{std::to_string(p)};
-    for (const auto& f : fabrics) {
-      workload::AppResult res;
-      simrt::SimWorld world(p, f);
-      world.launch(workload::make_cg(ccfg, p, &res));
-      world.run();
+    for (std::size_t f = 0; f < fabrics.size(); ++f) {
+      const AppResult& res = cg_res[at++];
       row.push_back(support::format_time(res.elapsed));
       row.push_back(support::Table::to_cell(100.0 * res.comm_fraction));
     }
@@ -65,16 +100,26 @@ int main() {
                     "the easy case");
   ep.header({"ranks", "gig-ethernet", "infiniband-4x"});
   workload::EpConfig ecfg;
+  std::vector<GridPoint> ep_grid;
   for (std::size_t p : rank_set) {
-    std::vector<std::string> row{std::to_string(p)};
     for (const auto& f :
          {fabric::fabrics::gig_ethernet(), fabric::fabrics::infiniband_4x()}) {
-      workload::AppResult res;
-      simrt::SimWorld world(p, f);
-      world.launch(workload::make_ep(ecfg, &res));
-      world.run();
-      row.push_back(support::format_time(res.elapsed));
+      ep_grid.push_back({p, f});
     }
+  }
+  const std::vector<AppResult> ep_res = runner.map(
+      ep_grid, [&ecfg](const GridPoint& g, std::size_t) {
+        AppResult res;
+        simrt::SimWorld world(g.ranks, g.fabric);
+        world.launch(workload::make_ep(ecfg, &res));
+        world.run();
+        return res;
+      });
+  at = 0;
+  for (std::size_t p : rank_set) {
+    std::vector<std::string> row{std::to_string(p)};
+    row.push_back(support::format_time(ep_res[at++].elapsed));
+    row.push_back(support::format_time(ep_res[at++].elapsed));
     ep.row(row);
   }
   ep.print(std::cout);
@@ -88,22 +133,31 @@ int main() {
   h3cfg.iterations = 5;
   workload::IncastConfig icfg;
   icfg.rounds = 3;
-  for (std::size_t p : {8u, 27u, 64u, 125u}) {
-    workload::AppResult hres, ires;
-    {
-      simrt::SimWorld world(p, fabric::fabrics::infiniband_4x());
-      world.launch(workload::make_halo3d(h3cfg, p, &hres));
-      world.run();
-    }
-    {
-      simrt::SimWorld world(p, fabric::fabrics::infiniband_4x());
-      world.launch(workload::make_incast(icfg, &ires));
-      world.run();
-    }
-    d3.add(static_cast<unsigned long long>(p),
-           support::format_time(hres.elapsed),
-           support::Table::to_cell(100.0 * hres.comm_fraction),
-           support::format_time(ires.elapsed));
+  const std::vector<std::size_t> d3_ranks{8, 27, 64, 125};
+  struct D3Result {
+    AppResult halo;
+    AppResult incast;
+  };
+  const std::vector<D3Result> d3_res = runner.map(
+      d3_ranks, [&h3cfg, &icfg](std::size_t p, std::size_t) {
+        D3Result out;
+        {
+          simrt::SimWorld world(p, fabric::fabrics::infiniband_4x());
+          world.launch(workload::make_halo3d(h3cfg, p, &out.halo));
+          world.run();
+        }
+        {
+          simrt::SimWorld world(p, fabric::fabrics::infiniband_4x());
+          world.launch(workload::make_incast(icfg, &out.incast));
+          world.run();
+        }
+        return out;
+      });
+  for (std::size_t i = 0; i < d3_ranks.size(); ++i) {
+    d3.add(static_cast<unsigned long long>(d3_ranks[i]),
+           support::format_time(d3_res[i].halo.elapsed),
+           support::Table::to_cell(100.0 * d3_res[i].halo.comm_fraction),
+           support::format_time(d3_res[i].incast.elapsed));
   }
   d3.print(std::cout);
 

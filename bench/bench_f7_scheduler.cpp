@@ -3,12 +3,34 @@
 // A 10k-job Feitelson-style synthetic trace replayed under each policy on
 // 128-1024 node machines, plus a load sweep showing where backfilling's
 // advantage opens up.
+//
+// Every (machine size, policy) replay is independent — trace generation is
+// seeded per point — so the grid fans out across a SweepRunner thread
+// pool; tables print from the ordered results and are byte-identical at
+// any thread count.
+#include <cstddef>
 #include <iostream>
+#include <vector>
 
+#include "polaris/des/sweep.hpp"
 #include "polaris/sched/scheduler.hpp"
 #include "polaris/sched/trace.hpp"
 #include "polaris/support/table.hpp"
 #include "polaris/support/units.hpp"
+
+namespace {
+
+constexpr polaris::sched::Policy kPolicies[] = {
+    polaris::sched::Policy::kFcfs, polaris::sched::Policy::kSjf,
+    polaris::sched::Policy::kEasyBackfill,
+    polaris::sched::Policy::kConservative};
+
+struct Replay {
+  double load = 0;
+  polaris::sched::SchedMetrics metrics;
+};
+
+}  // namespace
 
 int main() {
   using namespace polaris;
@@ -16,27 +38,42 @@ int main() {
   support::Table main_t("F7a: 10k-job trace by machine size and policy");
   main_t.header({"nodes", "policy", "load", "utilization", "mean wait",
                  "p95 wait", "mean bsld", "backfilled"});
-  for (std::size_t nodes : {128u, 256u, 512u, 1024u}) {
-    sched::TraceConfig cfg;
-    cfg.jobs = 10000;
-    cfg.max_width_exp = 7;  // jobs up to 128 nodes
-    // Keep offered load ~0.85 as the machine grows (mean job is ~40
-    // nodes x ~3.3 h).
-    cfg.mean_interarrival = 4400.0 * 128.0 / static_cast<double>(nodes);
-    const auto base = sched::generate_trace(cfg, 42);
-    const double load = sched::offered_load(base, nodes);
-    for (auto policy : {sched::Policy::kFcfs, sched::Policy::kSjf,
-                        sched::Policy::kEasyBackfill,
-                        sched::Policy::kConservative}) {
-      auto jobs = base;
-      const auto m = sched::run_scheduler(jobs, nodes, policy);
+  const std::vector<std::size_t> machine_sizes{128, 256, 512, 1024};
+  struct MainPoint {
+    std::size_t nodes;
+    sched::Policy policy;
+  };
+  std::vector<MainPoint> main_grid;
+  for (std::size_t nodes : machine_sizes) {
+    for (auto policy : kPolicies) main_grid.push_back({nodes, policy});
+  }
+  des::SweepRunner runner;
+  const std::vector<Replay> main_res = runner.map(
+      main_grid, [](const MainPoint& pt, std::size_t) {
+        sched::TraceConfig cfg;
+        cfg.jobs = 10000;
+        cfg.max_width_exp = 7;  // jobs up to 128 nodes
+        // Keep offered load ~0.85 as the machine grows (mean job is ~40
+        // nodes x ~3.3 h).
+        cfg.mean_interarrival =
+            4400.0 * 128.0 / static_cast<double>(pt.nodes);
+        auto jobs = sched::generate_trace(cfg, 42);
+        Replay out;
+        out.load = sched::offered_load(jobs, pt.nodes);
+        out.metrics = sched::run_scheduler(jobs, pt.nodes, pt.policy);
+        return out;
+      });
+  std::size_t at = 0;
+  for (std::size_t nodes : machine_sizes) {
+    for (auto policy : kPolicies) {
+      const Replay& r = main_res[at++];
       main_t.add(static_cast<unsigned long long>(nodes),
-                 sched::to_string(policy), support::Table::to_cell(load),
-                 support::Table::to_cell(m.utilization),
-                 support::format_time(m.mean_wait),
-                 support::format_time(m.p95_wait),
-                 support::Table::to_cell(m.mean_bounded_slowdown),
-                 static_cast<unsigned long long>(m.backfilled));
+                 sched::to_string(policy), support::Table::to_cell(r.load),
+                 support::Table::to_cell(r.metrics.utilization),
+                 support::format_time(r.metrics.mean_wait),
+                 support::format_time(r.metrics.p95_wait),
+                 support::Table::to_cell(r.metrics.mean_bounded_slowdown),
+                 static_cast<unsigned long long>(r.metrics.backfilled));
     }
   }
   main_t.print(std::cout);
@@ -46,20 +83,35 @@ int main() {
                        "slowdown");
   sweep.header({"offered load", "fcfs", "sjf", "easy-backfill",
                 "conservative"});
-  for (double inter : {2650.0, 2320.0, 2060.0, 1855.0, 1686.0}) {
-    sched::TraceConfig cfg;
-    cfg.jobs = 6000;
-    cfg.max_width_exp = 7;
-    cfg.mean_interarrival = inter;
-    const auto base = sched::generate_trace(cfg, 7);
+  const std::vector<double> interarrivals{2650.0, 2320.0, 2060.0, 1855.0,
+                                          1686.0};
+  struct SweepPoint {
+    double inter;
+    sched::Policy policy;
+  };
+  std::vector<SweepPoint> sweep_grid;
+  for (double inter : interarrivals) {
+    for (auto policy : kPolicies) sweep_grid.push_back({inter, policy});
+  }
+  const std::vector<Replay> sweep_res = runner.map(
+      sweep_grid, [](const SweepPoint& pt, std::size_t) {
+        sched::TraceConfig cfg;
+        cfg.jobs = 6000;
+        cfg.max_width_exp = 7;
+        cfg.mean_interarrival = pt.inter;
+        auto jobs = sched::generate_trace(cfg, 7);
+        Replay out;
+        out.load = sched::offered_load(jobs, 256);
+        out.metrics = sched::run_scheduler(jobs, 256, pt.policy);
+        return out;
+      });
+  at = 0;
+  for (std::size_t i = 0; i < interarrivals.size(); ++i) {
     std::vector<std::string> row{
-        support::Table::to_cell(sched::offered_load(base, 256))};
-    for (auto policy : {sched::Policy::kFcfs, sched::Policy::kSjf,
-                        sched::Policy::kEasyBackfill,
-                        sched::Policy::kConservative}) {
-      auto jobs = base;
-      const auto m = sched::run_scheduler(jobs, 256, policy);
-      row.push_back(support::Table::to_cell(m.mean_bounded_slowdown));
+        support::Table::to_cell(sweep_res[at].load)};
+    for (std::size_t p = 0; p < std::size(kPolicies); ++p) {
+      row.push_back(support::Table::to_cell(
+          sweep_res[at++].metrics.mean_bounded_slowdown));
     }
     sweep.row(row);
   }

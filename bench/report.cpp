@@ -1,0 +1,89 @@
+#include "report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace polaris::bench {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double v) {
+  // JSON has no NaN/Inf; null keeps the file parseable if a measurement
+  // went sideways.
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void Report::write(std::ostream& os) const {
+  os << "{\n";
+  os << "  \"tool\": ";
+  write_escaped(os, tool_);
+  os << ",\n  \"description\": ";
+  write_escaped(os, description_);
+  os << ",\n  \"schema_version\": 1";
+  os << ",\n  \"notes\": {";
+  for (std::size_t i = 0; i < notes_.size(); ++i) {
+    os << (i ? ", " : "");
+    write_escaped(os, notes_[i].first);
+    os << ": ";
+    write_escaped(os, notes_[i].second);
+  }
+  os << "},\n  \"results\": [";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ");
+    os << "{\"name\": ";
+    write_escaped(os, results_[i].name);
+    os << ", \"value\": ";
+    write_number(os, results_[i].value);
+    os << ", \"unit\": ";
+    write_escaped(os, results_[i].unit);
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+bool Report::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace polaris::bench

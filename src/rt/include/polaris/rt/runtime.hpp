@@ -161,7 +161,7 @@ class Communicator {
 
   SpscRing<detail::WireMsg>& ring_to(int dst);
   SpscRing<detail::WireMsg>& ring_from(int src);
-  void push_with_progress(int dst, const detail::WireMsg& m);
+  void push_with_progress(int dst, detail::WireMsg m);
   void handle_incoming(const detail::WireMsg& m);
   void complete_recv(detail::PendingRecv& pr, const detail::WireMsg& m);
   void deliver_local(int tag, std::span<const std::byte> data);

@@ -3,12 +3,20 @@
 // The wire of the shared-memory transport: each ordered rank pair owns one
 // ring, so SPSC is exact — the sender thread is the only producer, the
 // receiver thread the only consumer.  Classic Lamport queue with C++11
-// acquire/release atomics and cache-line-separated indices.
+// acquire/release atomics and cache-line-separated indices; the read-mostly
+// fields (mask_, slots_) sit on their own cache line so a producer reading
+// the mask never pulls the consumer's freshly-written tail line.
+//
+// Batched try_push_n/try_pop_n amortize the index round-trip: one acquire
+// load and one release store cover the whole batch, so draining a deep ring
+// costs two fences instead of two per element.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <new>
+#include <utility>
 #include <vector>
 
 #include "polaris/support/check.hpp"
@@ -35,14 +43,35 @@ class SpscRing {
 
   /// Producer side.  Returns false when full.
   bool try_push(const T& value) {
+    return emplace_impl([&](T& slot) { slot = value; });
+  }
+
+  /// Producer side, move flavour: message descriptors that own payload
+  /// pointers transfer them instead of copying.
+  bool try_push(T&& value) {
+    return emplace_impl([&](T& slot) { slot = std::move(value); });
+  }
+
+  /// Producer side, in-place construction of the pushed value.
+  template <typename... Args>
+  bool try_emplace(Args&&... args) {
+    return emplace_impl(
+        [&](T& slot) { slot = T(std::forward<Args>(args)...); });
+  }
+
+  /// Producer side, batched: moves up to `n` values from `src` into the
+  /// ring under a single index update.  Returns how many were pushed
+  /// (0 when full; may be < n when nearly full).
+  std::size_t try_push_n(T* src, std::size_t n) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
-    const std::size_t next = (head + 1) & mask_;
-    if (next == tail_.load(std::memory_order_acquire)) {
-      return false;  // full
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t free_slots = mask_ - ((head - tail) & mask_);
+    const std::size_t k = std::min(n, free_slots);
+    for (std::size_t i = 0; i < k; ++i) {
+      slots_[(head + i) & mask_] = std::move(src[i]);
     }
-    slots_[head] = value;
-    head_.store(next, std::memory_order_release);
-    return true;
+    if (k != 0) head_.store((head + k) & mask_, std::memory_order_release);
+    return k;
   }
 
   /// Consumer side.  Returns false when empty.
@@ -51,9 +80,23 @@ class SpscRing {
     if (tail == head_.load(std::memory_order_acquire)) {
       return false;  // empty
     }
-    out = slots_[tail];
+    out = std::move(slots_[tail]);
     tail_.store((tail + 1) & mask_, std::memory_order_release);
     return true;
+  }
+
+  /// Consumer side, batched: moves up to `max` values into `dst` under a
+  /// single index update.  Returns how many were popped (0 when empty).
+  std::size_t try_pop_n(T* dst, std::size_t max) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t avail = (head - tail) & mask_;
+    const std::size_t k = std::min(max, avail);
+    for (std::size_t i = 0; i < k; ++i) {
+      dst[i] = std::move(slots_[(tail + i) & mask_]);
+    }
+    if (k != 0) tail_.store((tail + k) & mask_, std::memory_order_release);
+    return k;
   }
 
   /// Consumer-side emptiness snapshot (exact for the consumer thread).
@@ -72,9 +115,21 @@ class SpscRing {
   std::size_t capacity() const { return mask_; }  // usable slots
 
  private:
+  template <typename Store>
+  bool emplace_impl(Store&& store) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) {
+      return false;  // full
+    }
+    store(slots_[head]);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
   alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // producer writes
   alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // consumer writes
-  std::size_t mask_;
+  alignas(kCacheLine) std::size_t mask_;  // read-only after construction
   std::vector<T> slots_;
 };
 

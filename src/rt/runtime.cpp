@@ -49,9 +49,9 @@ SpscRing<detail::WireMsg>& Communicator::ring_from(int src) {
   return *(*rings_)[static_cast<std::size_t>(src) * size_ + rank_];
 }
 
-void Communicator::push_with_progress(int dst, const detail::WireMsg& m) {
+void Communicator::push_with_progress(int dst, detail::WireMsg m) {
   auto& ring = ring_to(dst);
-  while (!ring.try_push(m)) {
+  while (!ring.try_push(std::move(m))) {
     progress();
     if (abort_flag_->load(std::memory_order_relaxed)) {
       throw std::runtime_error("polaris::rt: aborted (a peer rank failed)");
@@ -173,15 +173,19 @@ RecvStatus Communicator::recv(int src, int tag, std::span<std::byte> out) {
 }
 
 void Communicator::progress() {
-  detail::WireMsg m;
+  // Drain each ring in batches: one acquire/release index round-trip per
+  // batch instead of per descriptor.
+  constexpr std::size_t kBatch = 16;
+  detail::WireMsg batch[kBatch];
   for (int src = 0; src < size_; ++src) {
     if (src == rank_) continue;
     auto& ring = ring_from(src);
     if (ring_depth_) {
       ring_depth_->observe_max(static_cast<double>(ring.size_approx()));
     }
-    while (ring.try_pop(m)) {
-      handle_incoming(m);
+    std::size_t n;
+    while ((n = ring.try_pop_n(batch, kBatch)) != 0) {
+      for (std::size_t i = 0; i < n; ++i) handle_incoming(batch[i]);
     }
   }
 }

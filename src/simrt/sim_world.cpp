@@ -524,6 +524,16 @@ double SimWorld::run() {
         static_cast<double>(es.scheduled));
     metrics_->gauge("des.max_queue_depth").set(
         static_cast<double>(es.max_queue_depth));
+    metrics_->gauge("des.pool_capacity").set(
+        static_cast<double>(es.pool_capacity));
+    metrics_->gauge("des.pool_in_use").set(
+        static_cast<double>(es.pool_in_use));
+    metrics_->gauge("des.max_pool_in_use").set(
+        static_cast<double>(es.max_pool_in_use));
+    metrics_->gauge("des.sbo_misses").set(
+        static_cast<double>(es.sbo_misses));
+    metrics_->gauge("des.tombstones_reaped").set(
+        static_cast<double>(es.cancelled_skipped));
     const fabric::NetworkStats& ns = network_->stats();
     metrics_->gauge("fabric.messages").set(static_cast<double>(ns.messages));
     metrics_->gauge("fabric.bytes").set(static_cast<double>(ns.bytes));

@@ -153,6 +153,128 @@ TEST(Engine, StatsTrackQueueAndCancellations) {
   EXPECT_EQ(e.queue_depth(), 0u);
 }
 
+TEST(Engine, CancelledEventsAreReapedAndSlotsReused) {
+  Engine e;
+  for (int round = 0; round < 100; ++round) {
+    auto id = e.schedule_at(e.now() + 1, [] {});
+    e.cancel(id);
+    e.schedule_at(e.now() + 1, [] {});
+    e.run();
+  }
+  const EngineStats s = e.stats();
+  EXPECT_EQ(s.cancelled_skipped, 100u);
+  EXPECT_EQ(s.executed, 100u);
+  // Node slots recycle: the pool never grows past the per-round peak.
+  EXPECT_LE(s.pool_capacity, 2u);
+  EXPECT_EQ(s.pool_in_use, 0u);
+}
+
+TEST(Engine, CancelAfterSlotReuseDoesNotKillNewEvent) {
+  Engine e;
+  bool first = false, second = false;
+  const EventId id1 = e.schedule_at(10, [&] { first = true; });
+  e.run();  // id1 fires; its pool slot is released
+  const EventId id2 = e.schedule_at(20, [&] { second = true; });
+  EXPECT_EQ(id1.slot, id2.slot);  // slot reused...
+  e.cancel(id1);                  // ...so this stale cancel must be a no-op
+  e.run();
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(Engine, DoubleCancelIsIdempotent) {
+  Engine e;
+  bool ran = false;
+  auto id = e.schedule_at(10, [&] { ran = true; });
+  e.cancel(id);
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(e.stats().cancelled_skipped, 1u);
+}
+
+TEST(Engine, CancelOfNeverScheduledIdIsNoop) {
+  Engine e;
+  e.cancel(EventId{});         // invalid sentinel
+  e.cancel(EventId{123, 45});  // out-of-range slot
+  bool ran = false;
+  e.schedule_at(1, [&] { ran = true; });
+  e.run();
+  EXPECT_TRUE(ran);
+}
+
+// Regression for the seed engine's cancelled_-set leak: cancelling a fired
+// event inserted its sequence number into an unordered_set that nothing
+// ever erased.  With generation tombstones the cancel is recognized as
+// stale, so a million of them retain no state at all.
+TEST(Engine, CancellingAMillionFiredEventsRetainsNoState) {
+  Engine e;
+  std::vector<EventId> ids;
+  constexpr int kEvents = 1'000'000;
+  ids.reserve(kEvents);
+  constexpr int kBatch = 1000;
+  for (int batch = 0; batch < kEvents / kBatch; ++batch) {
+    for (int i = 0; i < kBatch; ++i) {
+      ids.push_back(e.schedule_after(1, [] {}));
+    }
+    e.run();
+  }
+  for (const EventId id : ids) e.cancel(id);  // all already fired
+  const EngineStats s = e.stats();
+  EXPECT_EQ(s.executed, static_cast<std::uint64_t>(kEvents));
+  EXPECT_EQ(s.cancelled_skipped, 0u);  // no live event was ever cancelled
+  EXPECT_EQ(e.queue_depth(), 0u);
+  EXPECT_EQ(s.pool_in_use, 0u);
+  // Engine state is bounded by the high watermark, not by history.
+  EXPECT_LE(s.pool_capacity, static_cast<std::size_t>(kBatch));
+  EXPECT_EQ(s.max_pool_in_use, static_cast<std::size_t>(kBatch));
+  // And the stale cancels really are no-ops: new events still run.
+  bool ran = false;
+  e.schedule_after(1, [&] { ran = true; });
+  e.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, RunUntilIgnoresCancelledEventAtHead) {
+  Engine e;
+  bool late_ran = false;
+  auto id = e.schedule_at(10, [] {});
+  e.schedule_at(50, [&] { late_ran = true; });
+  e.cancel(id);
+  // The cancelled head must not bait run_until into executing the t=50
+  // event before the boundary.
+  EXPECT_EQ(e.run_until(25), 0u);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(e.now(), 25);
+  e.run();
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Engine, CountsSboMissesForOversizedCallbacks) {
+  Engine e;
+  e.schedule_at(1, [] {});  // tiny: inline
+  struct Big {
+    char pad[200] = {};
+  };
+  Big big;
+  e.schedule_at(2, [big] { (void)big; });  // oversized: heap fallback
+  e.run();
+  EXPECT_EQ(e.stats().sbo_misses, 1u);
+}
+
+TEST(Engine, PoolOccupancyTracksQueueDepth) {
+  Engine e;
+  for (int i = 0; i < 10; ++i) e.schedule_at(i, [] {});
+  EngineStats s = e.stats();
+  EXPECT_EQ(s.pool_in_use, 10u);
+  EXPECT_EQ(s.max_pool_in_use, 10u);
+  e.run();
+  s = e.stats();
+  EXPECT_EQ(s.pool_in_use, 0u);
+  EXPECT_EQ(s.max_pool_in_use, 10u);
+  EXPECT_EQ(s.pool_capacity, 10u);
+}
+
 TEST(TimeConversions, RoundTrip) {
   EXPECT_EQ(from_seconds(1.0), kSecond);
   EXPECT_EQ(from_seconds(1e-6), kMicrosecond);

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "polaris/support/check.hpp"
@@ -56,6 +59,102 @@ TEST(SpscRing, SizeApprox) {
   ring.try_push(1);
   ring.try_push(2);
   EXPECT_EQ(ring.size_approx(), 2u);
+}
+
+TEST(SpscRing, MovePushTransfersOwnership) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  auto p = std::make_unique<int>(7);
+  EXPECT_TRUE(ring.try_push(std::move(p)));
+  EXPECT_EQ(p, nullptr);
+  std::unique_ptr<int> out;
+  EXPECT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscRing, TryEmplaceConstructsInPlace) {
+  SpscRing<std::pair<int, int>> ring(4);
+  EXPECT_TRUE(ring.try_emplace(1, 2));
+  std::pair<int, int> out;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, (std::pair<int, int>{1, 2}));
+}
+
+TEST(SpscRing, BatchPushPopRoundTrips) {
+  SpscRing<int> ring(16);  // 15 usable
+  int src[10] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(ring.try_push_n(src, 10), 10u);
+  EXPECT_EQ(ring.size_approx(), 10u);
+  int dst[16] = {};
+  EXPECT_EQ(ring.try_pop_n(dst, 16), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(dst[i], i);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, BatchPushTruncatesWhenNearlyFull) {
+  SpscRing<int> ring(8);  // 7 usable
+  int src[10] = {};
+  for (int i = 0; i < 10; ++i) src[i] = i;
+  EXPECT_EQ(ring.try_push_n(src, 10), 7u);
+  EXPECT_EQ(ring.try_push_n(src, 10), 0u);  // full
+  int dst[10];
+  EXPECT_EQ(ring.try_pop_n(dst, 3), 3u);
+  EXPECT_EQ(dst[0], 0);
+  EXPECT_EQ(dst[2], 2);
+  EXPECT_EQ(ring.try_push_n(src, 10), 3u);  // space for exactly 3 again
+}
+
+TEST(SpscRing, BatchPopOnEmptyReturnsZero) {
+  SpscRing<int> ring(8);
+  int dst[4];
+  EXPECT_EQ(ring.try_pop_n(dst, 4), 0u);
+}
+
+TEST(SpscRing, BatchOpsWrapAround) {
+  SpscRing<int> ring(8);
+  int src[5], dst[5];
+  int next = 0, expect = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 5; ++i) src[i] = next++;
+    ASSERT_EQ(ring.try_push_n(src, 5), 5u);
+    ASSERT_EQ(ring.try_pop_n(dst, 5), 5u);
+    for (int i = 0; i < 5; ++i) ASSERT_EQ(dst[i], expect++);
+  }
+}
+
+TEST(SpscRing, CrossThreadBatchTransferPreservesOrderAndData) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kCount = 200000;
+  std::thread producer([&] {
+    std::uint64_t batch[8];
+    std::uint64_t next = 0;
+    while (next < kCount) {
+      const std::uint64_t n = std::min<std::uint64_t>(8, kCount - next);
+      for (std::uint64_t i = 0; i < n; ++i) batch[i] = next + i;
+      std::uint64_t pushed = 0;
+      while (pushed < n) {
+        const std::size_t k = ring.try_push_n(batch + pushed, n - pushed);
+        if (k == 0) std::this_thread::yield();
+        pushed += k;
+      }
+      next += n;
+    }
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t batch[16];
+  while (expected < kCount) {
+    const std::size_t k = ring.try_pop_n(batch, 16);
+    if (k == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(batch[i], expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
 }
 
 TEST(SpscRing, CrossThreadTransferPreservesOrderAndData) {

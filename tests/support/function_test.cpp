@@ -4,6 +4,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 
 namespace polaris::support {
 namespace {
@@ -44,6 +45,83 @@ TEST(UniqueFunction, ForwardsArguments) {
   UniqueFunction<std::string(std::string, int)> f =
       [](std::string s, int n) { return s + ":" + std::to_string(n); };
   EXPECT_EQ(f("x", 3), "x:3");
+}
+
+TEST(UniqueFunction, SmallCapturesStayInline) {
+  int x = 1;
+  UniqueFunction<int()> f = [&x] { return x; };  // one pointer capture
+  EXPECT_FALSE(f.heap_allocated());
+  EXPECT_EQ(f(), 1);
+}
+
+TEST(UniqueFunction, EmptyIsNotHeapAllocated) {
+  UniqueFunction<void()> f;
+  EXPECT_FALSE(f.heap_allocated());
+}
+
+TEST(UniqueFunction, OversizedCapturesFallBackToHeap) {
+  struct Big {
+    char bytes[2 * UniqueFunction<int()>::kInlineBytes] = {};
+  };
+  Big big;
+  big.bytes[0] = 42;
+  UniqueFunction<int()> f = [big] { return static_cast<int>(big.bytes[0]); };
+  EXPECT_TRUE(f.heap_allocated());
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(UniqueFunction, InlineTargetSurvivesMove) {
+  auto p = std::make_unique<int>(11);
+  UniqueFunction<int()> f = [p = std::move(p)] { return *p; };
+  EXPECT_FALSE(f.heap_allocated());
+  UniqueFunction<int()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_EQ(g(), 11);
+  UniqueFunction<int()> h;
+  h = std::move(g);
+  EXPECT_FALSE(static_cast<bool>(g));
+  EXPECT_EQ(h(), 11);
+}
+
+TEST(UniqueFunction, HeapTargetSurvivesMove) {
+  struct Big {
+    char pad[128] = {};
+    std::unique_ptr<int> p;
+  };
+  Big big;
+  big.p = std::make_unique<int>(5);
+  UniqueFunction<int()> f = [big = std::move(big)] { return *big.p; };
+  EXPECT_TRUE(f.heap_allocated());
+  UniqueFunction<int()> g = std::move(f);
+  EXPECT_TRUE(g.heap_allocated());
+  EXPECT_EQ(g(), 5);
+}
+
+TEST(UniqueFunction, DestroysInlineCaptureExactlyOnce) {
+  int destroyed = 0;
+  struct Probe {
+    int* counter;
+    explicit Probe(int* c) : counter(c) {}
+    Probe(Probe&& o) noexcept : counter(std::exchange(o.counter, nullptr)) {}
+    Probe(const Probe&) = delete;
+    ~Probe() {
+      if (counter) ++*counter;
+    }
+  };
+  {
+    UniqueFunction<void()> f = [p = Probe(&destroyed)] { (void)p; };
+    EXPECT_FALSE(f.heap_allocated());
+    UniqueFunction<void()> g = std::move(f);
+    (void)g;
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(UniqueFunction, ReassignmentReleasesOldTarget) {
+  auto p = std::make_unique<int>(3);
+  UniqueFunction<int()> f = [p = std::move(p)] { return *p; };
+  f = UniqueFunction<int()>([] { return 9; });
+  EXPECT_EQ(f(), 9);
 }
 
 }  // namespace

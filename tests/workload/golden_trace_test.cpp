@@ -1,0 +1,88 @@
+// Golden-trace regression for the event-queue replacement.
+//
+// The golden numbers below were captured by running this exact scenario on
+// the seed engine (std::priority_queue + unordered_set cancellation) before
+// the pooled 4-ary-heap queue landed.  Both queues order events by the same
+// strict total order (time, then schedule sequence), so the full event
+// interleaving — and therefore every span in the exported trace — must be
+// bit-identical.  A hash mismatch here means the replacement changed
+// simulation behaviour, not just its speed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "polaris/obs/clock.hpp"
+#include "polaris/obs/trace.hpp"
+#include "polaris/workload/apps.hpp"
+
+namespace polaris::workload {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct GoldenRun {
+  des::SimTime final_time = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t scheduled = 0;
+  std::uint64_t trace_hash = 0;
+  std::size_t trace_bytes = 0;
+};
+
+GoldenRun run_halo16() {
+  Halo2DConfig cfg;
+  cfg.iterations = 3;
+  AppResult res;
+  simrt::SimWorld world(16, fabric::fabrics::myrinet2000());
+  obs::SimClock clock(world.engine());
+  obs::Tracer tracer(clock);
+  world.attach_tracer(tracer);
+  world.launch(make_halo2d(cfg, 16, &res));
+  world.run();
+  std::ostringstream trace;
+  tracer.write_json(trace);
+  const des::EngineStats stats = world.engine().stats();
+  GoldenRun out;
+  out.final_time = world.engine().now();
+  out.executed = stats.executed;
+  out.scheduled = stats.scheduled;
+  out.trace_hash = fnv1a(trace.str());
+  out.trace_bytes = trace.str().size();
+  return out;
+}
+
+// Captured from the seed engine (commit e7b97ed) on halo2d, 16 ranks,
+// myrinet2000, 3 iterations.
+constexpr des::SimTime kGoldenFinalTime = 4076382;
+constexpr std::uint64_t kGoldenExecuted = 2013;
+constexpr std::uint64_t kGoldenScheduled = 2013;
+constexpr std::uint64_t kGoldenTraceHash = 10557979453123585435ULL;
+constexpr std::size_t kGoldenTraceBytes = 103794;
+
+TEST(GoldenTrace, HaloExchangeMatchesSeedEngineEventOrder) {
+  const GoldenRun run = run_halo16();
+  EXPECT_EQ(run.final_time, kGoldenFinalTime);
+  EXPECT_EQ(run.executed, kGoldenExecuted);
+  EXPECT_EQ(run.scheduled, kGoldenScheduled);
+  EXPECT_EQ(run.trace_bytes, kGoldenTraceBytes);
+  EXPECT_EQ(run.trace_hash, kGoldenTraceHash);
+}
+
+TEST(GoldenTrace, HaloExchangeIsRunToRunDeterministic) {
+  const GoldenRun a = run_halo16();
+  const GoldenRun b = run_halo16();
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+}
+
+}  // namespace
+}  // namespace polaris::workload

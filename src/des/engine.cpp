@@ -168,6 +168,18 @@ EventId Engine::schedule_at(SimTime t, Callback&& cb) {
   return EventId{slot, n.gen};
 }
 
+EventId Engine::schedule_raw_at(SimTime t, RawCallback fn, void* ctx) {
+  // A 16-byte trivially-copyable capture: always inline in the
+  // UniqueFunction (no manage function, memcpy moves), so raw scheduling
+  // is exactly as cheap as the coroutine-resume fast path.
+  struct RawThunk {
+    RawCallback fn;
+    void* ctx;
+    void operator()() const { fn(ctx); }
+  };
+  return schedule_at(t, RawThunk{fn, ctx});
+}
+
 bool Engine::step() { return step_bounded(std::numeric_limits<SimTime>::max()); }
 
 bool Engine::step_bounded(SimTime until) {

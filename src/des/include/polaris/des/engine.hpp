@@ -71,6 +71,12 @@ class Engine {
  public:
   using Callback = support::UniqueFunction<void()>;
 
+  /// Raw callback form for hot non-coroutine state machines (e.g. the
+  /// fabric packet walkers): a plain function pointer plus a context
+  /// pointer.  Scheduling one never touches the allocator and its stored
+  /// form is trivially movable, so it always takes the SBO fast path.
+  using RawCallback = void (*)(void*);
+
   Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -86,6 +92,16 @@ class Engine {
   /// Schedules `cb` at now() + dt (dt >= 0).
   EventId schedule_after(SimTime dt, Callback&& cb) {
     return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Schedules `fn(ctx)` at absolute time `t`.  Same ordering guarantees
+  /// as schedule_at; `ctx` must stay valid until the event fires or is
+  /// cancelled.
+  EventId schedule_raw_at(SimTime t, RawCallback fn, void* ctx);
+
+  /// Schedules `fn(ctx)` at now() + dt.
+  EventId schedule_raw_after(SimTime dt, RawCallback fn, void* ctx) {
+    return schedule_raw_at(now_ + dt, fn, ctx);
   }
 
   /// Cancels a pending event in O(1).  Cancelling an already-fired or

@@ -1,33 +1,63 @@
-// Packet-level simulated network.
+// Packet-level simulated network with a two-tier data path.
 //
 // A SimNetwork carries byte payloads between hosts of a Topology under a
 // FabricParams wire model.  Messages are split into at most kMaxPackets
 // MTU-or-larger packets; each packet holds each directed link on its path
-// for its serialization time (FIFO semaphore per link), then pays wire and
+// for its serialization time (strict per-link FIFO), then pays wire and
 // switch-forwarding latency.  This yields cut-through pipelining —
 //     T(uncongested) ~ path_latency + bytes/link_bw + (hops-1)*pkt/link_bw
 // — while modelling congestion exactly where it occurs: on shared links.
 //
+// The data path has two tiers, both exactly equivalent (to the simulated
+// nanosecond) to the original per-packet-coroutine + per-link-semaphore
+// model, which survives as fabric::ReferenceNetwork for proof.  The one
+// caveat: when two packets with different upstream histories arrive at a
+// shared link on the exact same tick, the models may break the tie in a
+// different (equally valid) FIFO order — the semaphore model orders by its
+// internal grant/release event sequence, this one by reservation event
+// order; simultaneous arrivals are unordered in the paper-level model, and
+// aggregate link occupancy is conserved either way.
+//
+//  - Tier 1, analytic bypass: when no other message is in flight on any
+//    link of the path, the whole message becomes a pooled "flight" — the
+//    last-byte arrival is computed in closed form (the cut-through formula
+//    above, in exact tick arithmetic) and ONE completion event is
+//    scheduled.  No per-packet events, no coroutine frames, no route copy.
+//  - Tier 2, contended fallback: slab-pooled flat packet walkers advance
+//    hop by hop via raw engine callbacks against per-link `busy_until`
+//    reservation accumulators — one event per hop per packet instead of
+//    the semaphore model's ~3 events plus a spawned coroutine frame.
+//
+// Exactness under mixed traffic comes from *lazy materialization*: an
+// in-flight flight's packet positions are closed-form at any instant, so
+// when a later transfer's path intersects it, the flight is converted into
+// walkers positioned exactly where its packets would be, before the new
+// message injects.  Flights in flight are always pairwise link-disjoint
+// (a flight only starts on fully idle links), so materialization never
+// cascades.  Per-link FIFO order is preserved because a walker reserves a
+// link the moment it arrives (start = max(now, busy_until)), which is the
+// order the semaphore granted in.
+//
 // Optical circuit switching (FabricParams::circuit_setup > 0) adds a
-// per-source LRU circuit cache: a transfer to a destination without an
-// established light path first pays the reconfiguration delay.  Setup is
-// modelled optimistically (concurrent transfers to the same destination
-// wait only once); see ensure_circuit().
+// per-source LRU circuit cache (fixed-size inline array — a 4-entry LRU
+// does not justify a std::list + unordered_map's allocations): a transfer
+// to a destination without an established light path first pays the
+// reconfiguration delay.  Setup is modelled optimistically (concurrent
+// transfers to the same destination wait only once); see ensure_circuit().
 //
 // Host-side overheads (o_send, o_recv, gap, copies, registration) are NOT
 // applied here — they belong to the messaging layer (polaris::msg), which
 // composes them around transfer().
 #pragma once
 
+#include <array>
+#include <coroutine>
 #include <cstdint>
+#include <deque>
 #include <limits>
-#include <list>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "polaris/des/engine.hpp"
-#include "polaris/des/sync.hpp"
 #include "polaris/des/task.hpp"
 #include "polaris/fabric/params.hpp"
 #include "polaris/fabric/topology.hpp"
@@ -43,6 +73,22 @@ struct NetworkStats {
   std::uint64_t circuit_hits = 0;
   std::uint64_t circuit_misses = 0;
   double total_link_busy_s = 0.0;  ///< summed over links
+
+  // Two-tier data-path accounting.
+  std::uint64_t messages_bypassed = 0;  ///< completed via one analytic event
+  std::uint64_t messages_walked = 0;    ///< walked hop-by-hop from injection
+  std::uint64_t flights_materialized = 0;  ///< demoted to walkers mid-flight
+  std::uint64_t walker_hop_events = 0;     ///< tier-2 hop-advance events
+
+  /// Fraction of network messages (self-transfers excluded) that completed
+  /// analytically without ever owning a walker.
+  double bypass_rate() const {
+    const std::uint64_t total =
+        messages_bypassed + messages_walked + flights_materialized;
+    return total == 0 ? 0.0
+                      : static_cast<double>(messages_bypassed) /
+                            static_cast<double>(total);
+  }
 };
 
 class SimNetwork {
@@ -58,7 +104,9 @@ class SimNetwork {
              const Topology& topology);
 
   /// Moves `bytes` from src to dst; completes when the last byte lands.
-  /// Self-transfers cost one host copy.  Does not include host overheads.
+  /// Self-transfers cost one host copy.  Zero-byte transfers pay
+  /// propagation (and circuit setup) only — no serialization.  Does not
+  /// include host overheads.
   des::Task<void> transfer(NodeId src, NodeId dst, std::uint64_t bytes);
 
   /// Closed-form transfer time assuming an idle network (for tests and
@@ -72,29 +120,114 @@ class SimNetwork {
   des::Engine& engine() { return engine_; }
   const NetworkStats& stats() const { return stats_; }
 
-  /// Attaches a tracer: every packet's serialization occupancy becomes a
-  /// span on that link's track (process "links", created lazily so quiet
-  /// links stay invisible), and circuit establishment emits instant
-  /// events.  Untraced runs pay one null-pointer branch per packet hop.
+  /// Attaches a tracer: packet serialization occupancy becomes spans on
+  /// that link's track (process "links", created lazily so quiet links
+  /// stay invisible) — one "busy" span per packet when walking, one merged
+  /// "busy" span per link covering every packet when a whole message
+  /// bypassed — and circuit establishment emits instant events.  Untraced
+  /// runs pay one null-pointer branch per reservation.
   void attach_tracer(obs::Tracer& tracer);
 
   /// Busy seconds accumulated on one link (serialization occupancy).
   double link_busy_seconds(LinkId id) const;
 
  private:
+  static constexpr std::uint32_t kNoFlight = 0xffff'ffffu;
+
   struct PacketPlan {
     std::uint32_t count;
     std::uint64_t bytes_per_packet;  // last packet may be smaller
   };
   PacketPlan plan_packets(std::uint64_t bytes) const;
 
-  des::Task<void> send_packet(std::vector<LinkId> path,
-                              std::uint64_t pkt_bytes);
-  des::Task<void> ensure_circuit(NodeId src, NodeId dst);
-
-  des::SimTime serialize_time(std::uint64_t bytes) const {
+  des::SimTime serialize_ticks(std::uint64_t bytes) const {
     return des::from_seconds(static_cast<double>(bytes) / params_.link_bw);
   }
+
+  // -- per-link state ---------------------------------------------------------
+  struct LinkState {
+    des::SimTime busy_until = 0;  ///< end of the latest reservation
+    std::uint32_t inflight = 0;   ///< in-flight messages routed over this link
+    std::uint32_t flight = kNoFlight;  ///< tier-1 holder, if any (exclusive)
+  };
+
+  // -- tier 1: analytic flights ----------------------------------------------
+  struct Flight {
+    SimNetwork* net = nullptr;
+    const std::vector<LinkId>* path = nullptr;  // borrowed from Topology cache
+    des::SimTime start = 0;  ///< injection time (post circuit setup)
+    des::SimTime ser = 0;    ///< per-packet serialization, ticks
+    std::uint32_t packets = 0;
+    std::uint32_t slot = 0;  ///< own index in flights_
+    des::EventId completion{};
+    std::coroutine_handle<> resume;
+    bool active = false;
+  };
+
+  // -- tier 2: pooled flat packet walkers ------------------------------------
+  struct WalkMessage;
+  struct Walker {
+    WalkMessage* msg = nullptr;
+    std::uint32_t next_hop = 0;  ///< link index the pending event arrives at
+                                 ///< (== hops means final-delivery event)
+  };
+  struct WalkMessage {
+    SimNetwork* net = nullptr;
+    const std::vector<LinkId>* path = nullptr;
+    des::SimTime ser = 0;
+    std::uint32_t remaining = 0;
+    std::uint32_t slot = 0;
+    bool from_flight = false;  ///< materialized (counted already), not walked
+    std::coroutine_handle<> resume;
+    std::array<Walker, kMaxPackets> walkers{};
+  };
+
+  /// Awaits message delivery; suspension hands the coroutine to the tier
+  /// selected by transfer().
+  struct TransferAwaiter {
+    SimNetwork& net;
+    const std::vector<LinkId>* path;
+    des::SimTime ser;
+    std::uint32_t packets;
+    bool bypass;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      if (bypass) {
+        net.begin_flight(*path, ser, packets, h);
+      } else {
+        net.begin_walk(*path, ser, packets, h);
+      }
+    }
+    void await_resume() const noexcept {}
+  };
+
+  void begin_flight(const std::vector<LinkId>& path, des::SimTime ser,
+                    std::uint32_t packets, std::coroutine_handle<> resume);
+  void complete_flight(Flight& f, bool defer_resume);
+  void materialize_flight(Flight& f);
+
+  void begin_walk(const std::vector<LinkId>& path, des::SimTime ser,
+                  std::uint32_t packets, std::coroutine_handle<> resume);
+  /// Reserves the walker's next link (now == its arrival time there) and
+  /// schedules the following arrival or the final delivery.
+  void advance_walker(Walker& w);
+  void finish_walk_packet(WalkMessage& m);
+
+  static void flight_complete_cb(void* ctx);
+  static void walker_arrive_cb(void* ctx);
+  static void resume_handle_cb(void* ctx);
+
+  Flight& acquire_flight();
+  void release_flight(std::uint32_t slot);
+  WalkMessage& acquire_walk();
+  void release_walk(std::uint32_t slot);
+
+  /// Serialization occupancy bookkeeping shared by both tiers.
+  void credit_link(LinkId l, des::SimTime start, des::SimTime ser,
+                   std::uint32_t span_packets);
+
+  des::Task<void> ensure_circuit(NodeId src, NodeId dst);
 
   /// Lazily-created trace track of a link (only called when tracer_ set).
   obs::TrackId link_track(LinkId id);
@@ -102,8 +235,19 @@ class SimNetwork {
   des::Engine& engine_;
   FabricParams params_;
   const Topology& topo_;
-  std::vector<std::unique_ptr<des::Semaphore>> links_;
-  std::vector<double> link_busy_s_;
+  des::SimTime prop_mid_ = 0;   ///< wire + switch forwarding, ticks
+  des::SimTime prop_last_ = 0;  ///< wire only (after the final link), ticks
+
+  std::vector<LinkState> links_;
+  std::vector<des::SimTime> link_busy_ticks_;
+
+  // Slab pools (deque: grows without moving live flight/walker addresses,
+  // which raw-callback contexts point into).
+  std::deque<Flight> flights_;
+  std::vector<std::uint32_t> flight_free_;
+  std::deque<WalkMessage> walks_;
+  std::vector<std::uint32_t> walk_free_;
+
   NetworkStats stats_;
   obs::Tracer* tracer_ = nullptr;
   static constexpr obs::TrackId kNoTrack =
@@ -111,10 +255,14 @@ class SimNetwork {
   std::vector<obs::TrackId> link_tracks_;
   obs::TrackId circuit_track_ = kNoTrack;
 
-  // Optical circuit cache: per source, LRU list of destinations.
+  // Optical circuit cache: per source, LRU of destinations in a fixed
+  // inline array (front = most recent).
   struct CircuitCache {
-    std::list<NodeId> lru;  // front = most recent
-    std::unordered_map<NodeId, std::list<NodeId>::iterator> index;
+    std::array<NodeId, kCircuitsPerSource> dst{};
+    std::uint32_t size = 0;
+
+    bool touch(NodeId d);    ///< true on hit; moves d to the front
+    void insert(NodeId d);   ///< pushes d to the front, evicting the LRU
   };
   std::vector<CircuitCache> circuits_;
 };

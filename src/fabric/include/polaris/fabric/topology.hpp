@@ -34,8 +34,9 @@ class Topology {
   std::size_t switch_count() const { return switch_count_; }
 
   /// Directed link path from src to dst.  Empty for src == dst.
-  /// The result reference is invalidated by the next route() call only if
-  /// the pair was not yet cached; callers inside coroutines should copy.
+  /// The reference is stable for the topology's lifetime (the cache is a
+  /// node-based map and never evicts), so the network model holds routes
+  /// by pointer instead of copying them per message.
   const std::vector<LinkId>& route(NodeId src, NodeId dst) const;
 
   /// Number of links traversed (0 for self).
@@ -49,8 +50,15 @@ class Topology {
     return h == 0 ? 0 : h - 1;
   }
 
-  /// Diameter in links over a sample of host pairs (exact for <= 128 hosts).
-  std::size_t diameter() const;
+  /// Diameter in links, exact at any scale: each topology supplies a
+  /// closed form (the earlier sampled scan silently under-reported for
+  /// >128-host topologies).
+  virtual std::size_t diameter() const = 0;
+
+  /// Brute-force diameter over the first `max_nodes` hosts.  Exact only
+  /// when node_count() <= max_nodes; kept as a small-n cross-check of the
+  /// closed forms.
+  std::size_t scan_diameter(std::size_t max_nodes = 128) const;
 
  protected:
   Topology(std::size_t nodes, std::size_t switches)
@@ -82,6 +90,9 @@ class Crossbar final : public Topology {
   explicit Crossbar(std::size_t nodes);
   std::string name() const override { return "crossbar"; }
 
+  /// Any pair is host -> switch -> host.
+  std::size_t diameter() const override { return 2; }
+
  private:
   std::vector<LinkId> compute_route(NodeId src, NodeId dst) const override;
 };
@@ -94,6 +105,10 @@ class FatTree final : public Topology {
   std::string name() const override;
 
   std::size_t radix() const { return k_; }
+
+  /// Cross-pod pairs exist for every even k >= 2, and the longest route is
+  /// host-edge-agg-core-agg-edge-host: 6 links regardless of radix.
+  std::size_t diameter() const override { return 6; }
 
   /// Smallest even k such that a k-ary fat tree holds >= nodes hosts.
   static std::size_t radix_for(std::size_t nodes);
@@ -116,6 +131,10 @@ class Torus2D final : public Topology {
   Torus2D(std::size_t width, std::size_t height);
   std::string name() const override;
 
+  /// Host injection + ejection links plus the worst-case shortest ring
+  /// walk in each dimension.
+  std::size_t diameter() const override { return 2 + w_ / 2 + h_ / 2; }
+
  private:
   std::vector<LinkId> compute_route(NodeId src, NodeId dst) const override;
   DeviceId router(std::size_t x, std::size_t y) const;
@@ -128,6 +147,10 @@ class Torus3D final : public Topology {
  public:
   Torus3D(std::size_t x, std::size_t y, std::size_t z);
   std::string name() const override;
+
+  std::size_t diameter() const override {
+    return 2 + nx_ / 2 + ny_ / 2 + nz_ / 2;
+  }
 
  private:
   std::vector<LinkId> compute_route(NodeId src, NodeId dst) const override;

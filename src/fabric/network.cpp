@@ -1,7 +1,7 @@
 #include "polaris/fabric/network.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <string>
 
 #include "polaris/support/check.hpp"
 
@@ -11,24 +11,29 @@ SimNetwork::SimNetwork(des::Engine& engine, FabricParams params,
                        const Topology& topology)
     : engine_(engine), params_(std::move(params)), topo_(topology) {
   POLARIS_CHECK(params_.link_bw > 0 && params_.mtu > 0);
-  links_.reserve(topo_.link_count());
-  for (std::size_t i = 0; i < topo_.link_count(); ++i) {
-    links_.push_back(std::make_unique<des::Semaphore>(engine_, 1));
-  }
-  link_busy_s_.assign(topo_.link_count(), 0.0);
+  links_.assign(topo_.link_count(), LinkState{});
+  link_busy_ticks_.assign(topo_.link_count(), 0);
+  // Per-hop propagation in ticks, rounded exactly as the semaphore model
+  // rounded its per-hop delay() arguments (one from_seconds per hop).
+  prop_mid_ = des::from_seconds(params_.wire_latency + params_.switch_latency);
+  prop_last_ = des::from_seconds(params_.wire_latency);
   if (params_.circuit_setup > 0.0) {
     circuits_.resize(topo_.node_count());
   }
 }
 
 SimNetwork::PacketPlan SimNetwork::plan_packets(std::uint64_t bytes) const {
+  if (bytes == 0) {
+    // Pure latency probe: one zero-length packet — propagation and
+    // overheads only, no serialization occupancy anywhere on the path.
+    return {1, 0};
+  }
   PacketPlan plan;
   const std::uint64_t raw =
       (bytes + params_.mtu - 1) / params_.mtu;  // ceil-div
   plan.count = static_cast<std::uint32_t>(
       std::clamp<std::uint64_t>(raw, 1, kMaxPackets));
   plan.bytes_per_packet = (bytes + plan.count - 1) / plan.count;
-  if (plan.bytes_per_packet == 0) plan.bytes_per_packet = 1;
   return plan;
 }
 
@@ -49,52 +54,306 @@ des::Task<void> SimNetwork::transfer(NodeId src, NodeId dst,
     co_await ensure_circuit(src, dst);
   }
 
-  const std::vector<LinkId> path = topo_.route(src, dst);  // copy: coroutine
+  // Borrowed straight out of the Topology route cache (node-based map:
+  // the reference stays valid for the message lifetime) — no per-message
+  // route copy.
+  const std::vector<LinkId>& path = topo_.route(src, dst);
   const PacketPlan plan = plan_packets(bytes);
   stats_.packets += plan.count;
+  const des::SimTime ser = serialize_ticks(plan.bytes_per_packet);
 
-  // Launch one sub-process per packet; they pipeline through the per-link
-  // FIFO semaphores.  `remaining`/`done` live in this frame, which outlives
-  // the packets because we await `done` below.
-  std::uint32_t remaining = plan.count;
-  des::Trigger done(engine_);
-  for (std::uint32_t i = 0; i < plan.count; ++i) {
-    engine_.spawn([](SimNetwork& net, std::vector<LinkId> p,
-                     std::uint64_t pkt, std::uint32_t& rem,
-                     des::Trigger& trig) -> des::Task<void> {
-      co_await net.send_packet(std::move(p), pkt);
-      if (--rem == 0) trig.fire();
-    }(*this, path, plan.bytes_per_packet, remaining, done));
+  // Any in-flight analytic flight sharing a link with this path could be
+  // delayed by our packets (and vice versa), so its closed-form completion
+  // is no longer trustworthy: demote it to walkers positioned exactly
+  // where its packets are right now, before we inject.
+  for (const LinkId l : path) {
+    const std::uint32_t fs = links_[l].flight;
+    if (fs != kNoFlight) materialize_flight(flights_[fs]);
   }
-  co_await done.wait();
+  bool idle = true;
+  for (const LinkId l : path) {
+    if (links_[l].inflight != 0) {
+      idle = false;
+      break;
+    }
+  }
+  co_await TransferAwaiter{*this, &path, ser, plan.count, idle};
 }
 
-des::Task<void> SimNetwork::send_packet(std::vector<LinkId> path,
-                                        std::uint64_t pkt_bytes) {
-  const des::SimTime ser = serialize_time(pkt_bytes);
-  const auto hops = path.size();
-  for (std::size_t j = 0; j < hops; ++j) {
-    const LinkId l = path[j];
-    co_await links_[l]->acquire();
-    co_await des::delay(engine_, ser);
-    links_[l]->release();
-    link_busy_s_[l] += des::to_seconds(ser);
-    stats_.total_link_busy_s += des::to_seconds(ser);
-    if (tracer_) {
-      tracer_->complete_span(link_track(l), "busy", "link",
-                             engine_.now() - ser, ser);
-    }
-    // Propagation: wire always; switch forwarding except after final link.
-    double prop = params_.wire_latency;
-    if (j + 1 < hops) prop += params_.switch_latency;
-    co_await des::delay(engine_, des::from_seconds(prop));
+// ------------------------------------------------------- tier 1: flights
+
+void SimNetwork::begin_flight(const std::vector<LinkId>& path,
+                              des::SimTime ser, std::uint32_t packets,
+                              std::coroutine_handle<> resume) {
+  Flight& f = acquire_flight();
+  f.path = &path;
+  f.start = engine_.now();
+  f.ser = ser;
+  f.packets = packets;
+  f.resume = resume;
+  for (const LinkId l : path) {
+    LinkState& ls = links_[l];
+    ++ls.inflight;
+    ls.flight = f.slot;
   }
+  // Cut-through pipeline, exact tick arithmetic: packet i starts
+  // serializing on link j at start + (i+j)*ser + j*prop_mid, with no
+  // bubbles on an idle path; the last byte lands prop_last after the last
+  // packet leaves the last link.
+  const auto hops = static_cast<des::SimTime>(path.size());
+  const des::SimTime completion = f.start + (packets + hops - 1) * ser +
+                                  (hops - 1) * prop_mid_ + prop_last_;
+  f.completion = engine_.schedule_raw_at(completion, &flight_complete_cb, &f);
+}
+
+void SimNetwork::flight_complete_cb(void* ctx) {
+  Flight& f = *static_cast<Flight*>(ctx);
+  f.net->complete_flight(f, /*defer_resume=*/false);
+}
+
+void SimNetwork::complete_flight(Flight& f, bool defer_resume) {
+  const std::vector<LinkId>& path = *f.path;
+  for (std::size_t j = 0; j < path.size(); ++j) {
+    LinkState& ls = links_[path[j]];
+    --ls.inflight;
+    ls.flight = kNoFlight;
+    // The message's occupancy of link j is one contiguous interval
+    // starting when the head packet reaches it.
+    const des::SimTime s0 =
+        f.start + static_cast<des::SimTime>(j) * (f.ser + prop_mid_);
+    credit_link(path[j], s0, f.ser, f.packets);
+  }
+  ++stats_.messages_bypassed;
+  const std::coroutine_handle<> resume = f.resume;
+  release_flight(f.slot);
+  if (defer_resume) {
+    // Settled from inside another message's transfer: resume after the
+    // current event, as the cancelled completion event would have.
+    engine_.schedule_raw_at(engine_.now(), &resume_handle_cb,
+                            resume.address());
+  } else {
+    resume.resume();
+  }
+}
+
+void SimNetwork::materialize_flight(Flight& f) {
+  engine_.cancel(f.completion);
+  const des::SimTime t = engine_.now();
+  const std::vector<LinkId>& path = *f.path;
+  const auto hops = static_cast<des::SimTime>(path.size());
+  const des::SimTime ser = f.ser;
+  const des::SimTime last_completion = f.start + (f.packets + hops - 1) * ser +
+                                       (hops - 1) * prop_mid_ + prop_last_;
+  if (last_completion <= t) {
+    // The last byte lands at exactly this tick; the completion event just
+    // sits later in this tick's event list.  The links are already free
+    // (occupancy ended before delivery), so settle analytically.
+    complete_flight(f, /*defer_resume=*/true);
+    return;
+  }
+  ++stats_.flights_materialized;
+
+  WalkMessage& m = acquire_walk();
+  m.path = f.path;
+  m.ser = ser;
+  m.remaining = 0;
+  m.resume = f.resume;
+  m.from_flight = true;
+  for (std::uint32_t i = 0; i < f.packets; ++i) {
+    // On the uncontended path the flight flew so far, packet i reaches
+    // (and immediately starts serializing on) link j at
+    //   a(i, j) = start + (i+j)*ser + j*prop_mid.
+    const des::SimTime completion_i =
+        f.start + (i + hops) * ser + (hops - 1) * prop_mid_ + prop_last_;
+    std::size_t j = 0;
+    for (; j < path.size(); ++j) {
+      const des::SimTime a = f.start +
+                             (i + static_cast<des::SimTime>(j)) * ser +
+                             static_cast<des::SimTime>(j) * prop_mid_;
+      if (a > t) break;
+      // Replay the reservation this packet has already made.
+      LinkState& ls = links_[path[j]];
+      ls.busy_until = std::max(ls.busy_until, a + ser);
+      credit_link(path[j], a, ser, 1);
+    }
+    if (completion_i <= t) continue;  // fully delivered already
+    Walker& w = m.walkers[i];
+    w.msg = &m;
+    if (j == 0) {
+      // Packet hasn't started its first hop.  In the semaphore model every
+      // packet queues on link 0 at injection, so its FIFO slot there
+      // predates any message injected after the flight; replay that claim
+      // now (interval [a(i,0), a(i,0)+ser] is still back-to-back exact)
+      // instead of letting a later walker reserve ahead of it.
+      const des::SimTime a0 = f.start + static_cast<des::SimTime>(i) * ser;
+      LinkState& ls0 = links_[path[0]];
+      ls0.busy_until = std::max(ls0.busy_until, a0 + ser);
+      credit_link(path[0], a0, ser, 1);
+      j = 1;
+      if (j == path.size()) {
+        w.next_hop = static_cast<std::uint32_t>(path.size());
+        engine_.schedule_raw_at(completion_i, &walker_arrive_cb, &w);
+        ++m.remaining;
+        continue;
+      }
+    }
+    if (j < path.size()) {
+      // Pending event: arrival at link j (a future uncontended arrival
+      // stays correct — everything upstream of it already happened).
+      w.next_hop = static_cast<std::uint32_t>(j);
+      const des::SimTime a = f.start +
+                             (i + static_cast<des::SimTime>(j)) * ser +
+                             static_cast<des::SimTime>(j) * prop_mid_;
+      engine_.schedule_raw_at(a, &walker_arrive_cb, &w);
+    } else {
+      // All links traversed; only the final wire flight remains.
+      w.next_hop = static_cast<std::uint32_t>(path.size());
+      engine_.schedule_raw_at(completion_i, &walker_arrive_cb, &w);
+    }
+    ++m.remaining;
+  }
+  // The walk inherits the flight's in-flight marks on every path link.
+  for (const LinkId l : path) links_[l].flight = kNoFlight;
+  release_flight(f.slot);
+}
+
+// ------------------------------------------------------- tier 2: walkers
+
+void SimNetwork::begin_walk(const std::vector<LinkId>& path, des::SimTime ser,
+                            std::uint32_t packets,
+                            std::coroutine_handle<> resume) {
+  WalkMessage& m = acquire_walk();
+  m.path = &path;
+  m.ser = ser;
+  m.remaining = packets;
+  m.resume = resume;
+  m.from_flight = false;
+  for (const LinkId l : path) ++links_[l].inflight;
+  // All packets reach the first link now; reserving in index order is the
+  // FIFO order the semaphore model granted in.
+  for (std::uint32_t i = 0; i < packets; ++i) {
+    Walker& w = m.walkers[i];
+    w.msg = &m;
+    w.next_hop = 0;
+    advance_walker(w);
+  }
+}
+
+void SimNetwork::walker_arrive_cb(void* ctx) {
+  Walker& w = *static_cast<Walker*>(ctx);
+  WalkMessage& m = *w.msg;
+  if (w.next_hop == m.path->size()) {
+    m.net->finish_walk_packet(m);
+  } else {
+    m.net->advance_walker(w);
+  }
+}
+
+void SimNetwork::advance_walker(Walker& w) {
+  WalkMessage& m = *w.msg;
+  const std::vector<LinkId>& path = *m.path;
+  const LinkId l = path[w.next_hop];
+  LinkState& ls = links_[l];
+  // Arrival-order reservation == semaphore FIFO grant order: whoever's
+  // arrival event runs first serializes first, back to back.
+  const des::SimTime start = std::max(engine_.now(), ls.busy_until);
+  const des::SimTime end = start + m.ser;
+  ls.busy_until = end;
+  credit_link(l, start, m.ser, 1);
+  ++w.next_hop;
+  const bool last = w.next_hop == path.size();
+  ++stats_.walker_hop_events;
+  engine_.schedule_raw_at(end + (last ? prop_last_ : prop_mid_),
+                          &walker_arrive_cb, &w);
+}
+
+void SimNetwork::finish_walk_packet(WalkMessage& m) {
+  if (--m.remaining != 0) return;
+  for (const LinkId l : *m.path) --links_[l].inflight;
+  if (!m.from_flight) ++stats_.messages_walked;
+  const std::coroutine_handle<> resume = m.resume;
+  release_walk(m.slot);
+  resume.resume();
+}
+
+// ------------------------------------------------------------ bookkeeping
+
+void SimNetwork::credit_link(LinkId l, des::SimTime begin, des::SimTime ser,
+                             std::uint32_t count) {
+  const des::SimTime busy = ser * static_cast<des::SimTime>(count);
+  link_busy_ticks_[l] += busy;
+  stats_.total_link_busy_s += des::to_seconds(busy);
+  if (tracer_) {
+    // One span per reservation; a bypassed message credits each link with a
+    // single merged span whose duration covers all its packets.
+    tracer_->complete_span(link_track(l), "busy", "link", begin, busy);
+  }
+}
+
+void SimNetwork::resume_handle_cb(void* ctx) {
+  std::coroutine_handle<>::from_address(ctx).resume();
+}
+
+SimNetwork::Flight& SimNetwork::acquire_flight() {
+  if (!flight_free_.empty()) {
+    const std::uint32_t slot = flight_free_.back();
+    flight_free_.pop_back();
+    return flights_[slot];
+  }
+  const auto slot = static_cast<std::uint32_t>(flights_.size());
+  flights_.emplace_back();
+  Flight& f = flights_.back();
+  f.net = this;
+  f.slot = slot;
+  return f;
+}
+
+void SimNetwork::release_flight(std::uint32_t slot) {
+  flights_[slot].resume = nullptr;
+  flight_free_.push_back(slot);
+}
+
+SimNetwork::WalkMessage& SimNetwork::acquire_walk() {
+  if (!walk_free_.empty()) {
+    const std::uint32_t slot = walk_free_.back();
+    walk_free_.pop_back();
+    return walks_[slot];
+  }
+  const auto slot = static_cast<std::uint32_t>(walks_.size());
+  walks_.emplace_back();
+  WalkMessage& m = walks_.back();
+  m.net = this;
+  m.slot = slot;
+  return m;
+}
+
+void SimNetwork::release_walk(std::uint32_t slot) {
+  walks_[slot].resume = nullptr;
+  walk_free_.push_back(slot);
+}
+
+// ---------------------------------------------------------------- circuits
+
+bool SimNetwork::CircuitCache::touch(NodeId d) {
+  for (std::uint32_t i = 0; i < size; ++i) {
+    if (dst[i] == d) {
+      for (std::uint32_t j = i; j > 0; --j) dst[j] = dst[j - 1];
+      dst[0] = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SimNetwork::CircuitCache::insert(NodeId d) {
+  if (size < dst.size()) ++size;
+  for (std::uint32_t j = size - 1; j > 0; --j) dst[j] = dst[j - 1];
+  dst[0] = d;
 }
 
 des::Task<void> SimNetwork::ensure_circuit(NodeId src, NodeId dst) {
   CircuitCache& cache = circuits_[src];
-  if (auto it = cache.index.find(dst); it != cache.index.end()) {
-    cache.lru.splice(cache.lru.begin(), cache.lru, it->second);
+  if (cache.touch(dst)) {
     ++stats_.circuit_hits;
     if (tracer_) {
       tracer_->instant(circuit_track_,
@@ -114,14 +373,11 @@ des::Task<void> SimNetwork::ensure_circuit(NodeId src, NodeId dst) {
   }
   // Install before the delay so concurrent senders to the same destination
   // pay setup once (optimistic: their data rides the path being set up).
-  cache.lru.push_front(dst);
-  cache.index[dst] = cache.lru.begin();
-  if (cache.lru.size() > kCircuitsPerSource) {
-    cache.index.erase(cache.lru.back());
-    cache.lru.pop_back();
-  }
+  cache.insert(dst);
   co_await des::delay(engine_, des::from_seconds(params_.circuit_setup));
 }
+
+// ------------------------------------------------------------------ queries
 
 double SimNetwork::uncongested_seconds(NodeId src, NodeId dst,
                                        std::uint64_t bytes,
@@ -140,8 +396,8 @@ double SimNetwork::uncongested_seconds(NodeId src, NodeId dst,
 }
 
 double SimNetwork::link_busy_seconds(LinkId id) const {
-  POLARIS_CHECK(id < link_busy_s_.size());
-  return link_busy_s_[id];
+  POLARIS_CHECK(id < link_busy_ticks_.size());
+  return des::to_seconds(link_busy_ticks_[id]);
 }
 
 void SimNetwork::attach_tracer(obs::Tracer& tracer) {

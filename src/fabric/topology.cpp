@@ -22,8 +22,8 @@ const std::vector<LinkId>& Topology::route(NodeId src, NodeId dst) const {
   return it->second;
 }
 
-std::size_t Topology::diameter() const {
-  const std::size_t n = std::min<std::size_t>(node_count_, 128);
+std::size_t Topology::scan_diameter(std::size_t max_nodes) const {
+  const std::size_t n = std::min(node_count_, max_nodes);
   std::size_t d = 0;
   for (NodeId a = 0; a < n; ++a) {
     for (NodeId b = 0; b < n; ++b) {

@@ -543,6 +543,15 @@ double SimWorld::run() {
     metrics_->gauge("fabric.circuit_misses").set(
         static_cast<double>(ns.circuit_misses));
     metrics_->gauge("fabric.link_busy_s").set(ns.total_link_busy_s);
+    metrics_->gauge("fabric.messages_bypassed").set(
+        static_cast<double>(ns.messages_bypassed));
+    metrics_->gauge("fabric.messages_walked").set(
+        static_cast<double>(ns.messages_walked));
+    metrics_->gauge("fabric.flights_materialized").set(
+        static_cast<double>(ns.flights_materialized));
+    metrics_->gauge("fabric.walker_hop_events").set(
+        static_cast<double>(ns.walker_hop_events));
+    metrics_->gauge("fabric.bypass_rate").set(ns.bypass_rate());
     std::uint64_t eager = 0, rdv = 0, reg_hits = 0, reg_misses = 0;
     for (const auto& c : comms_) {
       eager += c->eager_count_;

@@ -275,6 +275,43 @@ TEST(Engine, PoolOccupancyTracksQueueDepth) {
   EXPECT_EQ(s.pool_capacity, 10u);
 }
 
+TEST(Engine, RawCallbacksInterleaveWithClosuresInScheduleOrder) {
+  // schedule_raw_* goes through the same queue as closure callbacks and
+  // obeys the same (time, sequence) total order.
+  Engine e;
+  std::vector<int> order;
+  struct Ctx {
+    std::vector<int>* order;
+    int tag;
+  };
+  static constexpr auto record = +[](void* p) {
+    const auto* c = static_cast<Ctx*>(p);
+    c->order->push_back(c->tag);
+  };
+  Ctx a{&order, 1}, b{&order, 3};
+  e.schedule_raw_at(10, record, &a);
+  e.schedule_at(10, [&] { order.push_back(2); });
+  e.schedule_raw_at(5, record, &b);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(Engine, RawCallbacksAreCancellable) {
+  Engine e;
+  int fired = 0;
+  struct Ctx {
+    int* fired;
+  } c{&fired};
+  const EventId id = e.schedule_raw_after(
+      7, +[](void* p) { ++*static_cast<Ctx*>(p)->fired; }, &c);
+  e.schedule_raw_after(
+      9, +[](void* p) { ++*static_cast<Ctx*>(p)->fired; }, &c);
+  e.cancel(id);
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 9);
+}
+
 TEST(TimeConversions, RoundTrip) {
   EXPECT_EQ(from_seconds(1.0), kSecond);
   EXPECT_EQ(from_seconds(1e-6), kMicrosecond);

@@ -99,6 +99,51 @@ TEST_F(NetworkTest, DisjointPairsDoNotInterfere) {
   EXPECT_NEAR(done[1], single, single * 0.02);
 }
 
+TEST_F(NetworkTest, ZeroByteTransferPaysPropagationOnly) {
+  // A zero-byte message is a pure latency probe: wire + switch forwarding
+  // per hop, no serialization anywhere (the old model charged each hop a
+  // fake 1-byte packet).  Pinned exactly: 2 hops on a crossbar.
+  SimNetwork net(engine_, fabrics::myrinet2000(), topo_);
+  const double t = timed_transfer(net, 0, 1, 0);
+  EXPECT_DOUBLE_EQ(
+      t, des::to_seconds(des::from_seconds(net.params().wire_latency +
+                                           net.params().switch_latency) +
+                         des::from_seconds(net.params().wire_latency)));
+  EXPECT_EQ(net.stats().total_link_busy_s, 0.0);
+  EXPECT_EQ(net.stats().packets, 1u);
+}
+
+TEST_F(NetworkTest, UncontendedTransfersAllBypass) {
+  SimNetwork net(engine_, fabrics::myrinet2000(), topo_);
+  for (int i = 0; i < 5; ++i) timed_transfer(net, 0, 1, 64 * 1024);
+  EXPECT_EQ(net.stats().messages_bypassed, 5u);
+  EXPECT_EQ(net.stats().messages_walked, 0u);
+  EXPECT_EQ(net.stats().flights_materialized, 0u);
+  EXPECT_EQ(net.stats().walker_hop_events, 0u);
+  EXPECT_EQ(net.stats().bypass_rate(), 1.0);
+}
+
+TEST_F(NetworkTest, ContendedTransfersDemoteToWalkers) {
+  SimNetwork net(engine_, fabrics::myrinet2000(), topo_);
+  // Two senders to one destination overlap on the shared downlink: the
+  // first message starts as a flight and is materialized when the second
+  // injects; the second walks from the start.  Every non-self message is
+  // accounted to exactly one tier-outcome bucket.
+  for (int i = 0; i < 2; ++i) {
+    engine_.spawn([](SimNetwork& n, NodeId s) -> des::Task<void> {
+      co_await n.transfer(s, 2, 1024 * 1024);
+    }(net, static_cast<NodeId>(i)));
+  }
+  engine_.run();
+  EXPECT_EQ(net.stats().flights_materialized, 1u);
+  EXPECT_EQ(net.stats().messages_walked, 1u);
+  EXPECT_EQ(net.stats().messages_bypassed, 0u);
+  EXPECT_GT(net.stats().walker_hop_events, 0u);
+  EXPECT_EQ(net.stats().messages_bypassed + net.stats().messages_walked +
+                net.stats().flights_materialized,
+            net.stats().messages);
+}
+
 TEST_F(NetworkTest, StatsAccumulate) {
   SimNetwork net(engine_, fabrics::gig_ethernet(), topo_);
   timed_transfer(net, 0, 1, 3000);  // 2 packets at mtu 1500

@@ -131,6 +131,31 @@ TEST(Torus3D, RoutesAreLoopFree) {
   }
 }
 
+TEST(Topology, ClosedFormDiameterMatchesScanAtSmallScale) {
+  // The closed forms must agree with brute force wherever brute force is
+  // exact (node_count <= the scan cap).
+  const Crossbar x(16);
+  EXPECT_EQ(x.diameter(), x.scan_diameter());
+  const FatTree ft(4);
+  EXPECT_EQ(ft.diameter(), ft.scan_diameter());
+  const Torus2D t2(4, 6);
+  EXPECT_EQ(t2.diameter(), t2.scan_diameter());
+  const Torus3D t3(3, 4, 3);
+  EXPECT_EQ(t3.diameter(), t3.scan_diameter());
+}
+
+TEST(Topology, ClosedFormDiameterIsExactBeyondScanCap) {
+  // A 32x32 torus has 1024 hosts; the old sampled scan looked at the
+  // first 128 only — a corner of the mesh — and under-reported.
+  const Torus2D big(32, 32);
+  EXPECT_EQ(big.diameter(), 2u + 16u + 16u);
+  EXPECT_LT(big.scan_diameter(128), big.diameter());
+  // Fat trees are immune by construction (6 links at any radix), but the
+  // closed form must still hold at scale.
+  const FatTree ft16(16);  // 1024 hosts
+  EXPECT_EQ(ft16.diameter(), 6u);
+}
+
 TEST(Topology, RouteRejectsOutOfRangeHosts) {
   Crossbar x(4);
   EXPECT_THROW((void)x.route(0, 4), support::ContractViolation);

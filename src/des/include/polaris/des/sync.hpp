@@ -55,6 +55,57 @@ class Trigger {
   std::deque<std::coroutine_handle<>> waiters_;
 };
 
+/// Intrusive single-waiter one-shot: the pooled counterpart of Trigger for
+/// hot paths that embed completion state in slab records (e.g. the simrt
+/// in-flight pool).  Two words, no engine pointer, never allocates, and
+/// reset() rearms it for slab reuse.  fire() funnels the waiter through a
+/// zero-delay event exactly as Trigger does (raw-callback form, which also
+/// takes the engine's SBO fast path), so wakeup ordering is identical:
+/// swapping one for the other cannot shift simulated timing.
+class OneShotEvent {
+ public:
+  bool fired() const { return fired_; }
+
+  /// Fires the event, waking the waiter (if any) on a zero-delay engine
+  /// event.  Idempotent.
+  void fire(Engine& engine) {
+    if (fired_) return;
+    fired_ = true;
+    if (waiter_) {
+      engine.schedule_raw_after(0, &resume_cb, waiter_.address());
+      waiter_ = {};
+    }
+  }
+
+  /// Rearms a fired event (callers guarantee no waiter is parked).
+  void reset() {
+    POLARIS_DCHECK(!waiter_);
+    fired_ = false;
+  }
+
+  struct Awaiter {
+    OneShotEvent& event;
+    bool await_ready() const noexcept { return event.fired_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      POLARIS_CHECK_MSG(!event.waiter_,
+                        "OneShotEvent supports a single waiter");
+      event.waiter_ = h;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter wait() { return Awaiter{*this}; }
+  Awaiter operator co_await() { return Awaiter{*this}; }
+
+ private:
+  static void resume_cb(void* ctx) {
+    std::coroutine_handle<>::from_address(ctx).resume();
+  }
+
+  bool fired_ = false;
+  std::coroutine_handle<> waiter_{};
+};
+
 /// Unbounded FIFO channel of T.  Multiple producers and consumers; values
 /// are delivered to consumers in arrival order.
 template <typename T>

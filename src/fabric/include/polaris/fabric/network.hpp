@@ -109,6 +109,14 @@ class SimNetwork {
   /// include host overheads.
   des::Task<void> transfer(NodeId src, NodeId dst, std::uint64_t bytes);
 
+  /// Raw-callback form of transfer() for allocation-free callers (e.g. the
+  /// simrt eager delivery chain): identical event sequence and simulated
+  /// timing, but completion invokes `done(ctx)` at the exact point the
+  /// coroutine form would have resumed — no coroutine frame is created.
+  /// `ctx` must stay valid until `done` fires.
+  void transfer_raw(NodeId src, NodeId dst, std::uint64_t bytes,
+                    des::Engine::RawCallback done, void* ctx);
+
   /// Closed-form transfer time assuming an idle network (for tests and
   /// analytic baselines).  Includes circuit setup on a cold cache if
   /// `assume_circuit` is false.
@@ -152,6 +160,9 @@ class SimNetwork {
   };
 
   // -- tier 1: analytic flights ----------------------------------------------
+  // Both tiers complete through a raw (fn, ctx) pair; the coroutine form of
+  // transfer() passes resume_handle_cb + its own handle, transfer_raw()
+  // passes the caller's callback straight through.
   struct Flight {
     SimNetwork* net = nullptr;
     const std::vector<LinkId>* path = nullptr;  // borrowed from Topology cache
@@ -160,7 +171,8 @@ class SimNetwork {
     std::uint32_t packets = 0;
     std::uint32_t slot = 0;  ///< own index in flights_
     des::EventId completion{};
-    std::coroutine_handle<> resume;
+    des::Engine::RawCallback done_fn = nullptr;
+    void* done_ctx = nullptr;
     bool active = false;
   };
 
@@ -178,37 +190,51 @@ class SimNetwork {
     std::uint32_t remaining = 0;
     std::uint32_t slot = 0;
     bool from_flight = false;  ///< materialized (counted already), not walked
-    std::coroutine_handle<> resume;
+    des::Engine::RawCallback done_fn = nullptr;
+    void* done_ctx = nullptr;
     std::array<Walker, kMaxPackets> walkers{};
   };
 
-  /// Awaits message delivery; suspension hands the coroutine to the tier
-  /// selected by transfer().
-  struct TransferAwaiter {
+  /// A transfer_raw() parked behind an optical circuit setup delay.
+  struct RawTransfer {
+    SimNetwork* net = nullptr;
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::uint64_t bytes = 0;
+    des::Engine::RawCallback done = nullptr;
+    void* ctx = nullptr;
+    std::uint32_t slot = 0;
+  };
+
+  /// Awaits message delivery; suspension injects the message with the
+  /// coroutine's own handle as the completion context.
+  struct InjectAwaiter {
     SimNetwork& net;
-    const std::vector<LinkId>* path;
-    des::SimTime ser;
-    std::uint32_t packets;
-    bool bypass;
+    NodeId src;
+    NodeId dst;
+    std::uint64_t bytes;
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      if (bypass) {
-        net.begin_flight(*path, ser, packets, h);
-      } else {
-        net.begin_walk(*path, ser, packets, h);
-      }
+      net.inject(src, dst, bytes, &resume_handle_cb, h.address());
     }
     void await_resume() const noexcept {}
   };
 
+  /// Post-circuit injection shared by both transfer forms: packet planning,
+  /// flight materialization, idle-path test, then tier dispatch.
+  void inject(NodeId src, NodeId dst, std::uint64_t bytes,
+              des::Engine::RawCallback done, void* ctx);
+
   void begin_flight(const std::vector<LinkId>& path, des::SimTime ser,
-                    std::uint32_t packets, std::coroutine_handle<> resume);
+                    std::uint32_t packets, des::Engine::RawCallback done,
+                    void* ctx);
   void complete_flight(Flight& f, bool defer_resume);
   void materialize_flight(Flight& f);
 
   void begin_walk(const std::vector<LinkId>& path, des::SimTime ser,
-                  std::uint32_t packets, std::coroutine_handle<> resume);
+                  std::uint32_t packets, des::Engine::RawCallback done,
+                  void* ctx);
   /// Reserves the walker's next link (now == its arrival time there) and
   /// schedules the following arrival or the final delivery.
   void advance_walker(Walker& w);
@@ -217,11 +243,20 @@ class SimNetwork {
   static void flight_complete_cb(void* ctx);
   static void walker_arrive_cb(void* ctx);
   static void resume_handle_cb(void* ctx);
+  static void raw_setup_done_cb(void* ctx);
 
   Flight& acquire_flight();
   void release_flight(std::uint32_t slot);
   WalkMessage& acquire_walk();
   void release_walk(std::uint32_t slot);
+  RawTransfer& acquire_raw();
+  void release_raw(std::uint32_t slot);
+
+  /// Circuit-cache lookup shared by both transfer forms: true on a hit
+  /// (stats/trace recorded); on a miss records the setup span and installs
+  /// the circuit optimistically — the caller pays params_.circuit_setup
+  /// before injecting.
+  bool circuit_ready(NodeId src, NodeId dst);
 
   /// Serialization occupancy bookkeeping shared by both tiers.
   void credit_link(LinkId l, des::SimTime start, des::SimTime ser,
@@ -247,6 +282,8 @@ class SimNetwork {
   std::vector<std::uint32_t> flight_free_;
   std::deque<WalkMessage> walks_;
   std::vector<std::uint32_t> walk_free_;
+  std::deque<RawTransfer> raw_transfers_;
+  std::vector<std::uint32_t> raw_free_;
 
   NetworkStats stats_;
   obs::Tracer* tracer_ = nullptr;

@@ -54,6 +54,54 @@ des::Task<void> SimNetwork::transfer(NodeId src, NodeId dst,
     co_await ensure_circuit(src, dst);
   }
 
+  co_await InjectAwaiter{*this, src, dst, bytes};
+}
+
+void SimNetwork::transfer_raw(NodeId src, NodeId dst, std::uint64_t bytes,
+                              des::Engine::RawCallback done, void* ctx) {
+  POLARIS_CHECK(src < topo_.node_count() && dst < topo_.node_count());
+  ++stats_.messages;
+  stats_.bytes += bytes;
+
+  if (src == dst) {
+    // Intra-node: one host copy — one event, as the coroutine form's
+    // delay would have scheduled.
+    const double t = static_cast<double>(bytes) / params_.copy_bw;
+    engine_.schedule_raw_after(des::from_seconds(t), done, ctx);
+    return;
+  }
+
+  if (params_.circuit_setup > 0.0 && !circuit_ready(src, dst)) {
+    // Park behind the reconfiguration delay in a pooled record, then
+    // inject — the same single event ensure_circuit() awaits on a miss.
+    RawTransfer& rt = acquire_raw();
+    rt.src = src;
+    rt.dst = dst;
+    rt.bytes = bytes;
+    rt.done = done;
+    rt.ctx = ctx;
+    engine_.schedule_raw_after(des::from_seconds(params_.circuit_setup),
+                               &raw_setup_done_cb, &rt);
+    return;
+  }
+
+  inject(src, dst, bytes, done, ctx);
+}
+
+void SimNetwork::raw_setup_done_cb(void* ctx) {
+  RawTransfer& rt = *static_cast<RawTransfer*>(ctx);
+  SimNetwork* net = rt.net;
+  const NodeId src = rt.src;
+  const NodeId dst = rt.dst;
+  const std::uint64_t bytes = rt.bytes;
+  const des::Engine::RawCallback done = rt.done;
+  void* done_ctx = rt.ctx;
+  net->release_raw(rt.slot);
+  net->inject(src, dst, bytes, done, done_ctx);
+}
+
+void SimNetwork::inject(NodeId src, NodeId dst, std::uint64_t bytes,
+                        des::Engine::RawCallback done, void* ctx) {
   // Borrowed straight out of the Topology route cache (node-based map:
   // the reference stays valid for the message lifetime) — no per-message
   // route copy.
@@ -77,20 +125,25 @@ des::Task<void> SimNetwork::transfer(NodeId src, NodeId dst,
       break;
     }
   }
-  co_await TransferAwaiter{*this, &path, ser, plan.count, idle};
+  if (idle) {
+    begin_flight(path, ser, plan.count, done, ctx);
+  } else {
+    begin_walk(path, ser, plan.count, done, ctx);
+  }
 }
 
 // ------------------------------------------------------- tier 1: flights
 
 void SimNetwork::begin_flight(const std::vector<LinkId>& path,
                               des::SimTime ser, std::uint32_t packets,
-                              std::coroutine_handle<> resume) {
+                              des::Engine::RawCallback done, void* ctx) {
   Flight& f = acquire_flight();
   f.path = &path;
   f.start = engine_.now();
   f.ser = ser;
   f.packets = packets;
-  f.resume = resume;
+  f.done_fn = done;
+  f.done_ctx = ctx;
   for (const LinkId l : path) {
     LinkState& ls = links_[l];
     ++ls.inflight;
@@ -124,15 +177,15 @@ void SimNetwork::complete_flight(Flight& f, bool defer_resume) {
     credit_link(path[j], s0, f.ser, f.packets);
   }
   ++stats_.messages_bypassed;
-  const std::coroutine_handle<> resume = f.resume;
+  const des::Engine::RawCallback done = f.done_fn;
+  void* ctx = f.done_ctx;
   release_flight(f.slot);
   if (defer_resume) {
-    // Settled from inside another message's transfer: resume after the
+    // Settled from inside another message's injection: complete after the
     // current event, as the cancelled completion event would have.
-    engine_.schedule_raw_at(engine_.now(), &resume_handle_cb,
-                            resume.address());
+    engine_.schedule_raw_at(engine_.now(), done, ctx);
   } else {
-    resume.resume();
+    done(ctx);
   }
 }
 
@@ -157,7 +210,8 @@ void SimNetwork::materialize_flight(Flight& f) {
   m.path = f.path;
   m.ser = ser;
   m.remaining = 0;
-  m.resume = f.resume;
+  m.done_fn = f.done_fn;
+  m.done_ctx = f.done_ctx;
   m.from_flight = true;
   for (std::uint32_t i = 0; i < f.packets; ++i) {
     // On the uncontended path the flight flew so far, packet i reaches
@@ -221,12 +275,13 @@ void SimNetwork::materialize_flight(Flight& f) {
 
 void SimNetwork::begin_walk(const std::vector<LinkId>& path, des::SimTime ser,
                             std::uint32_t packets,
-                            std::coroutine_handle<> resume) {
+                            des::Engine::RawCallback done, void* ctx) {
   WalkMessage& m = acquire_walk();
   m.path = &path;
   m.ser = ser;
   m.remaining = packets;
-  m.resume = resume;
+  m.done_fn = done;
+  m.done_ctx = ctx;
   m.from_flight = false;
   for (const LinkId l : path) ++links_[l].inflight;
   // All packets reach the first link now; reserving in index order is the
@@ -271,9 +326,10 @@ void SimNetwork::finish_walk_packet(WalkMessage& m) {
   if (--m.remaining != 0) return;
   for (const LinkId l : *m.path) --links_[l].inflight;
   if (!m.from_flight) ++stats_.messages_walked;
-  const std::coroutine_handle<> resume = m.resume;
+  const des::Engine::RawCallback done = m.done_fn;
+  void* ctx = m.done_ctx;
   release_walk(m.slot);
-  resume.resume();
+  done(ctx);
 }
 
 // ------------------------------------------------------------ bookkeeping
@@ -309,7 +365,8 @@ SimNetwork::Flight& SimNetwork::acquire_flight() {
 }
 
 void SimNetwork::release_flight(std::uint32_t slot) {
-  flights_[slot].resume = nullptr;
+  flights_[slot].done_fn = nullptr;
+  flights_[slot].done_ctx = nullptr;
   flight_free_.push_back(slot);
 }
 
@@ -328,8 +385,29 @@ SimNetwork::WalkMessage& SimNetwork::acquire_walk() {
 }
 
 void SimNetwork::release_walk(std::uint32_t slot) {
-  walks_[slot].resume = nullptr;
+  walks_[slot].done_fn = nullptr;
+  walks_[slot].done_ctx = nullptr;
   walk_free_.push_back(slot);
+}
+
+SimNetwork::RawTransfer& SimNetwork::acquire_raw() {
+  if (!raw_free_.empty()) {
+    const std::uint32_t slot = raw_free_.back();
+    raw_free_.pop_back();
+    return raw_transfers_[slot];
+  }
+  const auto slot = static_cast<std::uint32_t>(raw_transfers_.size());
+  raw_transfers_.emplace_back();
+  RawTransfer& rt = raw_transfers_.back();
+  rt.net = this;
+  rt.slot = slot;
+  return rt;
+}
+
+void SimNetwork::release_raw(std::uint32_t slot) {
+  raw_transfers_[slot].done = nullptr;
+  raw_transfers_[slot].ctx = nullptr;
+  raw_free_.push_back(slot);
 }
 
 // ---------------------------------------------------------------- circuits
@@ -351,7 +429,7 @@ void SimNetwork::CircuitCache::insert(NodeId d) {
   dst[0] = d;
 }
 
-des::Task<void> SimNetwork::ensure_circuit(NodeId src, NodeId dst) {
+bool SimNetwork::circuit_ready(NodeId src, NodeId dst) {
   CircuitCache& cache = circuits_[src];
   if (cache.touch(dst)) {
     ++stats_.circuit_hits;
@@ -361,7 +439,7 @@ des::Task<void> SimNetwork::ensure_circuit(NodeId src, NodeId dst) {
                            std::to_string(dst),
                        "circuit");
     }
-    co_return;
+    return true;
   }
   ++stats_.circuit_misses;
   if (tracer_) {
@@ -374,6 +452,11 @@ des::Task<void> SimNetwork::ensure_circuit(NodeId src, NodeId dst) {
   // Install before the delay so concurrent senders to the same destination
   // pay setup once (optimistic: their data rides the path being set up).
   cache.insert(dst);
+  return false;
+}
+
+des::Task<void> SimNetwork::ensure_circuit(NodeId src, NodeId dst) {
+  if (circuit_ready(src, dst)) co_return;
   co_await des::delay(engine_, des::from_seconds(params_.circuit_setup));
 }
 

@@ -17,15 +17,23 @@
 // Simulation carries byte counts, not data: correctness of data movement is
 // proved by the local executor and the real runtime; SimWorld answers "how
 // long does it take on fabric X at scale N".
+//
+// Host-side hot path (simulated timing is bit-identical either way): every
+// message is a slab-pooled InFlight record addressed by slot+generation —
+// no shared_ptr, no per-message Trigger allocations (completion flags are
+// intrusive des::OneShotEvents), eager wire delivery runs as a raw-callback
+// chain through fabric::SimNetwork::transfer_raw (no spawned coroutine
+// frame), out-of-order network completions park in per-source ring buffers
+// indexed by sequence number, and nonblocking requests are pooled
+// slot+generation handles.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <list>
-#include <map>
-#include <tuple>
 #include <memory>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "polaris/coll/algorithms.hpp"
@@ -41,10 +49,43 @@
 #include "polaris/msg/tag_matcher.hpp"
 #include "polaris/obs/metrics.hpp"
 #include "polaris/obs/trace.hpp"
+#include "polaris/support/flat_map.hpp"
+#include "polaris/support/function.hpp"
 
 namespace polaris::simrt {
 
+class SimComm;
 class SimWorld;
+
+inline constexpr std::uint32_t kNilSlot = 0xffff'ffffu;
+
+namespace detail {
+
+/// Slab-pooled per-message simulation record (one per send, owned by the
+/// SimWorld pool).  Released back to the pool when both sides are done:
+/// the sender-side protocol chain and the receiving recv_impl each hold
+/// one reference.
+struct InFlight {
+  SimComm* dst_comm = nullptr;  ///< receiver endpoint (raw-chain context)
+  int src = 0;
+  int tag = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t seq = 0;  ///< per (src,dst) issue order (non-overtaking)
+  msg::Protocol proto = msg::Protocol::kEager;
+  des::OneShotEvent matched;    ///< recv posted & matched
+  des::OneShotEvent delivered;  ///< payload landed
+  std::uint32_t slot = 0;       ///< own index in the world pool
+  std::uint32_t gen = 0;        ///< bumped on release (stale-handle check)
+  std::uint8_t refs = 0;
+};
+
+/// Matcher cookie: a generation-checked handle into the InFlight pool.
+struct InFlightId {
+  std::uint32_t slot = kNilSlot;
+  std::uint32_t gen = 0;
+};
+
+}  // namespace detail
 
 /// Completion info for a simulated receive.
 struct SimRecvStatus {
@@ -53,17 +94,18 @@ struct SimRecvStatus {
   std::uint64_t bytes = 0;
 };
 
-/// Handle for a nonblocking simulated operation; wait via
-/// SimComm::wait()/wait_all().
+/// Handle for a nonblocking simulated operation: a pooled slot+generation
+/// in the issuing SimComm (trivially copyable, two words — no shared_ptr).
+/// Wait via SimComm::wait()/wait_all(); waiting consumes the handle.
 class SimRequest {
  public:
   SimRequest() = default;
-  bool valid() const { return done_ != nullptr; }
+  bool valid() const { return slot_ != kNilSlot; }
 
  private:
   friend class SimComm;
-  std::shared_ptr<des::Trigger> done_;
-  std::shared_ptr<SimRecvStatus> status_;
+  std::uint32_t slot_ = kNilSlot;
+  std::uint32_t gen_ = 0;
 };
 
 /// Per-rank communication endpoint for simulated SPMD programs.  All
@@ -94,11 +136,13 @@ class SimComm {
                    std::uintptr_t buffer_addr = 0);
   SimRequest irecv(int src, int tag);
 
-  /// Awaits one request (idempotent on completed requests).
+  /// Awaits one request and consumes it (each handle is waited exactly
+  /// once; the slot is recycled on return).
   des::Task<SimRecvStatus> wait(SimRequest request);
 
-  /// Awaits every request in the span.
-  des::Task<void> wait_all(std::vector<SimRequest> requests);
+  /// Awaits every request in the span (accepts a std::vector directly),
+  /// consuming each.
+  des::Task<void> wait_all(std::span<const SimRequest> requests);
 
   /// One-sided RDMA put: no receiver involvement (fabric must have rdma).
   des::Task<void> put(int dst, std::uint64_t bytes,
@@ -111,7 +155,8 @@ class SimComm {
   /// Active messages (timing-level): the handler runs at the destination
   /// when the payload lands, with no posted receive.  Handlers must be
   /// registered before launch on every rank (SPMD convention).
-  using AmHandler = std::function<void(int src, std::uint64_t bytes)>;
+  using AmHandler = support::UniqueFunction<void(int src,
+                                                 std::uint64_t bytes)>;
   std::uint32_t register_am(AmHandler handler);
   des::Task<void> am_send(int dst, std::uint32_t handler,
                           std::uint64_t bytes);
@@ -147,6 +192,16 @@ class SimComm {
   std::uint64_t rendezvous_count() const { return rendezvous_count_; }
   const msg::RegCacheStats& reg_stats() const;
 
+  /// This endpoint's tag-matching statistics and pool sizes (allocation
+  /// observability: capacities that stop growing mean a steady state).
+  const msg::MatchStats& match_stats() const { return matcher_.stats(); }
+  std::size_t matcher_pool_capacity() const {
+    return matcher_.posted_pool_capacity() +
+           matcher_.unexpected_pool_capacity();
+  }
+  std::size_t request_pool_capacity() const { return request_pool_.size(); }
+  std::size_t max_held_depth() const { return max_held_; }
+
   /// This rank's trace track (valid after SimWorld::attach_tracer); user
   /// programs may add their own spans to it.
   obs::Tracer* tracer() const { return tracer_; }
@@ -155,20 +210,26 @@ class SimComm {
  private:
   friend class SimWorld;
 
-  struct InFlight {
-    int src = 0;
-    int tag = 0;
-    std::uint64_t bytes = 0;
-    std::uint64_t seq = 0;  ///< per (src,dst) issue order (non-overtaking)
-    msg::Protocol proto = msg::Protocol::kEager;
-    std::unique_ptr<des::Trigger> matched;    ///< recv posted & matched
-    std::unique_ptr<des::Trigger> delivered;  ///< payload landed
-  };
-  using InFlightPtr = std::shared_ptr<InFlight>;
-
+  /// Queued posted-receive state, pooled; the matcher's RecvId encodes
+  /// (generation << 32) | slot so a match resolves here in O(1).
   struct PendingRecv {
-    std::unique_ptr<des::Trigger> trigger;
-    InFlightPtr inflight;
+    des::OneShotEvent trigger;
+    std::uint32_t inflight_slot = kNilSlot;
+    std::uint32_t gen = 0;
+  };
+
+  /// Pooled nonblocking-request record behind a SimRequest handle.
+  struct Request {
+    des::OneShotEvent done;
+    SimRecvStatus status;
+    std::uint32_t gen = 0;
+  };
+
+  /// Per-source hold ring for out-of-order network completions: slot of
+  /// the InFlight with sequence s lives at s mod capacity (capacity is a
+  /// power of two grown to the largest in-flight sequence window).
+  struct HoldRing {
+    std::vector<std::uint32_t> slots;
   };
 
   SimComm(SimWorld& world, int rank, std::size_t ranks);
@@ -179,30 +240,51 @@ class SimComm {
 
   /// Matcher posting done eagerly at recv()/irecv() call time.
   struct RecvTicket {
-    InFlightPtr inflight;       ///< set if an unexpected message matched
-    msg::RecvId pending_id = 0; ///< else the queued posted-recv id
+    std::uint32_t inflight_slot = kNilSlot;  ///< unexpected match, if any
+    std::uint32_t pending_slot = kNilSlot;   ///< else the queued recv state
   };
   RecvTicket post_recv_now(int src, int tag);
   des::Task<SimRecvStatus> recv_impl(RecvTicket ticket);
-  des::Task<void> send_eager(int dst, InFlightPtr inflight);
-  des::Task<void> deliver_eager(int dst, InFlightPtr inflight);
-  des::Task<void> send_rendezvous(int dst, InFlightPtr inflight,
+  des::Task<void> send_eager(detail::InFlight& f);
+  des::Task<void> send_rendezvous(detail::InFlight& f,
                                   std::uintptr_t buffer_addr);
+  des::Task<void> isend_body(int dst, int tag, std::uint64_t bytes,
+                             std::uintptr_t buffer_addr, std::uint64_t seq,
+                             std::uint32_t request_slot);
+  des::Task<void> irecv_body(RecvTicket ticket, std::uint32_t request_slot);
+
+  /// Eager wire chain (replaces the spawned deliver_eager coroutine):
+  /// a zero-delay raw event injects into the fabric, whose completion
+  /// callback lands the message at the destination.  ctx is the InFlight.
+  static void eager_wire_cb(void* ctx);
+  static void eager_delivered_cb(void* ctx);
+
   /// Applies an arrival in per-source issue order (MPI non-overtaking).
-  void arrive_ordered(InFlightPtr inflight);
-  void deliver_to_matcher(InFlightPtr inflight);
+  void arrive_ordered(std::uint32_t inflight_slot);
+  void deliver_to_matcher(std::uint32_t inflight_slot);
+  void hold_out_of_order(int src, std::uint32_t inflight_slot);
+
+  std::uint32_t acquire_pending();
+  void release_pending(std::uint32_t slot);
+  SimRequest acquire_request();
+  void release_request(std::uint32_t slot);
+
   std::uintptr_t default_addr() const;
 
   SimWorld* world_;
   int rank_;
-  msg::TagMatcher<InFlightPtr> matcher_;
-  std::unordered_map<msg::RecvId, PendingRecv> pending_;
-  std::uint64_t next_recv_id_ = 1;
+  msg::TagMatcher<detail::InFlightId> matcher_;
+  std::deque<PendingRecv> pending_pool_;  // deque: references held across awaits
+  std::vector<std::uint32_t> pending_free_;
+  std::deque<Request> request_pool_;
+  std::vector<std::uint32_t> request_free_;
   // Per-destination send sequence numbers; per-source expected arrival
-  // sequence + hold queue for out-of-order network completions.
+  // sequence + hold ring for out-of-order network completions.
   std::vector<std::uint64_t> send_seq_;
   std::vector<std::uint64_t> expect_seq_;
-  std::vector<std::map<std::uint64_t, InFlightPtr>> held_;
+  std::vector<HoldRing> held_;
+  std::size_t held_count_ = 0;
+  std::size_t max_held_ = 0;
   des::SimTime earliest_next_send_ = 0;
   std::uint64_t eager_count_ = 0;
   std::uint64_t rendezvous_count_ = 0;
@@ -262,8 +344,8 @@ class SimWorld {
   void attach_tracer(obs::Tracer& tracer);
 
   /// Attaches a metrics registry: live send counters/size histograms
-  /// during the run, plus engine, fabric and registration-cache totals
-  /// mirrored at the end of each run().
+  /// during the run, plus engine, fabric, matcher and registration-cache
+  /// totals mirrored at the end of each run().
   void attach_metrics(obs::MetricsRegistry& metrics);
 
   /// Selected-and-generated schedule for a collective, memoized per world:
@@ -272,7 +354,23 @@ class SimWorld {
   const coll::Schedule& collective_schedule(coll::Collective kind,
                                             std::size_t count, int root);
 
+  /// InFlight slab pool (shared across ranks; the simulation is
+  /// single-threaded).  Capacity growth = allocations.
+  detail::InFlight& inflight(std::uint32_t slot) {
+    return inflight_pool_[slot];
+  }
+  std::uint32_t acquire_inflight();
+  void release_inflight_ref(std::uint32_t slot);
+  std::size_t inflight_pool_capacity() const { return inflight_pool_.size(); }
+  std::size_t inflight_in_use() const {
+    return inflight_pool_.size() - inflight_free_.size();
+  }
+  std::size_t max_inflight_in_use() const { return max_inflight_in_use_; }
+
  private:
+  static std::uint64_t pack_schedule_key(coll::Collective kind,
+                                         std::size_t count, int root);
+
   des::Engine engine_;
   std::unique_ptr<fabric::Topology> topo_;
   std::unique_ptr<fabric::SimNetwork> network_;
@@ -283,9 +381,15 @@ class SimWorld {
   // Launched programs; std::list keeps closure addresses stable because
   // coroutine frames created from a closure reference that exact object.
   std::list<std::function<des::Task<void>(SimComm&)>> programs_;
-  // Memoized collective schedules keyed by (kind, count, root).
-  std::map<std::tuple<int, std::size_t, int>, coll::Schedule>
-      schedule_cache_;
+  // Memoized collective schedules: flat hash on a packed (kind, count,
+  // root) key, values indirected through a deque so the references
+  // collective_schedule() hands out stay stable across cache growth.
+  support::FlatMap64<std::uint32_t> schedule_cache_;
+  std::deque<coll::Schedule> schedules_;
+  // InFlight slab (deque: raw-chain contexts point at records).
+  std::deque<detail::InFlight> inflight_pool_;
+  std::vector<std::uint32_t> inflight_free_;
+  std::size_t max_inflight_in_use_ = 0;
 };
 
 }  // namespace polaris::simrt

@@ -54,18 +54,17 @@ des::Task<void> SimComm::send(int dst, int tag, std::uint64_t bytes,
 des::Task<void> SimComm::send_impl(int dst, int tag, std::uint64_t bytes,
                                    std::uintptr_t buffer_addr,
                                    std::uint64_t seq) {
-  auto inflight = std::make_shared<InFlight>();
-  inflight->src = rank_;
-  inflight->tag = tag;
-  inflight->bytes = bytes;
-  inflight->seq = seq;
-  inflight->proto = msg::choose_protocol(world_->params(), bytes,
-                                         world_->eager_threshold());
-  inflight->matched = std::make_unique<des::Trigger>(world_->engine());
-  inflight->delivered = std::make_unique<des::Trigger>(world_->engine());
+  const std::uint32_t slot = world_->acquire_inflight();
+  detail::InFlight& f = world_->inflight(slot);
+  f.dst_comm = &world_->comm(static_cast<std::size_t>(dst));
+  f.src = rank_;
+  f.tag = tag;
+  f.bytes = bytes;
+  f.seq = seq;
+  f.proto = msg::choose_protocol(world_->params(), bytes,
+                                 world_->eager_threshold());
 
-  obs::ScopedSpan span(tracer_, track_, "send",
-                       msg::to_string(inflight->proto));
+  obs::ScopedSpan span(tracer_, track_, "send", msg::to_string(f.proto));
   if (sends_counter_) {
     sends_counter_->add();
     msg_bytes_->record(static_cast<double>(bytes));
@@ -77,48 +76,61 @@ des::Task<void> SimComm::send_impl(int dst, int tag, std::uint64_t bytes,
     co_await des::delay(eng, earliest_next_send_ - eng.now());
   }
 
-  if (inflight->proto == msg::Protocol::kEager) {
+  if (f.proto == msg::Protocol::kEager) {
     ++eager_count_;
-    co_await send_eager(dst, std::move(inflight));
+    co_await send_eager(f);
   } else {
     ++rendezvous_count_;
-    co_await send_rendezvous(dst, std::move(inflight), buffer_addr);
+    co_await send_rendezvous(f, buffer_addr);
   }
 }
 
-des::Task<void> SimComm::send_eager(int dst, InFlightPtr inflight) {
+des::Task<void> SimComm::send_eager(detail::InFlight& f) {
   const auto& p = world_->params();
   auto& eng = world_->engine();
   // CPU: overhead plus the copy into the injection/bounce path.
-  const double copy = static_cast<double>(inflight->bytes) / p.copy_bw;
+  const double copy = static_cast<double>(f.bytes) / p.copy_bw;
   {
     obs::ScopedSpan inject(tracer_, track_, "eager:inject", "protocol");
     co_await des::delay(eng, des::from_seconds(p.o_send + copy));
   }
   earliest_next_send_ =
       eng.now() + des::from_seconds(std::max(p.gap - p.o_send, 0.0));
-  // The wire part proceeds without blocking the sender (buffered send).
-  eng.spawn(deliver_eager(dst, std::move(inflight)));
+  // The wire part proceeds without blocking the sender (buffered send):
+  // a zero-delay raw event injects into the fabric, whose completion
+  // callback lands the message — no coroutine frame for the wire leg.
+  // The event sequence (one +0 event, then the fabric's) is exactly what
+  // the old spawned deliver_eager coroutine produced.
+  eng.schedule_raw_after(0, &SimComm::eager_wire_cb, &f);
 }
 
-des::Task<void> SimComm::deliver_eager(int dst, InFlightPtr inflight) {
-  co_await world_->network().transfer(
-      static_cast<fabric::NodeId>(rank_), static_cast<fabric::NodeId>(dst),
-      inflight->bytes + SimWorld::kHeaderBytes);
-  inflight->delivered->fire();
-  world_->comm(static_cast<std::size_t>(dst)).arrive_ordered(
-      std::move(inflight));
+void SimComm::eager_wire_cb(void* ctx) {
+  auto& f = *static_cast<detail::InFlight*>(ctx);
+  SimComm& dst = *f.dst_comm;
+  dst.world_->network().transfer_raw(
+      static_cast<fabric::NodeId>(f.src),
+      static_cast<fabric::NodeId>(dst.rank_),
+      f.bytes + SimWorld::kHeaderBytes, &SimComm::eager_delivered_cb, &f);
 }
 
-des::Task<void> SimComm::send_rendezvous(int dst, InFlightPtr inflight,
+void SimComm::eager_delivered_cb(void* ctx) {
+  auto& f = *static_cast<detail::InFlight*>(ctx);
+  SimComm& dst = *f.dst_comm;
+  f.delivered.fire(dst.world_->engine());
+  const std::uint32_t slot = f.slot;
+  dst.arrive_ordered(slot);
+  dst.world_->release_inflight_ref(slot);  // sender-chain reference
+}
+
+des::Task<void> SimComm::send_rendezvous(detail::InFlight& f,
                                          std::uintptr_t buffer_addr) {
   const auto& p = world_->params();
   auto& eng = world_->engine();
   const auto src_node = static_cast<fabric::NodeId>(rank_);
-  const auto dst_node = static_cast<fabric::NodeId>(dst);
+  const auto dst_node = static_cast<fabric::NodeId>(f.dst_comm->rank_);
   // Protocol-phase prefix: the RDMA variant shares the rendezvous
   // handshake but lands the payload without receiver CPU.
-  const bool is_rdma = inflight->proto == msg::Protocol::kRdma;
+  const bool is_rdma = f.proto == msg::Protocol::kRdma;
   const char* pre = is_rdma ? "rdma" : "rdv";
 
   // RTS (header-only).
@@ -129,15 +141,14 @@ des::Task<void> SimComm::send_rendezvous(int dst, InFlightPtr inflight,
       eng.now() + des::from_seconds(std::max(p.gap - p.o_send, 0.0));
   co_await world_->network().transfer(src_node, dst_node,
                                       SimWorld::kHeaderBytes);
-  world_->comm(static_cast<std::size_t>(dst))
-      .arrive_ordered(inflight);  // keep our reference for the payload
+  f.dst_comm->arrive_ordered(f.slot);  // receiver's reference travels here
   rts.end();
 
   // Wait for the receive to be posted, then the CTS travels back.
   {
     obs::ScopedSpan sync(tracer_, track_, std::string(pre) + ":sync",
                          "protocol");
-    co_await inflight->matched->wait();
+    co_await f.matched.wait();
     co_await world_->network().transfer(dst_node, src_node,
                                         SimWorld::kHeaderBytes);
   }
@@ -149,12 +160,12 @@ des::Task<void> SimComm::send_rendezvous(int dst, InFlightPtr inflight,
     obs::ScopedSpan stage(tracer_, track_, std::string(pre) + ":stage",
                           "protocol");
     co_await des::delay(
-        eng, des::from_seconds(static_cast<double>(inflight->bytes) /
-                               p.copy_bw));
+        eng,
+        des::from_seconds(static_cast<double>(f.bytes) / p.copy_bw));
   } else {
     const std::uintptr_t addr =
         buffer_addr != 0 ? buffer_addr : default_addr();
-    const double reg = reg_cache_->acquire(addr, inflight->bytes);
+    const double reg = reg_cache_->acquire(addr, f.bytes);
     if (tracer_) {
       tracer_->instant(track_, reg > 0.0 ? "reg-miss" : "reg-hit", "reg");
     }
@@ -167,52 +178,94 @@ des::Task<void> SimComm::send_rendezvous(int dst, InFlightPtr inflight,
   {
     obs::ScopedSpan payload(tracer_, track_, std::string(pre) + ":payload",
                             "protocol");
-    co_await world_->network().transfer(src_node, dst_node,
-                                        inflight->bytes);
+    co_await world_->network().transfer(src_node, dst_node, f.bytes);
   }
-  inflight->delivered->fire();
+  f.delivered.fire(eng);
+  world_->release_inflight_ref(f.slot);  // sender-side reference
 }
 
-void SimComm::arrive_ordered(InFlightPtr inflight) {
-  const int src = inflight->src;
-  if (inflight->seq != expect_seq_[src]) {
-    held_[src].emplace(inflight->seq, std::move(inflight));
+void SimComm::arrive_ordered(std::uint32_t inflight_slot) {
+  detail::InFlight& f = world_->inflight(inflight_slot);
+  const int src = f.src;
+  if (f.seq != expect_seq_[static_cast<std::size_t>(src)]) {
+    hold_out_of_order(src, inflight_slot);
     return;
   }
-  deliver_to_matcher(std::move(inflight));
-  ++expect_seq_[src];
-  auto& held = held_[src];
-  while (!held.empty() && held.begin()->first == expect_seq_[src]) {
-    deliver_to_matcher(std::move(held.begin()->second));
-    held.erase(held.begin());
-    ++expect_seq_[src];
+  deliver_to_matcher(inflight_slot);
+  std::uint64_t& expect = expect_seq_[static_cast<std::size_t>(src)];
+  ++expect;
+  // Drain consecutively-sequenced messages parked in the hold ring.
+  HoldRing& ring = held_[static_cast<std::size_t>(src)];
+  while (!ring.slots.empty()) {
+    const std::size_t idx =
+        static_cast<std::size_t>(expect) & (ring.slots.size() - 1);
+    const std::uint32_t held = ring.slots[idx];
+    if (held == kNilSlot || world_->inflight(held).seq != expect) break;
+    ring.slots[idx] = kNilSlot;
+    --held_count_;
+    deliver_to_matcher(held);
+    ++expect;
   }
 }
 
-void SimComm::deliver_to_matcher(InFlightPtr inflight) {
-  msg::Envelope<InFlightPtr> env;
-  env.src = inflight->src;
-  env.tag = inflight->tag;
-  env.bytes = inflight->bytes;
-  env.cookie = inflight;
+void SimComm::hold_out_of_order(int src, std::uint32_t inflight_slot) {
+  HoldRing& ring = held_[static_cast<std::size_t>(src)];
+  const std::uint64_t seq = world_->inflight(inflight_slot).seq;
+  const std::uint64_t expect = expect_seq_[static_cast<std::size_t>(src)];
+  POLARIS_DCHECK(seq > expect);
+  // Grow the ring (power of two) until the in-flight window [expect, seq]
+  // fits, re-slotting parked entries at their seq's new index.
+  std::size_t cap = ring.slots.size();
+  if (cap == 0 || seq - expect >= cap) {
+    std::size_t need = cap == 0 ? 4 : cap * 2;
+    while (seq - expect >= need) need *= 2;
+    std::vector<std::uint32_t> grown(need, kNilSlot);
+    for (const std::uint32_t s : ring.slots) {
+      if (s != kNilSlot) {
+        grown[static_cast<std::size_t>(world_->inflight(s).seq) &
+              (need - 1)] = s;
+      }
+    }
+    ring.slots.swap(grown);
+    cap = need;
+  }
+  const std::size_t idx = static_cast<std::size_t>(seq) & (cap - 1);
+  POLARIS_DCHECK(ring.slots[idx] == kNilSlot);
+  ring.slots[idx] = inflight_slot;
+  ++held_count_;
+  max_held_ = std::max(max_held_, held_count_);
+}
+
+void SimComm::deliver_to_matcher(std::uint32_t inflight_slot) {
+  detail::InFlight& f = world_->inflight(inflight_slot);
+  msg::Envelope<detail::InFlightId> env;
+  env.src = f.src;
+  env.tag = f.tag;
+  env.bytes = f.bytes;
+  env.cookie = detail::InFlightId{inflight_slot, f.gen};
   if (auto rid = matcher_.arrive(std::move(env))) {
-    auto it = pending_.find(*rid);
-    POLARIS_CHECK_MSG(it != pending_.end(), "matched recv with no state");
-    it->second.inflight = std::move(inflight);
-    it->second.trigger->fire();
+    const auto pslot = static_cast<std::uint32_t>(*rid & 0xffff'ffffu);
+    const auto pgen = static_cast<std::uint32_t>(*rid >> 32);
+    PendingRecv& pr = pending_pool_[pslot];
+    POLARIS_CHECK_MSG(pr.gen == pgen, "matched recv with no state");
+    pr.inflight_slot = inflight_slot;
+    pr.trigger.fire(world_->engine());
   }
 }
 
 SimComm::RecvTicket SimComm::post_recv_now(int src, int tag) {
   RecvTicket ticket;
-  const msg::RecvId id = next_recv_id_++;
+  const std::uint32_t pslot = acquire_pending();
+  PendingRecv& pr = pending_pool_[pslot];
+  const msg::RecvId id =
+      (static_cast<std::uint64_t>(pr.gen) << 32) | pslot;
   if (auto env = matcher_.post_recv(id, src, tag)) {
-    ticket.inflight = env->cookie;
+    POLARIS_DCHECK(world_->inflight(env->cookie.slot).gen ==
+                   env->cookie.gen);
+    ticket.inflight_slot = env->cookie.slot;
+    release_pending(pslot);  // matched immediately: no queued state needed
   } else {
-    pending_.emplace(id, PendingRecv{std::make_unique<des::Trigger>(
-                             world_->engine()),
-                         nullptr});
-    ticket.pending_id = id;
+    ticket.pending_slot = pslot;
   }
   return ticket;
 }
@@ -225,39 +278,42 @@ des::Task<SimRecvStatus> SimComm::recv_impl(RecvTicket ticket) {
   auto& eng = world_->engine();
   obs::ScopedSpan span(tracer_, track_, "recv", "p2p");
   obs::ScopedSpan wait_span(tracer_, track_, "recv:wait", "protocol");
-  InFlightPtr inf = std::move(ticket.inflight);
-  if (!inf) {
-    const msg::RecvId id = ticket.pending_id;
-    co_await pending_.at(id).trigger->wait();
-    inf = std::move(pending_.at(id).inflight);
-    pending_.erase(id);
+  std::uint32_t slot = ticket.inflight_slot;
+  if (slot == kNilSlot) {
+    // Pool references stay valid across awaits (deque slab).
+    PendingRecv& pr = pending_pool_[ticket.pending_slot];
+    co_await pr.trigger.wait();
+    slot = pr.inflight_slot;
+    POLARIS_CHECK_MSG(slot != kNilSlot, "recv woke without a message");
+    release_pending(ticket.pending_slot);
   }
+  detail::InFlight& inf = world_->inflight(slot);
 
   const auto& p = world_->params();
-  if (inf->proto != msg::Protocol::kEager && p.os_bypass &&
+  if (inf.proto != msg::Protocol::kEager && p.os_bypass &&
       (p.reg_base > 0.0 || p.reg_per_page > 0.0)) {
     // Receiver pins its landing buffer before replying CTS.
     const double reg = reg_cache_->acquire(default_addr() + (1u << 30),
-                                           inf->bytes);
+                                           inf.bytes);
     if (tracer_) {
       tracer_->instant(track_, reg > 0.0 ? "reg-miss" : "reg-hit", "reg");
     }
     if (reg > 0.0) co_await des::delay(eng, des::from_seconds(reg));
   }
-  inf->matched->fire();
-  co_await inf->delivered->wait();
+  inf.matched.fire(eng);
+  co_await inf.delivered.wait();
   wait_span.end();
 
   // Receiver CPU cost by protocol.
   double cpu = 0.0;
-  switch (inf->proto) {
+  switch (inf.proto) {
     case msg::Protocol::kEager:
-      cpu = p.o_recv + static_cast<double>(inf->bytes) / p.copy_bw;
+      cpu = p.o_recv + static_cast<double>(inf.bytes) / p.copy_bw;
       break;
     case msg::Protocol::kRendezvous:
       cpu = p.o_recv;
       if (!p.os_bypass) {
-        cpu += static_cast<double>(inf->bytes) / p.copy_bw;
+        cpu += static_cast<double>(inf.bytes) / p.copy_bw;
       }
       break;
     case msg::Protocol::kRdma:
@@ -270,56 +326,113 @@ des::Task<SimRecvStatus> SimComm::recv_impl(RecvTicket ticket) {
   }
 
   SimRecvStatus st;
-  st.src = inf->src;
-  st.tag = inf->tag;
-  st.bytes = inf->bytes;
+  st.src = inf.src;
+  st.tag = inf.tag;
+  st.bytes = inf.bytes;
+  world_->release_inflight_ref(slot);  // receiver-side reference
   co_return st;
+}
+
+std::uint32_t SimComm::acquire_pending() {
+  std::uint32_t slot;
+  if (!pending_free_.empty()) {
+    slot = pending_free_.back();
+    pending_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pending_pool_.size());
+    pending_pool_.emplace_back();
+  }
+  PendingRecv& pr = pending_pool_[slot];
+  pr.trigger.reset();
+  pr.inflight_slot = kNilSlot;
+  return slot;
+}
+
+void SimComm::release_pending(std::uint32_t slot) {
+  PendingRecv& pr = pending_pool_[slot];
+  ++pr.gen;  // invalidates any outstanding RecvId for this slot
+  pending_free_.push_back(slot);
+}
+
+SimRequest SimComm::acquire_request() {
+  std::uint32_t slot;
+  if (!request_free_.empty()) {
+    slot = request_free_.back();
+    request_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(request_pool_.size());
+    request_pool_.emplace_back();
+  }
+  Request& r = request_pool_[slot];
+  r.done.reset();
+  r.status = SimRecvStatus{};
+  SimRequest req;
+  req.slot_ = slot;
+  req.gen_ = r.gen;
+  return req;
+}
+
+void SimComm::release_request(std::uint32_t slot) {
+  Request& r = request_pool_[slot];
+  ++r.gen;  // a waited handle cannot be waited again
+  request_free_.push_back(slot);
 }
 
 SimRequest SimComm::isend(int dst, int tag, std::uint64_t bytes,
                           std::uintptr_t buffer_addr) {
   POLARIS_CHECK(dst >= 0 && dst < size());
-  SimRequest req;
-  req.done_ = std::make_shared<des::Trigger>(world_->engine());
-  req.status_ = std::make_shared<SimRecvStatus>();
+  SimRequest req = acquire_request();
   world_->engine().spawn(
-      [](SimComm& c, int d, int t, std::uint64_t b, std::uintptr_t addr,
-         std::uint64_t seq, std::shared_ptr<des::Trigger> done)
-          -> des::Task<void> {
-        co_await c.send_impl(d, t, b, addr, seq);
-        done->fire();
-      }(*this, dst, tag, bytes, buffer_addr, send_seq_[dst]++, req.done_));
+      isend_body(dst, tag, bytes, buffer_addr, send_seq_[dst]++,
+                 req.slot_));
   return req;
 }
 
+des::Task<void> SimComm::isend_body(int dst, int tag, std::uint64_t bytes,
+                                    std::uintptr_t buffer_addr,
+                                    std::uint64_t seq,
+                                    std::uint32_t request_slot) {
+  co_await send_impl(dst, tag, bytes, buffer_addr, seq);
+  request_pool_[request_slot].done.fire(world_->engine());
+}
+
 SimRequest SimComm::irecv(int src, int tag) {
-  SimRequest req;
-  req.done_ = std::make_shared<des::Trigger>(world_->engine());
-  req.status_ = std::make_shared<SimRecvStatus>();
+  SimRequest req = acquire_request();
   // Post to the matcher NOW so posting order equals program order; only
   // the completion wait runs as a background process.
-  RecvTicket ticket = post_recv_now(src, tag);
-  world_->engine().spawn(
-      [](SimComm& c, RecvTicket t, std::shared_ptr<des::Trigger> done,
-         std::shared_ptr<SimRecvStatus> status) -> des::Task<void> {
-        *status = co_await c.recv_impl(std::move(t));
-        done->fire();
-      }(*this, std::move(ticket), req.done_, req.status_));
+  world_->engine().spawn(irecv_body(post_recv_now(src, tag), req.slot_));
   return req;
+}
+
+des::Task<void> SimComm::irecv_body(RecvTicket ticket,
+                                    std::uint32_t request_slot) {
+  SimRecvStatus st = co_await recv_impl(ticket);
+  Request& r = request_pool_[request_slot];
+  r.status = st;
+  r.done.fire(world_->engine());
 }
 
 des::Task<SimRecvStatus> SimComm::wait(SimRequest request) {
   POLARIS_CHECK_MSG(request.valid(), "wait on an empty request");
+  Request& r = request_pool_[request.slot_];
+  POLARIS_CHECK_MSG(r.gen == request.gen_,
+                    "wait on a request that was already waited");
   obs::ScopedSpan span(tracer_, track_, "wait", "p2p");
-  co_await request.done_->wait();
-  co_return *request.status_;
+  co_await r.done.wait();
+  SimRecvStatus st = r.status;
+  release_request(request.slot_);
+  co_return st;
 }
 
-des::Task<void> SimComm::wait_all(std::vector<SimRequest> requests) {
+des::Task<void> SimComm::wait_all(std::span<const SimRequest> requests) {
   obs::ScopedSpan span(tracer_, track_, "wait_all", "p2p");
-  for (auto& r : requests) {
-    POLARIS_CHECK_MSG(r.valid(), "wait_all on an empty request");
-    co_await r.done_->wait();
+  for (const SimRequest& req : requests) {
+    POLARIS_CHECK_MSG(req.valid(), "wait_all on an empty request");
+    Request& r = request_pool_[req.slot_];
+    POLARIS_CHECK_MSG(r.gen == req.gen_,
+                      "wait_all on a request that was already waited");
+    co_await r.done.wait();
+    release_request(req.slot_);
   }
 }
 
@@ -487,6 +600,33 @@ SimWorld::SimWorld(std::size_t ranks, fabric::FabricParams fabric_params,
   }
 }
 
+std::uint32_t SimWorld::acquire_inflight() {
+  std::uint32_t slot;
+  if (!inflight_free_.empty()) {
+    slot = inflight_free_.back();
+    inflight_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(inflight_pool_.size());
+    inflight_pool_.emplace_back();
+    inflight_pool_.back().slot = slot;
+  }
+  detail::InFlight& f = inflight_pool_[slot];
+  f.matched.reset();
+  f.delivered.reset();
+  f.refs = 2;  // the sender's protocol chain + the receiving recv
+  max_inflight_in_use_ = std::max(max_inflight_in_use_, inflight_in_use());
+  return slot;
+}
+
+void SimWorld::release_inflight_ref(std::uint32_t slot) {
+  detail::InFlight& f = inflight_pool_[slot];
+  POLARIS_DCHECK(f.refs > 0);
+  if (--f.refs == 0) {
+    ++f.gen;  // invalidates matcher cookies pointing at this slot
+    inflight_free_.push_back(slot);
+  }
+}
+
 void SimWorld::launch(std::function<des::Task<void>(SimComm&)> program) {
   programs_.push_back(std::move(program));
   auto& prog = programs_.back();
@@ -553,27 +693,70 @@ double SimWorld::run() {
         static_cast<double>(ns.walker_hop_events));
     metrics_->gauge("fabric.bypass_rate").set(ns.bypass_rate());
     std::uint64_t eager = 0, rdv = 0, reg_hits = 0, reg_misses = 0;
+    std::uint64_t m_posted = 0, m_arrived = 0, m_hits_posted = 0,
+                  m_hits_unexpected = 0;
+    std::size_t m_posted_depth = 0, m_unexp_depth = 0, m_pool = 0,
+                m_held = 0, req_pool = 0;
     for (const auto& c : comms_) {
       eager += c->eager_count_;
       rdv += c->rendezvous_count_;
       reg_hits += c->reg_stats().hits;
       reg_misses += c->reg_stats().misses;
+      const msg::MatchStats& ms = c->match_stats();
+      m_posted += ms.posted;
+      m_arrived += ms.arrived;
+      m_hits_posted += ms.matched_posted;
+      m_hits_unexpected += ms.matched_unexpected;
+      m_posted_depth = std::max(m_posted_depth, ms.max_posted_depth);
+      m_unexp_depth = std::max(m_unexp_depth, ms.max_unexpected_depth);
+      m_pool += c->matcher_pool_capacity();
+      m_held = std::max(m_held, c->max_held_depth());
+      req_pool += c->request_pool_capacity();
     }
     metrics_->gauge("simrt.eager_sends").set(static_cast<double>(eager));
     metrics_->gauge("simrt.rendezvous_sends").set(static_cast<double>(rdv));
     metrics_->gauge("msg.reg_cache.hits").set(static_cast<double>(reg_hits));
     metrics_->gauge("msg.reg_cache.misses").set(
         static_cast<double>(reg_misses));
+    metrics_->gauge("msg.match.posted").set(static_cast<double>(m_posted));
+    metrics_->gauge("msg.match.arrived").set(static_cast<double>(m_arrived));
+    metrics_->gauge("msg.match.matched_posted").set(
+        static_cast<double>(m_hits_posted));
+    metrics_->gauge("msg.match.matched_unexpected").set(
+        static_cast<double>(m_hits_unexpected));
+    metrics_->gauge("msg.match.max_posted_depth").set(
+        static_cast<double>(m_posted_depth));
+    metrics_->gauge("msg.match.max_unexpected_depth").set(
+        static_cast<double>(m_unexp_depth));
+    metrics_->gauge("msg.match.pool_capacity").set(
+        static_cast<double>(m_pool));
+    metrics_->gauge("simrt.max_held_depth").set(
+        static_cast<double>(m_held));
+    metrics_->gauge("simrt.request_pool_capacity").set(
+        static_cast<double>(req_pool));
+    metrics_->gauge("simrt.inflight_pool_capacity").set(
+        static_cast<double>(inflight_pool_capacity()));
+    metrics_->gauge("simrt.max_inflight_in_use").set(
+        static_cast<double>(max_inflight_in_use_));
   }
   return des::to_seconds(engine_.now() - t0);
+}
+
+std::uint64_t SimWorld::pack_schedule_key(coll::Collective kind,
+                                          std::size_t count, int root) {
+  POLARIS_CHECK(count < (std::uint64_t{1} << 40));
+  POLARIS_CHECK(root >= 0 && root < (1 << 16));
+  return (static_cast<std::uint64_t>(count) << 24) |
+         (static_cast<std::uint64_t>(root) << 8) |
+         static_cast<std::uint64_t>(static_cast<std::uint8_t>(kind));
 }
 
 const coll::Schedule& SimWorld::collective_schedule(coll::Collective kind,
                                                     std::size_t count,
                                                     int root) {
-  const auto key = std::make_tuple(static_cast<int>(kind), count, root);
-  if (auto it = schedule_cache_.find(key); it != schedule_cache_.end()) {
-    return it->second;
+  const std::uint64_t key = pack_schedule_key(kind, count, root);
+  if (const std::uint32_t* idx = schedule_cache_.find(key)) {
+    return schedules_[*idx];
   }
   coll::Schedule schedule;
   if (kind == coll::Collective::kBarrier) {
@@ -583,8 +766,10 @@ const coll::Schedule& SimWorld::collective_schedule(coll::Collective kind,
         coll::select_algorithm(kind, ranks(), count, 1, loggp(), root);
     schedule = coll::make_schedule(kind, a, ranks(), count, root);
   }
-  auto [it, inserted] = schedule_cache_.emplace(key, std::move(schedule));
-  return it->second;
+  schedules_.push_back(std::move(schedule));
+  const auto idx = static_cast<std::uint32_t>(schedules_.size() - 1);
+  schedule_cache_[key] = idx;
+  return schedules_[idx];
 }
 
 fabric::LogGPParams SimWorld::loggp() const {

@@ -219,6 +219,80 @@ TEST(ShmWorld, ManyRanksRandomizedExchange) {
   }
 }
 
+TEST(ShmWorld, WildcardStressInterleavedTagsAndSources) {
+  // Drives the bucketed matcher hard on the real runtime: a sink rank mixes
+  // exact, any-source, any-tag and fully wildcard receives against a flood
+  // of interleaved tags from several senders.  Per-(source,tag) payload
+  // order must be preserved (MPI non-overtaking) no matter which receive
+  // shape consumed each message.
+  constexpr int kRanks = 4;
+  constexpr int kPerTag = 50;
+  constexpr int kTags = 3;
+  ShmWorld world(kRanks);
+  // remaining[src][tag]: messages of that stream not yet received.  The
+  // sink aims each receive shape at the fullest stream, so every posted
+  // receive is guaranteed a matching message no matter what earlier
+  // wildcards consumed (no stranding, hence no deadlock by construction).
+  std::array<std::array<int, kTags>, kRanks> remaining{};
+  world.run([&](Communicator& c) {
+    if (c.rank() != 0) {
+      for (int i = 0; i < kPerTag; ++i) {
+        for (int tag = 0; tag < kTags; ++tag) {
+          const int v = i;
+          c.send(0, tag, {reinterpret_cast<const std::byte*>(&v),
+                          sizeof(v)});
+        }
+      }
+      return;
+    }
+    for (auto& per_src : remaining) per_src.fill(kPerTag);
+    remaining[0].fill(0);  // the sink sends nothing to itself
+    const int total = (kRanks - 1) * kTags * kPerTag;
+    for (int n = 0; n < total; ++n) {
+      int bs = 1, bt = 0;
+      for (int s = 1; s < kRanks; ++s) {
+        for (int t = 0; t < kTags; ++t) {
+          if (remaining[s][t] > remaining[bs][bt]) {
+            bs = s;
+            bt = t;
+          }
+        }
+      }
+      int src = bs, tag = bt;
+      switch (n % 4) {
+        case 0: break;                       // exact
+        case 1: src = msg::kAnySource; break;
+        case 2: tag = msg::kAnyTag; break;
+        default:                             // fully wildcard
+          src = msg::kAnySource;
+          tag = msg::kAnyTag;
+          break;
+      }
+      int v = -1;
+      const auto st =
+          c.recv(src, tag, {reinterpret_cast<std::byte*>(&v), sizeof(v)});
+      ASSERT_GE(st.src, 1);
+      ASSERT_LT(st.src, kRanks);
+      ASSERT_GE(st.tag, 0);
+      ASSERT_LT(st.tag, kTags);
+      // MPI non-overtaking: payloads of one stream arrive in send order.
+      ASSERT_EQ(v, kPerTag - remaining[st.src][st.tag])
+          << "src " << st.src << " tag " << st.tag;
+      --remaining[st.src][st.tag];
+    }
+    // Every receive matched exactly one message, through one path or the
+    // other (which path depends on thread timing).
+    EXPECT_EQ(c.match_stats().matched_posted +
+                  c.match_stats().matched_unexpected,
+              static_cast<std::uint64_t>(total));
+  });
+  for (int s = 1; s < kRanks; ++s) {
+    for (int t = 0; t < kTags; ++t) {
+      EXPECT_EQ(remaining[s][t], 0);
+    }
+  }
+}
+
 TEST(ShmWorld, RingBackpressureDoesNotDeadlock) {
   ShmOptions opts;
   opts.ring_capacity = 4;  // tiny rings force backpressure

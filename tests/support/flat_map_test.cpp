@@ -1,0 +1,125 @@
+#include "polaris/support/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "polaris/support/rng.hpp"
+
+namespace polaris::support {
+namespace {
+
+TEST(FlatMap64, InsertFindErase) {
+  FlatMap64<int> m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(42), nullptr);
+  m[42] = 7;
+  ASSERT_NE(m.find(42), nullptr);
+  EXPECT_EQ(*m.find(42), 7);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.erase(42));
+  EXPECT_EQ(m.find(42), nullptr);
+  EXPECT_FALSE(m.erase(42));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(FlatMap64, OperatorBracketDefaultConstructs) {
+  FlatMap64<std::uint64_t> m;
+  EXPECT_EQ(m[5], 0u);
+  m[5] += 3;
+  EXPECT_EQ(m[5], 3u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap64, GrowsPastInitialCapacity) {
+  FlatMap64<std::uint64_t> m;
+  for (std::uint64_t k = 0; k < 10'000; ++k) m[k * 977] = k;
+  EXPECT_EQ(m.size(), 10'000u);
+  for (std::uint64_t k = 0; k < 10'000; ++k) {
+    const auto* v = m.find(k * 977);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k);
+  }
+}
+
+TEST(FlatMap64, ZeroAndMaxKeys) {
+  // No reserved sentinel keys: 0 and ~0 are ordinary.
+  FlatMap64<int> m;
+  m[0] = 1;
+  m[~std::uint64_t{0}] = 2;
+  ASSERT_NE(m.find(0), nullptr);
+  ASSERT_NE(m.find(~std::uint64_t{0}), nullptr);
+  EXPECT_EQ(*m.find(0), 1);
+  EXPECT_EQ(*m.find(~std::uint64_t{0}), 2);
+}
+
+TEST(FlatMap64, BackwardShiftKeepsProbeChainsIntact) {
+  // Sequential keys collide heavily after mixing in small tables; erase
+  // from the middle of chains and verify every survivor is still found.
+  FlatMap64<std::uint64_t> m;
+  for (std::uint64_t k = 0; k < 64; ++k) m[k] = k;
+  for (std::uint64_t k = 0; k < 64; k += 3) EXPECT_TRUE(m.erase(k));
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    if (k % 3 == 0) {
+      EXPECT_EQ(m.find(k), nullptr) << k;
+    } else {
+      ASSERT_NE(m.find(k), nullptr) << k;
+      EXPECT_EQ(*m.find(k), k);
+    }
+  }
+}
+
+TEST(FlatMap64, RandomizedAgainstUnorderedMap) {
+  FlatMap64<std::uint32_t> m;
+  std::unordered_map<std::uint64_t, std::uint32_t> ref;
+  SplitMix64 rng(0xD3u);
+  for (int i = 0; i < 200'000; ++i) {
+    const std::uint64_t key = rng.next() % 4096;  // force collisions/reuse
+    switch (rng.next() % 3) {
+      case 0: {
+        const auto val = static_cast<std::uint32_t>(rng.next());
+        m[key] = val;
+        ref[key] = val;
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(m.erase(key), ref.erase(key) > 0);
+        break;
+      }
+      default: {
+        const auto* v = m.find(key);
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(v, nullptr);
+        } else {
+          ASSERT_NE(v, nullptr);
+          EXPECT_EQ(*v, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  std::size_t visited = 0;
+  m.for_each([&](std::uint64_t k, std::uint32_t v) {
+    ++visited;
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatMap64, ClearResets) {
+  FlatMap64<int> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m[k] = 1;
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(5), nullptr);
+  m[5] = 9;
+  EXPECT_EQ(*m.find(5), 9);
+}
+
+}  // namespace
+}  // namespace polaris::support

@@ -65,6 +65,17 @@
 
 namespace polaris::fabric {
 
+/// Outcome of a transfer.  Healthy runs only ever see kOk; the other values
+/// appear once fault injection is enabled (enable_faults()) and a node or
+/// link on the message's path goes down before the last byte lands.
+enum class XferStatus : std::uint8_t {
+  kOk = 0,
+  kNodeDown,  ///< source or destination NIC down (at inject or mid-flight)
+  kLinkDown,  ///< a routed link went down (at inject or mid-flight)
+};
+
+const char* to_string(XferStatus status);
+
 /// Aggregate traffic statistics for a SimNetwork.
 struct NetworkStats {
   std::uint64_t messages = 0;
@@ -79,6 +90,10 @@ struct NetworkStats {
   std::uint64_t messages_walked = 0;    ///< walked hop-by-hop from injection
   std::uint64_t flights_materialized = 0;  ///< demoted to walkers mid-flight
   std::uint64_t walker_hop_events = 0;     ///< tier-2 hop-advance events
+
+  /// Transfers that completed with an error: refused at injection because an
+  /// endpoint/link was already down, or killed mid-flight by a fault.
+  std::uint64_t messages_dropped = 0;
 
   /// Fraction of network messages (self-transfers excluded) that completed
   /// analytically without ever owning a walker.
@@ -100,22 +115,49 @@ class SimNetwork {
   /// Light paths a source NIC can keep established concurrently.
   static constexpr std::size_t kCircuitsPerSource = 4;
 
+  /// Completion callback carrying the transfer outcome.  Healthy paths
+  /// always deliver XferStatus::kOk.
+  using DoneFn = void (*)(void* ctx, XferStatus status);
+
   SimNetwork(des::Engine& engine, FabricParams params,
              const Topology& topology);
 
-  /// Moves `bytes` from src to dst; completes when the last byte lands.
-  /// Self-transfers cost one host copy.  Zero-byte transfers pay
-  /// propagation (and circuit setup) only — no serialization.  Does not
-  /// include host overheads.
-  des::Task<void> transfer(NodeId src, NodeId dst, std::uint64_t bytes);
+  /// Moves `bytes` from src to dst; completes when the last byte lands (or
+  /// when a fault kills the message — see XferStatus).  Self-transfers cost
+  /// one host copy.  Zero-byte transfers pay propagation (and circuit
+  /// setup) only — no serialization.  Does not include host overheads.
+  des::Task<XferStatus> transfer(NodeId src, NodeId dst, std::uint64_t bytes);
 
   /// Raw-callback form of transfer() for allocation-free callers (e.g. the
   /// simrt eager delivery chain): identical event sequence and simulated
-  /// timing, but completion invokes `done(ctx)` at the exact point the
-  /// coroutine form would have resumed — no coroutine frame is created.
+  /// timing, but completion invokes `done(ctx, status)` at the exact point
+  /// the coroutine form would have resumed — no coroutine frame is created.
   /// `ctx` must stay valid until `done` fires.
-  void transfer_raw(NodeId src, NodeId dst, std::uint64_t bytes,
-                    des::Engine::RawCallback done, void* ctx);
+  void transfer_raw(NodeId src, NodeId dst, std::uint64_t bytes, DoneFn done,
+                    void* ctx);
+
+  // -- fault injection --------------------------------------------------------
+  // Disabled by default: the checks below compile to one untaken branch per
+  // injection, and a run that never calls enable_faults() is event-for-event
+  // identical to a build without this feature (the golden-trace test pins
+  // this).  set_node_up(false) / set_link_up(false) kill every in-flight
+  // message crossing the dead element — both tiers — completing each with
+  // an error status via a zero-delay event (never re-entrantly).  Occupancy
+  // already reserved by killed packets is NOT rewound: the bytes were on
+  // the wire.  Routes are deterministic, so messages injected while an
+  // element is down fail immediately rather than rerouting.
+
+  /// Idempotently switches the fault path on (allocates the up/down maps).
+  void enable_faults();
+  bool faults_enabled() const { return faults_enabled_; }
+  void set_node_up(NodeId node, bool up);
+  void set_link_up(LinkId link, bool up);
+  bool node_up(NodeId node) const {
+    return !faults_enabled_ || node_down_[node] == 0;
+  }
+  bool link_up(LinkId link) const {
+    return !faults_enabled_ || link_down_[link] == 0;
+  }
 
   /// Closed-form transfer time assuming an idle network (for tests and
   /// analytic baselines).  Includes circuit setup on a cold cache if
@@ -170,8 +212,10 @@ class SimNetwork {
     des::SimTime ser = 0;    ///< per-packet serialization, ticks
     std::uint32_t packets = 0;
     std::uint32_t slot = 0;  ///< own index in flights_
+    NodeId src = 0;
+    NodeId dst = 0;
     des::EventId completion{};
-    des::Engine::RawCallback done_fn = nullptr;
+    DoneFn done_fn = nullptr;
     void* done_ctx = nullptr;
     bool active = false;
   };
@@ -182,68 +226,88 @@ class SimNetwork {
     WalkMessage* msg = nullptr;
     std::uint32_t next_hop = 0;  ///< link index the pending event arrives at
                                  ///< (== hops means final-delivery event)
+    des::EventId event{};        ///< pending arrival/delivery event, for kills
   };
   struct WalkMessage {
     SimNetwork* net = nullptr;
     const std::vector<LinkId>* path = nullptr;
     des::SimTime ser = 0;
     std::uint32_t remaining = 0;
+    std::uint32_t count = 0;  ///< packets with walker slots (kill scan bound)
     std::uint32_t slot = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
     bool from_flight = false;  ///< materialized (counted already), not walked
-    des::Engine::RawCallback done_fn = nullptr;
+    bool active = false;
+    DoneFn done_fn = nullptr;
     void* done_ctx = nullptr;
     std::array<Walker, kMaxPackets> walkers{};
   };
 
-  /// A transfer_raw() parked behind an optical circuit setup delay.
+  /// A transfer_raw() parked behind an optical circuit setup delay; doubles
+  /// as the pooled context for deferred status delivery (deliver_status_cb).
   struct RawTransfer {
     SimNetwork* net = nullptr;
     NodeId src = 0;
     NodeId dst = 0;
     std::uint64_t bytes = 0;
-    des::Engine::RawCallback done = nullptr;
+    DoneFn done = nullptr;
     void* ctx = nullptr;
     std::uint32_t slot = 0;
+    XferStatus status = XferStatus::kOk;
   };
 
   /// Awaits message delivery; suspension injects the message with the
-  /// coroutine's own handle as the completion context.
+  /// awaiter itself as the completion context, which stores the status
+  /// before resuming the coroutine.
   struct InjectAwaiter {
     SimNetwork& net;
     NodeId src;
     NodeId dst;
     std::uint64_t bytes;
+    std::coroutine_handle<> handle{};
+    XferStatus status = XferStatus::kOk;
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      net.inject(src, dst, bytes, &resume_handle_cb, h.address());
+      handle = h;
+      net.inject(src, dst, bytes, &resume_awaiter_cb, this);
     }
-    void await_resume() const noexcept {}
+    XferStatus await_resume() const noexcept { return status; }
   };
 
-  /// Post-circuit injection shared by both transfer forms: packet planning,
-  /// flight materialization, idle-path test, then tier dispatch.
-  void inject(NodeId src, NodeId dst, std::uint64_t bytes,
-              des::Engine::RawCallback done, void* ctx);
+  /// Post-circuit injection shared by both transfer forms: fault check,
+  /// packet planning, flight materialization, idle-path test, then tier
+  /// dispatch.
+  void inject(NodeId src, NodeId dst, std::uint64_t bytes, DoneFn done,
+              void* ctx);
 
-  void begin_flight(const std::vector<LinkId>& path, des::SimTime ser,
-                    std::uint32_t packets, des::Engine::RawCallback done,
+  void begin_flight(NodeId src, NodeId dst, const std::vector<LinkId>& path,
+                    des::SimTime ser, std::uint32_t packets, DoneFn done,
                     void* ctx);
   void complete_flight(Flight& f, bool defer_resume);
   void materialize_flight(Flight& f);
 
-  void begin_walk(const std::vector<LinkId>& path, des::SimTime ser,
-                  std::uint32_t packets, des::Engine::RawCallback done,
+  void begin_walk(NodeId src, NodeId dst, const std::vector<LinkId>& path,
+                  des::SimTime ser, std::uint32_t packets, DoneFn done,
                   void* ctx);
   /// Reserves the walker's next link (now == its arrival time there) and
   /// schedules the following arrival or the final delivery.
   void advance_walker(Walker& w);
   void finish_walk_packet(WalkMessage& m);
 
+  // -- fault machinery --------------------------------------------------------
+  /// Completes `done(ctx, status)` via one zero-delay event — fault
+  /// completions never run re-entrantly inside the caller of set_*_up().
+  void deliver_async(DoneFn done, void* ctx, XferStatus status);
+  void kill_flight(Flight& f, XferStatus status);
+  void kill_walk(WalkMessage& m, XferStatus status);
+
   static void flight_complete_cb(void* ctx);
   static void walker_arrive_cb(void* ctx);
-  static void resume_handle_cb(void* ctx);
+  static void resume_awaiter_cb(void* ctx, XferStatus status);
   static void raw_setup_done_cb(void* ctx);
+  static void deliver_status_cb(void* ctx);
 
   Flight& acquire_flight();
   void release_flight(std::uint32_t slot);
@@ -275,6 +339,11 @@ class SimNetwork {
 
   std::vector<LinkState> links_;
   std::vector<des::SimTime> link_busy_ticks_;
+
+  // Fault state (empty until enable_faults()).
+  bool faults_enabled_ = false;
+  std::vector<std::uint8_t> node_down_;
+  std::vector<std::uint8_t> link_down_;
 
   // Slab pools (deque: grows without moving live flight/walker addresses,
   // which raw-callback contexts point into).

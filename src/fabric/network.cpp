@@ -7,6 +7,18 @@
 
 namespace polaris::fabric {
 
+const char* to_string(XferStatus status) {
+  switch (status) {
+    case XferStatus::kOk:
+      return "ok";
+    case XferStatus::kNodeDown:
+      return "node-down";
+    case XferStatus::kLinkDown:
+      return "link-down";
+  }
+  return "unknown";
+}
+
 SimNetwork::SimNetwork(des::Engine& engine, FabricParams params,
                        const Topology& topology)
     : engine_(engine), params_(std::move(params)), topo_(topology) {
@@ -37,37 +49,50 @@ SimNetwork::PacketPlan SimNetwork::plan_packets(std::uint64_t bytes) const {
   return plan;
 }
 
-des::Task<void> SimNetwork::transfer(NodeId src, NodeId dst,
-                                     std::uint64_t bytes) {
+des::Task<XferStatus> SimNetwork::transfer(NodeId src, NodeId dst,
+                                           std::uint64_t bytes) {
   POLARIS_CHECK(src < topo_.node_count() && dst < topo_.node_count());
   ++stats_.messages;
   stats_.bytes += bytes;
 
   if (src == dst) {
+    if (faults_enabled_ && node_down_[src] != 0) {
+      ++stats_.messages_dropped;
+      co_return XferStatus::kNodeDown;
+    }
     // Intra-node: one host copy.
     const double t = static_cast<double>(bytes) / params_.copy_bw;
     co_await des::delay(engine_, des::from_seconds(t));
-    co_return;
+    co_return XferStatus::kOk;
   }
 
   if (params_.circuit_setup > 0.0) {
     co_await ensure_circuit(src, dst);
   }
 
-  co_await InjectAwaiter{*this, src, dst, bytes};
+  co_return co_await InjectAwaiter{*this, src, dst, bytes};
 }
 
 void SimNetwork::transfer_raw(NodeId src, NodeId dst, std::uint64_t bytes,
-                              des::Engine::RawCallback done, void* ctx) {
+                              DoneFn done, void* ctx) {
   POLARIS_CHECK(src < topo_.node_count() && dst < topo_.node_count());
   ++stats_.messages;
   stats_.bytes += bytes;
 
   if (src == dst) {
+    if (faults_enabled_ && node_down_[src] != 0) {
+      ++stats_.messages_dropped;
+      deliver_async(done, ctx, XferStatus::kNodeDown);
+      return;
+    }
     // Intra-node: one host copy — one event, as the coroutine form's
     // delay would have scheduled.
     const double t = static_cast<double>(bytes) / params_.copy_bw;
-    engine_.schedule_raw_after(des::from_seconds(t), done, ctx);
+    RawTransfer& rt = acquire_raw();
+    rt.done = done;
+    rt.ctx = ctx;
+    rt.status = XferStatus::kOk;
+    engine_.schedule_raw_after(des::from_seconds(t), &deliver_status_cb, &rt);
     return;
   }
 
@@ -94,18 +119,41 @@ void SimNetwork::raw_setup_done_cb(void* ctx) {
   const NodeId src = rt.src;
   const NodeId dst = rt.dst;
   const std::uint64_t bytes = rt.bytes;
-  const des::Engine::RawCallback done = rt.done;
+  const DoneFn done = rt.done;
   void* done_ctx = rt.ctx;
   net->release_raw(rt.slot);
   net->inject(src, dst, bytes, done, done_ctx);
 }
 
 void SimNetwork::inject(NodeId src, NodeId dst, std::uint64_t bytes,
-                        des::Engine::RawCallback done, void* ctx) {
+                        DoneFn done, void* ctx) {
   // Borrowed straight out of the Topology route cache (node-based map:
   // the reference stays valid for the message lifetime) — no per-message
   // route copy.
   const std::vector<LinkId>& path = topo_.route(src, dst);
+
+  if (faults_enabled_) {
+    // Refuse at the NIC: deterministic routing means a message whose source,
+    // destination, or any routed link is down cannot arrive — fail it now
+    // (one zero-delay event) instead of walking it into a dead element.
+    XferStatus refuse = XferStatus::kOk;
+    if (node_down_[src] != 0 || node_down_[dst] != 0) {
+      refuse = XferStatus::kNodeDown;
+    } else {
+      for (const LinkId l : path) {
+        if (link_down_[l] != 0) {
+          refuse = XferStatus::kLinkDown;
+          break;
+        }
+      }
+    }
+    if (refuse != XferStatus::kOk) {
+      ++stats_.messages_dropped;
+      deliver_async(done, ctx, refuse);
+      return;
+    }
+  }
+
   const PacketPlan plan = plan_packets(bytes);
   stats_.packets += plan.count;
   const des::SimTime ser = serialize_ticks(plan.bytes_per_packet);
@@ -126,24 +174,28 @@ void SimNetwork::inject(NodeId src, NodeId dst, std::uint64_t bytes,
     }
   }
   if (idle) {
-    begin_flight(path, ser, plan.count, done, ctx);
+    begin_flight(src, dst, path, ser, plan.count, done, ctx);
   } else {
-    begin_walk(path, ser, plan.count, done, ctx);
+    begin_walk(src, dst, path, ser, plan.count, done, ctx);
   }
 }
 
 // ------------------------------------------------------- tier 1: flights
 
-void SimNetwork::begin_flight(const std::vector<LinkId>& path,
+void SimNetwork::begin_flight(NodeId src, NodeId dst,
+                              const std::vector<LinkId>& path,
                               des::SimTime ser, std::uint32_t packets,
-                              des::Engine::RawCallback done, void* ctx) {
+                              DoneFn done, void* ctx) {
   Flight& f = acquire_flight();
   f.path = &path;
   f.start = engine_.now();
   f.ser = ser;
   f.packets = packets;
+  f.src = src;
+  f.dst = dst;
   f.done_fn = done;
   f.done_ctx = ctx;
+  f.active = true;
   for (const LinkId l : path) {
     LinkState& ls = links_[l];
     ++ls.inflight;
@@ -177,15 +229,15 @@ void SimNetwork::complete_flight(Flight& f, bool defer_resume) {
     credit_link(path[j], s0, f.ser, f.packets);
   }
   ++stats_.messages_bypassed;
-  const des::Engine::RawCallback done = f.done_fn;
+  const DoneFn done = f.done_fn;
   void* ctx = f.done_ctx;
   release_flight(f.slot);
   if (defer_resume) {
     // Settled from inside another message's injection: complete after the
     // current event, as the cancelled completion event would have.
-    engine_.schedule_raw_at(engine_.now(), done, ctx);
+    deliver_async(done, ctx, XferStatus::kOk);
   } else {
-    done(ctx);
+    done(ctx, XferStatus::kOk);
   }
 }
 
@@ -210,9 +262,13 @@ void SimNetwork::materialize_flight(Flight& f) {
   m.path = f.path;
   m.ser = ser;
   m.remaining = 0;
+  m.count = f.packets;
+  m.src = f.src;
+  m.dst = f.dst;
   m.done_fn = f.done_fn;
   m.done_ctx = f.done_ctx;
   m.from_flight = true;
+  m.active = true;
   for (std::uint32_t i = 0; i < f.packets; ++i) {
     // On the uncontended path the flight flew so far, packet i reaches
     // (and immediately starts serializing on) link j at
@@ -246,7 +302,7 @@ void SimNetwork::materialize_flight(Flight& f) {
       j = 1;
       if (j == path.size()) {
         w.next_hop = static_cast<std::uint32_t>(path.size());
-        engine_.schedule_raw_at(completion_i, &walker_arrive_cb, &w);
+        w.event = engine_.schedule_raw_at(completion_i, &walker_arrive_cb, &w);
         ++m.remaining;
         continue;
       }
@@ -258,11 +314,11 @@ void SimNetwork::materialize_flight(Flight& f) {
       const des::SimTime a = f.start +
                              (i + static_cast<des::SimTime>(j)) * ser +
                              static_cast<des::SimTime>(j) * prop_mid_;
-      engine_.schedule_raw_at(a, &walker_arrive_cb, &w);
+      w.event = engine_.schedule_raw_at(a, &walker_arrive_cb, &w);
     } else {
       // All links traversed; only the final wire flight remains.
       w.next_hop = static_cast<std::uint32_t>(path.size());
-      engine_.schedule_raw_at(completion_i, &walker_arrive_cb, &w);
+      w.event = engine_.schedule_raw_at(completion_i, &walker_arrive_cb, &w);
     }
     ++m.remaining;
   }
@@ -273,16 +329,20 @@ void SimNetwork::materialize_flight(Flight& f) {
 
 // ------------------------------------------------------- tier 2: walkers
 
-void SimNetwork::begin_walk(const std::vector<LinkId>& path, des::SimTime ser,
-                            std::uint32_t packets,
-                            des::Engine::RawCallback done, void* ctx) {
+void SimNetwork::begin_walk(NodeId src, NodeId dst,
+                            const std::vector<LinkId>& path, des::SimTime ser,
+                            std::uint32_t packets, DoneFn done, void* ctx) {
   WalkMessage& m = acquire_walk();
   m.path = &path;
   m.ser = ser;
   m.remaining = packets;
+  m.count = packets;
+  m.src = src;
+  m.dst = dst;
   m.done_fn = done;
   m.done_ctx = ctx;
   m.from_flight = false;
+  m.active = true;
   for (const LinkId l : path) ++links_[l].inflight;
   // All packets reach the first link now; reserving in index order is the
   // FIFO order the semaphore model granted in.
@@ -318,18 +378,115 @@ void SimNetwork::advance_walker(Walker& w) {
   ++w.next_hop;
   const bool last = w.next_hop == path.size();
   ++stats_.walker_hop_events;
-  engine_.schedule_raw_at(end + (last ? prop_last_ : prop_mid_),
-                          &walker_arrive_cb, &w);
+  w.event = engine_.schedule_raw_at(end + (last ? prop_last_ : prop_mid_),
+                                    &walker_arrive_cb, &w);
 }
 
 void SimNetwork::finish_walk_packet(WalkMessage& m) {
   if (--m.remaining != 0) return;
   for (const LinkId l : *m.path) --links_[l].inflight;
   if (!m.from_flight) ++stats_.messages_walked;
-  const des::Engine::RawCallback done = m.done_fn;
+  const DoneFn done = m.done_fn;
   void* ctx = m.done_ctx;
   release_walk(m.slot);
-  done(ctx);
+  done(ctx, XferStatus::kOk);
+}
+
+// ------------------------------------------------------- fault machinery
+
+void SimNetwork::enable_faults() {
+  if (faults_enabled_) return;
+  faults_enabled_ = true;
+  node_down_.assign(topo_.node_count(), 0);
+  link_down_.assign(topo_.link_count(), 0);
+}
+
+void SimNetwork::set_node_up(NodeId node, bool up) {
+  enable_faults();
+  POLARIS_CHECK(node < topo_.node_count());
+  if ((node_down_[node] != 0) == !up) return;
+  node_down_[node] = up ? 0 : 1;
+  if (up) return;
+  // Kill every in-flight message with an endpoint on the dead node.  Both
+  // pools are scanned (they stay small: high-watermark of concurrent
+  // messages); a crash is far off the per-message hot path.
+  for (Flight& f : flights_) {
+    if (f.active && (f.src == node || f.dst == node)) {
+      kill_flight(f, XferStatus::kNodeDown);
+    }
+  }
+  for (WalkMessage& m : walks_) {
+    if (m.active && (m.src == node || m.dst == node)) {
+      kill_walk(m, XferStatus::kNodeDown);
+    }
+  }
+}
+
+void SimNetwork::set_link_up(LinkId link, bool up) {
+  enable_faults();
+  POLARIS_CHECK(link < topo_.link_count());
+  if ((link_down_[link] != 0) == !up) return;
+  link_down_[link] = up ? 0 : 1;
+  if (up) return;
+  // At most one flight can hold the link (flights are pairwise
+  // link-disjoint), and it is the registered exclusive holder.
+  const std::uint32_t fs = links_[link].flight;
+  if (fs != kNoFlight) kill_flight(flights_[fs], XferStatus::kLinkDown);
+  for (WalkMessage& m : walks_) {
+    if (!m.active) continue;
+    for (const LinkId l : *m.path) {
+      if (l == link) {
+        kill_walk(m, XferStatus::kLinkDown);
+        break;
+      }
+    }
+  }
+}
+
+void SimNetwork::deliver_async(DoneFn done, void* ctx, XferStatus status) {
+  RawTransfer& rt = acquire_raw();
+  rt.done = done;
+  rt.ctx = ctx;
+  rt.status = status;
+  engine_.schedule_raw_after(0, &deliver_status_cb, &rt);
+}
+
+void SimNetwork::deliver_status_cb(void* ctx) {
+  RawTransfer& rt = *static_cast<RawTransfer*>(ctx);
+  SimNetwork* net = rt.net;
+  const DoneFn done = rt.done;
+  void* done_ctx = rt.ctx;
+  const XferStatus status = rt.status;
+  net->release_raw(rt.slot);
+  done(done_ctx, status);
+}
+
+void SimNetwork::kill_flight(Flight& f, XferStatus status) {
+  engine_.cancel(f.completion);
+  for (const LinkId l : *f.path) {
+    LinkState& ls = links_[l];
+    --ls.inflight;
+    ls.flight = kNoFlight;
+  }
+  ++stats_.messages_dropped;
+  const DoneFn done = f.done_fn;
+  void* ctx = f.done_ctx;
+  release_flight(f.slot);
+  deliver_async(done, ctx, status);
+}
+
+void SimNetwork::kill_walk(WalkMessage& m, XferStatus status) {
+  // Every packet's pending event is cancelled; already-delivered packets
+  // hold stale EventIds, for which cancel() is a safe no-op.
+  for (std::uint32_t i = 0; i < m.count; ++i) {
+    engine_.cancel(m.walkers[i].event);
+  }
+  for (const LinkId l : *m.path) --links_[l].inflight;
+  ++stats_.messages_dropped;
+  const DoneFn done = m.done_fn;
+  void* ctx = m.done_ctx;
+  release_walk(m.slot);
+  deliver_async(done, ctx, status);
 }
 
 // ------------------------------------------------------------ bookkeeping
@@ -346,8 +503,10 @@ void SimNetwork::credit_link(LinkId l, des::SimTime begin, des::SimTime ser,
   }
 }
 
-void SimNetwork::resume_handle_cb(void* ctx) {
-  std::coroutine_handle<>::from_address(ctx).resume();
+void SimNetwork::resume_awaiter_cb(void* ctx, XferStatus status) {
+  auto& awaiter = *static_cast<InjectAwaiter*>(ctx);
+  awaiter.status = status;
+  awaiter.handle.resume();
 }
 
 SimNetwork::Flight& SimNetwork::acquire_flight() {
@@ -367,6 +526,7 @@ SimNetwork::Flight& SimNetwork::acquire_flight() {
 void SimNetwork::release_flight(std::uint32_t slot) {
   flights_[slot].done_fn = nullptr;
   flights_[slot].done_ctx = nullptr;
+  flights_[slot].active = false;
   flight_free_.push_back(slot);
 }
 
@@ -387,6 +547,7 @@ SimNetwork::WalkMessage& SimNetwork::acquire_walk() {
 void SimNetwork::release_walk(std::uint32_t slot) {
   walks_[slot].done_fn = nullptr;
   walks_[slot].done_ctx = nullptr;
+  walks_[slot].active = false;
   walk_free_.push_back(slot);
 }
 

@@ -7,21 +7,34 @@
 
 namespace polaris::fault {
 
-PhiAccrualDetector::PhiAccrualDetector(std::size_t window, double min_stddev)
-    : window_(window), min_stddev_(min_stddev) {
-  POLARIS_CHECK(window >= 2 && min_stddev > 0);
+PhiAccrualDetector::PhiAccrualDetector(std::size_t window, double min_stddev,
+                                       double bootstrap_interval)
+    : window_(window),
+      min_stddev_(min_stddev),
+      bootstrap_interval_(bootstrap_interval) {
+  POLARIS_CHECK(window >= 2 && min_stddev > 0 && bootstrap_interval >= 0);
 }
 
 void PhiAccrualDetector::heartbeat(double now) {
   if (last_ >= 0.0) {
     intervals_.push_back(now - last_);
     if (intervals_.size() > window_) intervals_.pop_front();
+  } else if (bootstrap_interval_ > 0.0) {
+    // First heartbeat: seed the window with the expected period so the very
+    // next silence is judged against *something* — otherwise one heartbeat
+    // followed by a crash keeps phi at 0 forever.
+    intervals_.push_back(bootstrap_interval_);
   }
   last_ = now;
 }
 
 double PhiAccrualDetector::phi(double now) const {
-  if (intervals_.empty()) return 0.0;
+  if (intervals_.empty()) {
+    if (last_ < 0.0) return 0.0;  // never heard from at all
+    // Exactly one heartbeat, no bootstrap: no distribution to judge the
+    // silence against, so fall back to a coarse grace deadline.
+    return now - last_ > kSingleSampleGrace * min_stddev_ ? kMaxPhi : 0.0;
+  }
   double mean = 0.0;
   for (double x : intervals_) mean += x;
   mean /= static_cast<double>(intervals_.size());
@@ -34,8 +47,8 @@ double PhiAccrualDetector::phi(double now) const {
   // P(interval > t) under Normal(mean, sd), via the complementary CDF.
   const double z = (t - mean) / sd;
   const double p_later = 0.5 * std::erfc(z / std::sqrt(2.0));
-  if (p_later <= 0.0) return 40.0;  // saturate instead of infinity
-  return -std::log10(p_later);
+  if (p_later <= 0.0) return kMaxPhi;  // saturate instead of infinity
+  return std::min(-std::log10(p_later), kMaxPhi);
 }
 
 DetectorQuality evaluate_timeout_detector(double period, double jitter_sigma,
@@ -74,13 +87,16 @@ DetectorQuality evaluate_phi_detector(double period, double jitter_sigma,
                                       double threshold,
                                       std::size_t heartbeats,
                                       std::uint64_t seed) {
-  POLARIS_CHECK(period > 0 && threshold > 0 && heartbeats > 10);
+  // The first 10 arrivals only warm the window (phi is not consulted), so a
+  // meaningful rate needs at least one observed arrival past the warmup.
+  POLARIS_CHECK(period > 0 && threshold > 0 && heartbeats > 11);
   support::Random rng(seed);
   const double mu = std::log(period / 20.0);
 
   PhiAccrualDetector det(/*window=*/100, /*min_stddev=*/period / 100.0);
   DetectorQuality q;
   std::size_t false_positives = 0;
+  std::size_t observed = 0;
   double last_arrival = 0.0;
   det.heartbeat(0.0);
   for (std::size_t i = 1; i < heartbeats; ++i) {
@@ -88,12 +104,18 @@ DetectorQuality evaluate_phi_detector(double period, double jitter_sigma,
     const double arrival =
         std::max(sent + rng.lognormal(mu, jitter_sigma), last_arrival);
     // Healthy node: did the silence before this arrival cross threshold?
-    if (i > 10 && det.phi(arrival) > threshold) ++false_positives;
+    // The first 10 arrivals train the window and are not judged.
+    if (i > 10) {
+      ++observed;
+      if (det.phi(arrival) > threshold) ++false_positives;
+    }
     det.heartbeat(arrival);
     last_arrival = arrival;
   }
+  // Rate over the arrivals actually judged — dividing by all heartbeats
+  // (warmup included) would bias the reported rate low.
   q.false_positive_rate = static_cast<double>(false_positives) /
-                          static_cast<double>(heartbeats - 1);
+                          static_cast<double>(observed);
   // Crash after the last heartbeat: scan forward for the phi crossing.
   double t = last_arrival;
   while (det.phi(t) <= threshold && t < last_arrival + 1000.0 * period) {

@@ -20,31 +20,57 @@
 namespace polaris::fault {
 
 /// Fixed-timeout heartbeat detector for one monitored node.
+///
+/// `registered_at` is the sim time the node came under observation; the
+/// silence clock starts there, so a node first registered at T > timeout
+/// gets a full timeout of grace before its first heartbeat instead of being
+/// instantly suspected against an implicit t=0 heartbeat.
 class TimeoutDetector {
  public:
-  TimeoutDetector(double timeout) : timeout_(timeout) {}
+  explicit TimeoutDetector(double timeout, double registered_at = 0.0)
+      : timeout_(timeout), last_(registered_at) {}
 
-  void heartbeat(double now) { last_ = now; }
+  void heartbeat(double now) {
+    last_ = now;
+    has_heartbeat_ = true;
+  }
   bool suspect(double now) const { return now - last_ > timeout_; }
   double timeout() const { return timeout_; }
+  /// Latest heartbeat arrival, or the registration time if none arrived yet
+  /// (check has_heartbeat() to tell the two apart).
   double last_heartbeat() const { return last_; }
+  bool has_heartbeat() const { return has_heartbeat_; }
 
  private:
   double timeout_;
-  double last_ = 0.0;
+  double last_;
+  bool has_heartbeat_ = false;
 };
 
 /// Phi-accrual detector for one monitored node.
 class PhiAccrualDetector {
  public:
+  /// Silence multiple of `min_stddev` after which a node with exactly one
+  /// heartbeat (and no bootstrap interval) saturates to full suspicion —
+  /// without it such a node could never be suspected, because the empty
+  /// interval window kept phi at 0 forever.
+  static constexpr double kSingleSampleGrace = 1e4;
+  static constexpr double kMaxPhi = 40.0;
+
   /// `window`: inter-arrival samples kept; `min_stddev` floors the jitter
-  /// estimate to avoid phi exploding on perfectly regular streams.
+  /// estimate to avoid phi exploding on perfectly regular streams;
+  /// `bootstrap_interval` (> 0 to enable, typically the configured
+  /// heartbeat period) seeds the window with one synthetic sample at the
+  /// first heartbeat so phi is meaningful from the start.
   explicit PhiAccrualDetector(std::size_t window = 100,
-                              double min_stddev = 1e-3);
+                              double min_stddev = 1e-3,
+                              double bootstrap_interval = 0.0);
 
   void heartbeat(double now);
 
-  /// Suspicion level at `now` (0 until two heartbeats arrive).
+  /// Suspicion level at `now`: 0 before any heartbeat; after exactly one
+  /// heartbeat with no bootstrap interval, escalates to kMaxPhi once the
+  /// silence exceeds kSingleSampleGrace * min_stddev.
   double phi(double now) const;
 
   bool suspect(double now, double threshold = 8.0) const {
@@ -56,6 +82,7 @@ class PhiAccrualDetector {
  private:
   std::size_t window_;
   double min_stddev_;
+  double bootstrap_interval_;
   double last_ = -1.0;
   std::deque<double> intervals_;
 };

@@ -1,0 +1,119 @@
+// Live fault injection for the simulated cluster.
+//
+// The Injector turns the analytic failure models (FailureTimeline) into DES
+// events against a fabric::SimNetwork: at each scheduled instant it flips a
+// node or link down (killing every in-flight message crossing it — both
+// fast-path tiers) and, optionally, back up after a repair delay.  It also
+// gives simulated applications two coordination points:
+//
+//   - work_for(seconds): compute for a duration, but return early (false)
+//     if ANY fault fires meanwhile — the hook a checkpointing app uses to
+//     lose only the in-progress segment rather than discovering the crash
+//     a full segment later.
+//   - await_all_nodes_up(): park until every crashed node has been
+//     repaired (the "wait for the replacement node" phase of recovery).
+//
+// Fault events are mirrored into obs: instants + down-time spans on a
+// "faults" track, and gauges/counters for nodes down and events injected.
+// A constructed-but-idle Injector schedules nothing and perturbs nothing:
+// runs with injection disabled stay event-for-event identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "polaris/des/engine.hpp"
+#include "polaris/des/sync.hpp"
+#include "polaris/des/task.hpp"
+#include "polaris/fabric/network.hpp"
+#include "polaris/fault/failure.hpp"
+#include "polaris/obs/metrics.hpp"
+#include "polaris/obs/trace.hpp"
+
+namespace polaris::fault {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t { kNodeCrash, kNodeRepair, kLinkDown, kLinkUp };
+  Kind kind{};
+  double time = 0.0;
+  std::uint32_t id = 0;  ///< node or link
+};
+
+class Injector {
+ public:
+  Injector(des::Engine& engine, fabric::SimNetwork& network);
+
+  /// Schedules a node crash at sim time `at` (seconds).  `repair_after` > 0
+  /// brings the node back up that many seconds later; <= 0 is permanent.
+  void schedule_node_crash(double at, std::uint32_t node,
+                           double repair_after = 0.0);
+
+  /// Schedules a link outage at `at`, restored `repair_after` seconds later
+  /// (<= 0 is permanent).
+  void schedule_link_outage(double at, fabric::LinkId link,
+                            double repair_after = 0.0);
+
+  /// Drains `timeline` up to `horizon` and schedules each event as a node
+  /// crash (node ids taken modulo the topology size).  Returns the number
+  /// of crashes scheduled.
+  std::size_t load_node_timeline(FailureTimeline& timeline, double horizon,
+                                 double repair_after);
+
+  /// Same, but each event takes down a link (event node id modulo the
+  /// topology's link count) — a link-failure schedule driven by the same
+  /// statistical machinery.
+  std::size_t load_link_timeline(FailureTimeline& timeline, double horizon,
+                                 double repair_after);
+
+  bool node_up(std::uint32_t node) const { return network_->node_up(node); }
+  bool all_nodes_up() const { return nodes_down_ == 0; }
+  std::uint64_t crashes() const { return crashes_; }
+  std::uint64_t link_outages() const { return link_outages_; }
+  /// Sim time of the node's most recent crash (-1 if it never crashed).
+  double downed_at(std::uint32_t node) const;
+  const std::vector<FaultEvent>& history() const { return history_; }
+
+  /// Computes for `seconds`, returning true iff no fault (node crash or
+  /// link outage) fired anywhere in the machine meanwhile.
+  des::Task<bool> work_for(double seconds);
+
+  /// Completes once every crashed node has been repaired (immediately if
+  /// none are down).
+  des::Task<void> await_all_nodes_up();
+
+  void attach_tracer(obs::Tracer& tracer);
+  void attach_metrics(obs::MetricsRegistry& metrics);
+
+ private:
+  struct TimedWait {
+    Injector* injector;
+    des::OneShotEvent event;
+  };
+  static void work_timer_cb(void* ctx);
+
+  void apply(FaultEvent ev, double repair_after);
+  void notify_fault();
+  void update_gauges();
+
+  des::Engine* engine_;
+  fabric::SimNetwork* network_;
+
+  std::uint64_t crashes_ = 0;
+  std::uint64_t link_outages_ = 0;
+  std::uint64_t faults_applied_ = 0;  ///< crashes + outages (repairs excluded)
+  std::uint32_t nodes_down_ = 0;
+  std::uint32_t links_down_ = 0;
+  std::vector<double> crash_time_;     ///< per node, -1 if never crashed
+  std::vector<des::SimTime> down_since_;  ///< per node, for down-span traces
+  std::vector<FaultEvent> history_;
+
+  std::vector<des::OneShotEvent*> fault_waiters_;  ///< work_for parks here
+  std::vector<des::OneShotEvent*> up_waiters_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
+  bool have_track_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace polaris::fault

@@ -1,0 +1,202 @@
+#include "polaris/fault/injector.hpp"
+
+#include <string>
+#include <utility>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::fault {
+
+Injector::Injector(des::Engine& engine, fabric::SimNetwork& network)
+    : engine_(&engine), network_(&network) {
+  network_->enable_faults();
+  const std::size_t n = network_->topology().node_count();
+  crash_time_.assign(n, -1.0);
+  down_since_.assign(n, 0);
+}
+
+void Injector::schedule_node_crash(double at, std::uint32_t node,
+                                   double repair_after) {
+  POLARIS_CHECK(node < network_->topology().node_count());
+  FaultEvent ev{FaultEvent::Kind::kNodeCrash, at, node};
+  engine_->schedule_at(des::from_seconds(at), [this, ev, repair_after] {
+    apply(ev, repair_after);
+  });
+}
+
+void Injector::schedule_link_outage(double at, fabric::LinkId link,
+                                    double repair_after) {
+  POLARIS_CHECK(link < network_->topology().link_count());
+  FaultEvent ev{FaultEvent::Kind::kLinkDown, at, link};
+  engine_->schedule_at(des::from_seconds(at), [this, ev, repair_after] {
+    apply(ev, repair_after);
+  });
+}
+
+std::size_t Injector::load_node_timeline(FailureTimeline& timeline,
+                                         double horizon, double repair_after) {
+  const auto n =
+      static_cast<std::uint32_t>(network_->topology().node_count());
+  std::size_t scheduled = 0;
+  for (const FailureTimeline::Event& ev : timeline.until(horizon)) {
+    schedule_node_crash(ev.time, static_cast<std::uint32_t>(ev.node) % n,
+                        repair_after);
+    ++scheduled;
+  }
+  return scheduled;
+}
+
+std::size_t Injector::load_link_timeline(FailureTimeline& timeline,
+                                         double horizon, double repair_after) {
+  const auto links =
+      static_cast<std::uint32_t>(network_->topology().link_count());
+  std::size_t scheduled = 0;
+  for (const FailureTimeline::Event& ev : timeline.until(horizon)) {
+    schedule_link_outage(ev.time,
+                         static_cast<fabric::LinkId>(ev.node % links),
+                         repair_after);
+    ++scheduled;
+  }
+  return scheduled;
+}
+
+double Injector::downed_at(std::uint32_t node) const {
+  POLARIS_CHECK(node < crash_time_.size());
+  return crash_time_[node];
+}
+
+void Injector::apply(FaultEvent ev, double repair_after) {
+  switch (ev.kind) {
+    case FaultEvent::Kind::kNodeCrash: {
+      if (!network_->node_up(ev.id)) return;  // overlapping schedules collapse
+      network_->set_node_up(ev.id, false);
+      ++crashes_;
+      ++faults_applied_;
+      ++nodes_down_;
+      crash_time_[ev.id] = ev.time;
+      down_since_[ev.id] = engine_->now();
+      history_.push_back(ev);
+      if (tracer_ && have_track_) {
+        tracer_->instant(track_, "crash node " + std::to_string(ev.id),
+                         "fault");
+      }
+      if (repair_after > 0.0) {
+        const FaultEvent up{FaultEvent::Kind::kNodeRepair,
+                            ev.time + repair_after, ev.id};
+        engine_->schedule_at(des::from_seconds(up.time),
+                             [this, up] { apply(up, 0.0); });
+      }
+      notify_fault();
+      break;
+    }
+    case FaultEvent::Kind::kNodeRepair: {
+      if (network_->node_up(ev.id)) return;
+      network_->set_node_up(ev.id, true);
+      --nodes_down_;
+      history_.push_back(ev);
+      if (tracer_ && have_track_) {
+        tracer_->complete_span(track_, "node " + std::to_string(ev.id) + " down",
+                               "fault", down_since_[ev.id],
+                               engine_->now() - down_since_[ev.id]);
+      }
+      if (nodes_down_ == 0) {
+        for (des::OneShotEvent* w : up_waiters_) w->fire(*engine_);
+        up_waiters_.clear();
+      }
+      break;
+    }
+    case FaultEvent::Kind::kLinkDown: {
+      if (!network_->link_up(ev.id)) return;
+      network_->set_link_up(ev.id, false);
+      ++link_outages_;
+      ++faults_applied_;
+      ++links_down_;
+      history_.push_back(ev);
+      if (tracer_ && have_track_) {
+        tracer_->instant(track_, "link " + std::to_string(ev.id) + " down",
+                         "fault");
+      }
+      if (repair_after > 0.0) {
+        const FaultEvent up{FaultEvent::Kind::kLinkUp, ev.time + repair_after,
+                            ev.id};
+        engine_->schedule_at(des::from_seconds(up.time),
+                             [this, up] { apply(up, 0.0); });
+      }
+      notify_fault();
+      break;
+    }
+    case FaultEvent::Kind::kLinkUp: {
+      if (network_->link_up(ev.id)) return;
+      network_->set_link_up(ev.id, true);
+      --links_down_;
+      history_.push_back(ev);
+      if (tracer_ && have_track_) {
+        tracer_->instant(track_, "link " + std::to_string(ev.id) + " up",
+                         "fault");
+      }
+      break;
+    }
+  }
+  update_gauges();
+}
+
+void Injector::notify_fault() {
+  for (des::OneShotEvent* w : fault_waiters_) w->fire(*engine_);
+  fault_waiters_.clear();
+}
+
+void Injector::update_gauges() {
+  if (!metrics_) return;
+  metrics_->gauge("fault.nodes_down").set(nodes_down_);
+  metrics_->gauge("fault.links_down").set(links_down_);
+  metrics_->gauge("fault.node_crashes").set(static_cast<double>(crashes_));
+  metrics_->gauge("fault.link_outages")
+      .set(static_cast<double>(link_outages_));
+}
+
+void Injector::work_timer_cb(void* ctx) {
+  auto* w = static_cast<TimedWait*>(ctx);
+  w->event.fire(*w->injector->engine_);
+}
+
+des::Task<bool> Injector::work_for(double seconds) {
+  const std::uint64_t before = faults_applied_;
+  TimedWait w{this, {}};
+  const des::EventId timer = engine_->schedule_raw_after(
+      des::from_seconds(seconds), &work_timer_cb, &w);
+  fault_waiters_.push_back(&w.event);
+  co_await w.event.wait();
+  // Whichever source fired, the other may still hold a reference: drop the
+  // subscription and the timer before the frame goes away.
+  for (std::size_t i = 0; i < fault_waiters_.size(); ++i) {
+    if (fault_waiters_[i] == &w.event) {
+      fault_waiters_[i] = fault_waiters_.back();
+      fault_waiters_.pop_back();
+      break;
+    }
+  }
+  const bool interrupted = faults_applied_ != before;
+  if (interrupted) engine_->cancel(timer);
+  co_return !interrupted;
+}
+
+des::Task<void> Injector::await_all_nodes_up() {
+  while (nodes_down_ > 0) {
+    TimedWait w{this, {}};
+    up_waiters_.push_back(&w.event);
+    co_await w.event.wait();
+  }
+}
+
+void Injector::attach_tracer(obs::Tracer& tracer) {
+  tracer_ = &tracer;
+  track_ = tracer.add_track("faults", "injected");
+  have_track_ = true;
+}
+
+void Injector::attach_metrics(obs::MetricsRegistry& metrics) {
+  metrics_ = &metrics;
+  update_gauges();
+}
+
+}  // namespace polaris::fault

@@ -52,12 +52,39 @@
 #include "polaris/support/flat_map.hpp"
 #include "polaris/support/function.hpp"
 
+namespace polaris::fault {
+class Injector;
+}  // namespace polaris::fault
+
 namespace polaris::simrt {
 
 class SimComm;
 class SimWorld;
 
 inline constexpr std::uint32_t kNilSlot = 0xffff'ffffu;
+
+/// Outcome of a simulated messaging operation.  Healthy runs only ever see
+/// kOk; the rest surface once SimWorld::enable_faults() is active.
+enum class SimStatus : std::uint8_t {
+  kOk = 0,
+  kPeerDown,  ///< the peer's node crashed (detected or mid-transfer)
+  kLinkDown,  ///< a routed link stayed down through every retry
+  kTimeout,   ///< a posted receive saw no message within the policy timeout
+};
+
+const char* to_string(SimStatus status);
+
+/// Fault-recovery knobs for the messaging layer (SimWorld::enable_faults).
+/// A failed wire transfer is retried up to max_retries times with
+/// exponential backoff; recv_timeout > 0 additionally arms a timer on every
+/// queued receive (and on the rendezvous match wait) so a receive from a
+/// crashed peer fails instead of hanging forever.
+struct RetryPolicy {
+  std::uint32_t max_retries = 3;
+  double backoff = 1e-3;         ///< seconds before the first retry
+  double backoff_factor = 2.0;   ///< multiplier per subsequent retry
+  double recv_timeout = 0.0;     ///< seconds; 0 disables receive timeouts
+};
 
 namespace detail {
 
@@ -77,6 +104,12 @@ struct InFlight {
   std::uint32_t slot = 0;       ///< own index in the world pool
   std::uint32_t gen = 0;        ///< bumped on release (stale-handle check)
   std::uint8_t refs = 0;
+
+  // Fault-path state (untouched on healthy runs beyond the acquire reset).
+  SimStatus status = SimStatus::kOk;  ///< sticky first failure
+  std::uint8_t retries_used = 0;      ///< eager wire retries consumed
+  bool dropped = false;               ///< gave up; seq advanced, no delivery
+  des::EventId sync_timeout{};        ///< rendezvous match-wait deadline
 };
 
 /// Matcher cookie: a generation-checked handle into the InFlight pool.
@@ -87,11 +120,15 @@ struct InFlightId {
 
 }  // namespace detail
 
-/// Completion info for a simulated receive.
+/// Completion info for a simulated receive (or a waited send, which fills
+/// only `status`).
 struct SimRecvStatus {
   int src = -1;
   int tag = -1;
   std::uint64_t bytes = 0;
+  SimStatus status = SimStatus::kOk;
+
+  bool ok() const { return status == SimStatus::kOk; }
 };
 
 /// Handle for a nonblocking simulated operation: a pooled slot+generation
@@ -121,9 +158,10 @@ class SimComm {
   /// buffer (cache-friendly reuse, the common application pattern).
   /// Not a coroutine itself: the per-destination sequence number is taken
   /// when send() is CALLED, so blocking and nonblocking sends interleave
-  /// in program order.
-  des::Task<void> send(int dst, int tag, std::uint64_t bytes,
-                       std::uintptr_t buffer_addr = 0);
+  /// in program order.  Returns kOk on healthy runs; with faults enabled,
+  /// the first unrecovered failure (retries exhausted, peer declared dead).
+  des::Task<SimStatus> send(int dst, int tag, std::uint64_t bytes,
+                            std::uintptr_t buffer_addr = 0);
 
   /// Blocking receive; completes when the payload has landed and the
   /// receiving CPU has processed it.  Like send(), the matcher posting
@@ -141,16 +179,17 @@ class SimComm {
   des::Task<SimRecvStatus> wait(SimRequest request);
 
   /// Awaits every request in the span (accepts a std::vector directly),
-  /// consuming each.
-  des::Task<void> wait_all(std::span<const SimRequest> requests);
+  /// consuming each.  Returns the first non-kOk status (all requests are
+  /// still waited, so no slot leaks on partial failure).
+  des::Task<SimStatus> wait_all(std::span<const SimRequest> requests);
 
   /// One-sided RDMA put: no receiver involvement (fabric must have rdma).
-  des::Task<void> put(int dst, std::uint64_t bytes,
-                      std::uintptr_t buffer_addr = 0);
+  des::Task<SimStatus> put(int dst, std::uint64_t bytes,
+                           std::uintptr_t buffer_addr = 0);
 
   /// One-sided RDMA get: request header out, payload back, no remote CPU.
-  des::Task<void> get(int src, std::uint64_t bytes,
-                      std::uintptr_t buffer_addr = 0);
+  des::Task<SimStatus> get(int src, std::uint64_t bytes,
+                           std::uintptr_t buffer_addr = 0);
 
   /// Active messages (timing-level): the handler runs at the destination
   /// when the payload lands, with no posted receive.  Handlers must be
@@ -158,8 +197,8 @@ class SimComm {
   using AmHandler = support::UniqueFunction<void(int src,
                                                  std::uint64_t bytes)>;
   std::uint32_t register_am(AmHandler handler);
-  des::Task<void> am_send(int dst, std::uint32_t handler,
-                          std::uint64_t bytes);
+  des::Task<SimStatus> am_send(int dst, std::uint32_t handler,
+                               std::uint64_t bytes);
   std::uint64_t am_dispatched() const { return am_dispatched_; }
 
   /// Local computation of `flops` touching `mem_bytes` of DRAM, timed by
@@ -171,14 +210,18 @@ class SimComm {
 
   // -- collectives ------------------------------------------------------------
   /// Executes one rank's part of a schedule with elements of elem_bytes.
-  des::Task<void> run_schedule(const coll::Schedule& schedule,
-                               std::size_t elem_bytes);
+  /// With faults enabled a collective surfaces partial failure: the first
+  /// failed step's status is returned and the remaining steps are skipped
+  /// on this rank (peers discover the hole through their own failed steps
+  /// or receive timeouts).
+  des::Task<SimStatus> run_schedule(const coll::Schedule& schedule,
+                                    std::size_t elem_bytes);
 
-  des::Task<void> barrier();
-  des::Task<void> broadcast(std::uint64_t bytes, int root);
-  des::Task<void> allreduce(std::uint64_t bytes);
-  des::Task<void> allgather(std::uint64_t block_bytes);
-  des::Task<void> alltoall(std::uint64_t block_bytes);
+  des::Task<SimStatus> barrier();
+  des::Task<SimStatus> broadcast(std::uint64_t bytes, int root);
+  des::Task<SimStatus> allreduce(std::uint64_t bytes);
+  des::Task<SimStatus> allgather(std::uint64_t block_bytes);
+  des::Task<SimStatus> alltoall(std::uint64_t block_bytes);
 
   /// Current simulated time in seconds.
   double now() const;
@@ -216,6 +259,11 @@ class SimComm {
     des::OneShotEvent trigger;
     std::uint32_t inflight_slot = kNilSlot;
     std::uint32_t gen = 0;
+    // Receive-timeout state (armed only when a RetryPolicy asks for it).
+    SimComm* owner = nullptr;
+    des::EventId timeout_ev{};
+    int src = -1;
+    bool timed_out = false;
   };
 
   /// Pooled nonblocking-request record behind a SimRequest handle.
@@ -235,8 +283,9 @@ class SimComm {
   SimComm(SimWorld& world, int rank, std::size_t ranks);
 
   /// The body of send(); `seq` was assigned by the caller at issue time.
-  des::Task<void> send_impl(int dst, int tag, std::uint64_t bytes,
-                            std::uintptr_t buffer_addr, std::uint64_t seq);
+  des::Task<SimStatus> send_impl(int dst, int tag, std::uint64_t bytes,
+                                 std::uintptr_t buffer_addr,
+                                 std::uint64_t seq);
 
   /// Matcher posting done eagerly at recv()/irecv() call time.
   struct RecvTicket {
@@ -246,8 +295,16 @@ class SimComm {
   RecvTicket post_recv_now(int src, int tag);
   des::Task<SimRecvStatus> recv_impl(RecvTicket ticket);
   des::Task<void> send_eager(detail::InFlight& f);
-  des::Task<void> send_rendezvous(detail::InFlight& f,
-                                  std::uintptr_t buffer_addr);
+  des::Task<SimStatus> send_rendezvous(detail::InFlight& f,
+                                       std::uintptr_t buffer_addr);
+
+  /// A fabric transfer wrapped in the world's RetryPolicy: on failure,
+  /// backs off and re-sends up to max_retries times.  With faults
+  /// disabled this adds no engine events — healthy timing is identical
+  /// to a bare transfer.
+  des::Task<fabric::XferStatus> transfer_retry(fabric::NodeId src,
+                                               fabric::NodeId dst,
+                                               std::uint64_t bytes);
   des::Task<void> isend_body(int dst, int tag, std::uint64_t bytes,
                              std::uintptr_t buffer_addr, std::uint64_t seq,
                              std::uint32_t request_slot);
@@ -256,8 +313,18 @@ class SimComm {
   /// Eager wire chain (replaces the spawned deliver_eager coroutine):
   /// a zero-delay raw event injects into the fabric, whose completion
   /// callback lands the message at the destination.  ctx is the InFlight.
+  /// eager_delivered_cb doubles as the retry driver: a failed wire leg
+  /// reschedules eager_wire_cb after the policy backoff, and a message
+  /// that exhausts its retries is dropped (sequence still advances, so
+  /// later traffic from the same source is not wedged).
   static void eager_wire_cb(void* ctx);
-  static void eager_delivered_cb(void* ctx);
+  static void eager_delivered_cb(void* ctx, fabric::XferStatus status);
+  /// Receive-timeout timer (ctx is the PendingRecv).
+  static void recv_timeout_cb(void* ctx);
+  /// Rendezvous match-wait deadline (ctx is the InFlight): if the peer's
+  /// node is down, fails the send with kPeerDown; otherwise re-arms (the
+  /// peer is merely slow, not dead).
+  static void rdv_sync_timeout_cb(void* ctx);
 
   /// Applies an arrival in per-source issue order (MPI non-overtaking).
   void arrive_ordered(std::uint32_t inflight_slot);
@@ -336,6 +403,25 @@ class SimWorld {
   /// LogGP view of this world's fabric at its typical hop count.
   fabric::LogGPParams loggp() const;
 
+  // -- fault path --------------------------------------------------------------
+  /// Arms the messaging layer against the injector's faults: wire
+  /// failures are retried per `policy`, exhausted messages are dropped
+  /// with an error status, and (if policy.recv_timeout > 0) receives and
+  /// rendezvous handshakes time out instead of hanging on a dead peer.
+  /// Call before launch().  Without this call the fault machinery is
+  /// fully disabled and runs are event-for-event identical to the seed.
+  void enable_faults(fault::Injector& injector, RetryPolicy policy = {});
+  bool faults_enabled() const { return injector_ != nullptr; }
+  fault::Injector* injector() const { return injector_; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  void count_retry() { ++msg_retries_; }
+  void count_drop() { ++msg_drops_; }
+  void count_timeout() { ++recv_timeouts_; }
+  std::uint64_t msg_retries() const { return msg_retries_; }
+  std::uint64_t msg_drops() const { return msg_drops_; }
+  std::uint64_t recv_timeouts() const { return recv_timeouts_; }
+
   /// Attaches a tracer (use an obs::SimClock over this world's engine):
   /// one track per rank plus the network's per-link tracks.  Rank spans
   /// cover every operation — send/recv with protocol-phase sub-spans,
@@ -377,6 +463,11 @@ class SimWorld {
   hw::NodeModel node_;
   std::uint32_t eager_threshold_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  fault::Injector* injector_ = nullptr;
+  RetryPolicy retry_policy_;
+  std::uint64_t msg_retries_ = 0;
+  std::uint64_t msg_drops_ = 0;
+  std::uint64_t recv_timeouts_ = 0;
   std::vector<std::unique_ptr<SimComm>> comms_;
   // Launched programs; std::list keeps closure addresses stable because
   // coroutine frames created from a closure reference that exact object.

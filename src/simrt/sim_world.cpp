@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "polaris/coll/cost.hpp"
+#include "polaris/fault/injector.hpp"
 #include "polaris/support/check.hpp"
 #include "polaris/support/units.hpp"
 
@@ -11,7 +12,33 @@ namespace polaris::simrt {
 namespace {
 /// Tag reserved for collective traffic.
 constexpr int kCollTag = 0x4000'0000;
+
+SimStatus from_xfer(fabric::XferStatus status) {
+  switch (status) {
+    case fabric::XferStatus::kOk:
+      return SimStatus::kOk;
+    case fabric::XferStatus::kNodeDown:
+      return SimStatus::kPeerDown;
+    case fabric::XferStatus::kLinkDown:
+      return SimStatus::kLinkDown;
+  }
+  return SimStatus::kPeerDown;
+}
 }  // namespace
+
+const char* to_string(SimStatus status) {
+  switch (status) {
+    case SimStatus::kOk:
+      return "ok";
+    case SimStatus::kPeerDown:
+      return "peer-down";
+    case SimStatus::kLinkDown:
+      return "link-down";
+    case SimStatus::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
 
 // ----------------------------------------------------------------- SimComm
 
@@ -45,15 +72,16 @@ std::uintptr_t SimComm::default_addr() const {
   return (static_cast<std::uintptr_t>(rank_) + 1) << 32;
 }
 
-des::Task<void> SimComm::send(int dst, int tag, std::uint64_t bytes,
-                              std::uintptr_t buffer_addr) {
+des::Task<SimStatus> SimComm::send(int dst, int tag, std::uint64_t bytes,
+                                   std::uintptr_t buffer_addr) {
   POLARIS_CHECK(dst >= 0 && dst < size());
   return send_impl(dst, tag, bytes, buffer_addr, send_seq_[dst]++);
 }
 
-des::Task<void> SimComm::send_impl(int dst, int tag, std::uint64_t bytes,
-                                   std::uintptr_t buffer_addr,
-                                   std::uint64_t seq) {
+des::Task<SimStatus> SimComm::send_impl(int dst, int tag,
+                                        std::uint64_t bytes,
+                                        std::uintptr_t buffer_addr,
+                                        std::uint64_t seq) {
   const std::uint32_t slot = world_->acquire_inflight();
   detail::InFlight& f = world_->inflight(slot);
   f.dst_comm = &world_->comm(static_cast<std::size_t>(dst));
@@ -78,11 +106,13 @@ des::Task<void> SimComm::send_impl(int dst, int tag, std::uint64_t bytes,
 
   if (f.proto == msg::Protocol::kEager) {
     ++eager_count_;
+    // Buffered semantics: the send "completes" once injected; a wire
+    // failure is retried (and ultimately dropped) by the raw chain.
     co_await send_eager(f);
-  } else {
-    ++rendezvous_count_;
-    co_await send_rendezvous(f, buffer_addr);
+    co_return SimStatus::kOk;
   }
+  ++rendezvous_count_;
+  co_return co_await send_rendezvous(f, buffer_addr);
 }
 
 des::Task<void> SimComm::send_eager(detail::InFlight& f) {
@@ -113,17 +143,82 @@ void SimComm::eager_wire_cb(void* ctx) {
       f.bytes + SimWorld::kHeaderBytes, &SimComm::eager_delivered_cb, &f);
 }
 
-void SimComm::eager_delivered_cb(void* ctx) {
+void SimComm::eager_delivered_cb(void* ctx, fabric::XferStatus status) {
   auto& f = *static_cast<detail::InFlight*>(ctx);
   SimComm& dst = *f.dst_comm;
-  f.delivered.fire(dst.world_->engine());
+  SimWorld& w = *dst.world_;
+  if (status != fabric::XferStatus::kOk) {
+    const RetryPolicy& rp = w.retry_policy();
+    if (f.retries_used < rp.max_retries) {
+      double backoff = rp.backoff;
+      for (std::uint8_t i = 0; i < f.retries_used; ++i) {
+        backoff *= rp.backoff_factor;
+      }
+      ++f.retries_used;
+      w.count_retry();
+      // Re-enter the wire chain after the backoff: same injection path,
+      // fresh fabric attempt.
+      w.engine().schedule_raw_after(des::from_seconds(backoff),
+                                    &SimComm::eager_wire_cb, &f);
+      return;
+    }
+    // Retries exhausted: drop.  The sequence number still advances (the
+    // drop is a tombstone in arrival order) so later traffic from this
+    // source is not wedged behind the dead message.
+    f.status = from_xfer(status);
+    f.dropped = true;
+    w.count_drop();
+    const std::uint32_t slot = f.slot;
+    dst.arrive_ordered(slot);
+    w.release_inflight_ref(slot);  // sender-chain reference
+    return;
+  }
+  f.delivered.fire(w.engine());
   const std::uint32_t slot = f.slot;
   dst.arrive_ordered(slot);
-  dst.world_->release_inflight_ref(slot);  // sender-chain reference
+  w.release_inflight_ref(slot);  // sender-chain reference
 }
 
-des::Task<void> SimComm::send_rendezvous(detail::InFlight& f,
-                                         std::uintptr_t buffer_addr) {
+des::Task<fabric::XferStatus> SimComm::transfer_retry(fabric::NodeId src,
+                                                      fabric::NodeId dst,
+                                                      std::uint64_t bytes) {
+  auto& net = world_->network();
+  fabric::XferStatus st = co_await net.transfer(src, dst, bytes);
+  if (st == fabric::XferStatus::kOk || !world_->faults_enabled()) {
+    co_return st;
+  }
+  const RetryPolicy& rp = world_->retry_policy();
+  double backoff = rp.backoff;
+  for (std::uint32_t attempt = 0; attempt < rp.max_retries; ++attempt) {
+    world_->count_retry();
+    if (tracer_) tracer_->instant(track_, "retry", "fault");
+    co_await des::delay(world_->engine(), des::from_seconds(backoff));
+    backoff *= rp.backoff_factor;
+    st = co_await net.transfer(src, dst, bytes);
+    if (st == fabric::XferStatus::kOk) co_return st;
+  }
+  co_return st;
+}
+
+void SimComm::rdv_sync_timeout_cb(void* ctx) {
+  auto& f = *static_cast<detail::InFlight*>(ctx);
+  SimComm& dst = *f.dst_comm;
+  SimWorld& w = *dst.world_;
+  if (f.matched.fired()) return;
+  if (!w.network().node_up(static_cast<fabric::NodeId>(dst.rank_))) {
+    // Peer is dead: fail the handshake instead of waiting forever.
+    f.status = SimStatus::kPeerDown;
+    f.matched.fire(w.engine());
+    return;
+  }
+  // Peer alive but hasn't posted its receive yet — merely slow.  Re-arm.
+  f.sync_timeout = w.engine().schedule_raw_after(
+      des::from_seconds(w.retry_policy().recv_timeout),
+      &SimComm::rdv_sync_timeout_cb, &f);
+}
+
+des::Task<SimStatus> SimComm::send_rendezvous(detail::InFlight& f,
+                                              std::uintptr_t buffer_addr) {
   const auto& p = world_->params();
   auto& eng = world_->engine();
   const auto src_node = static_cast<fabric::NodeId>(rank_);
@@ -139,8 +234,19 @@ des::Task<void> SimComm::send_rendezvous(detail::InFlight& f,
   co_await des::delay(eng, des::from_seconds(p.o_send));
   earliest_next_send_ =
       eng.now() + des::from_seconds(std::max(p.gap - p.o_send, 0.0));
-  co_await world_->network().transfer(src_node, dst_node,
-                                      SimWorld::kHeaderBytes);
+  fabric::XferStatus xst =
+      co_await transfer_retry(src_node, dst_node, SimWorld::kHeaderBytes);
+  if (xst != fabric::XferStatus::kOk) {
+    // The envelope never reached the peer.  Tombstone the sequence so
+    // later messages are not wedged, then fail the send.
+    f.status = from_xfer(xst);
+    f.dropped = true;
+    world_->count_drop();
+    const SimStatus st = f.status;
+    f.dst_comm->arrive_ordered(f.slot);  // releases the receiver reference
+    world_->release_inflight_ref(f.slot);
+    co_return st;
+  }
   f.dst_comm->arrive_ordered(f.slot);  // receiver's reference travels here
   rts.end();
 
@@ -148,9 +254,34 @@ des::Task<void> SimComm::send_rendezvous(detail::InFlight& f,
   {
     obs::ScopedSpan sync(tracer_, track_, std::string(pre) + ":sync",
                          "protocol");
+    if (world_->faults_enabled() &&
+        world_->retry_policy().recv_timeout > 0.0 && !f.matched.fired()) {
+      f.sync_timeout = eng.schedule_raw_after(
+          des::from_seconds(world_->retry_policy().recv_timeout),
+          &SimComm::rdv_sync_timeout_cb, &f);
+    }
     co_await f.matched.wait();
-    co_await world_->network().transfer(dst_node, src_node,
-                                        SimWorld::kHeaderBytes);
+    eng.cancel(f.sync_timeout);
+    if (f.status != SimStatus::kOk) {
+      // Declared dead before posting its receive.  The envelope stays in
+      // the dead rank's matcher; its reference is stranded with it (a
+      // bounded leak, one record per abandoned handshake — see DESIGN.md).
+      world_->count_drop();
+      const SimStatus st = f.status;
+      world_->release_inflight_ref(f.slot);
+      co_return st;
+    }
+    xst = co_await transfer_retry(dst_node, src_node, SimWorld::kHeaderBytes);
+    if (xst != fabric::XferStatus::kOk) {
+      // CTS lost for good: the receiver is already parked on `delivered`,
+      // so propagate the failure through it.
+      f.status = from_xfer(xst);
+      world_->count_drop();
+      const SimStatus st = f.status;
+      f.delivered.fire(eng);
+      world_->release_inflight_ref(f.slot);
+      co_return st;
+    }
   }
 
   // Pin the source buffer (cache-amortized), then move the payload.
@@ -178,10 +309,16 @@ des::Task<void> SimComm::send_rendezvous(detail::InFlight& f,
   {
     obs::ScopedSpan payload(tracer_, track_, std::string(pre) + ":payload",
                             "protocol");
-    co_await world_->network().transfer(src_node, dst_node, f.bytes);
+    xst = co_await transfer_retry(src_node, dst_node, f.bytes);
   }
+  if (xst != fabric::XferStatus::kOk) {
+    f.status = from_xfer(xst);
+    world_->count_drop();
+  }
+  const SimStatus st = f.status;
   f.delivered.fire(eng);
   world_->release_inflight_ref(f.slot);  // sender-side reference
+  co_return st;
 }
 
 void SimComm::arrive_ordered(std::uint32_t inflight_slot) {
@@ -238,6 +375,13 @@ void SimComm::hold_out_of_order(int src, std::uint32_t inflight_slot) {
 
 void SimComm::deliver_to_matcher(std::uint32_t inflight_slot) {
   detail::InFlight& f = world_->inflight(inflight_slot);
+  if (f.dropped) {
+    // The message never lands: nothing reaches the matcher, and the
+    // receiver-side reference dies here (no recv will ever consume it —
+    // the receiver learns of the hole through its own timeout).
+    world_->release_inflight_ref(inflight_slot);
+    return;
+  }
   msg::Envelope<detail::InFlightId> env;
   env.src = f.src;
   env.tag = f.tag;
@@ -266,8 +410,22 @@ SimComm::RecvTicket SimComm::post_recv_now(int src, int tag) {
     release_pending(pslot);  // matched immediately: no queued state needed
   } else {
     ticket.pending_slot = pslot;
+    if (world_->faults_enabled() &&
+        world_->retry_policy().recv_timeout > 0.0) {
+      pr.src = src;
+      pr.timeout_ev = world_->engine().schedule_raw_after(
+          des::from_seconds(world_->retry_policy().recv_timeout),
+          &SimComm::recv_timeout_cb, &pr);
+    }
   }
   return ticket;
+}
+
+void SimComm::recv_timeout_cb(void* ctx) {
+  auto& pr = *static_cast<PendingRecv*>(ctx);
+  if (pr.trigger.fired()) return;
+  pr.timed_out = true;
+  pr.trigger.fire(pr.owner->world_->engine());
 }
 
 des::Task<SimRecvStatus> SimComm::recv(int src, int tag) {
@@ -284,7 +442,26 @@ des::Task<SimRecvStatus> SimComm::recv_impl(RecvTicket ticket) {
     PendingRecv& pr = pending_pool_[ticket.pending_slot];
     co_await pr.trigger.wait();
     slot = pr.inflight_slot;
-    POLARIS_CHECK_MSG(slot != kNilSlot, "recv woke without a message");
+    if (slot == kNilSlot) {
+      // The receive timed out with no message.  Withdraw the posting so a
+      // late arrival cannot resolve to recycled state, then classify: a
+      // dead specific source is kPeerDown, anything else kTimeout.
+      POLARIS_CHECK_MSG(pr.timed_out, "recv woke without a message");
+      const msg::RecvId id =
+          (static_cast<std::uint64_t>(pr.gen) << 32) | ticket.pending_slot;
+      matcher_.cancel_recv(id);
+      SimRecvStatus st;
+      st.status = SimStatus::kTimeout;
+      if (pr.src >= 0 &&
+          !world_->network().node_up(
+              static_cast<fabric::NodeId>(pr.src))) {
+        st.status = SimStatus::kPeerDown;
+      }
+      world_->count_timeout();
+      release_pending(ticket.pending_slot);
+      co_return st;
+    }
+    world_->engine().cancel(pr.timeout_ev);
     release_pending(ticket.pending_slot);
   }
   detail::InFlight& inf = world_->inflight(slot);
@@ -303,6 +480,18 @@ des::Task<SimRecvStatus> SimComm::recv_impl(RecvTicket ticket) {
   inf.matched.fire(eng);
   co_await inf.delivered.wait();
   wait_span.end();
+
+  if (inf.status != SimStatus::kOk) {
+    // The sender's CTS/payload leg failed for good: surface the error and
+    // skip the receiver CPU cost (no payload ever landed).
+    SimRecvStatus st;
+    st.src = inf.src;
+    st.tag = inf.tag;
+    st.bytes = inf.bytes;
+    st.status = inf.status;
+    world_->release_inflight_ref(slot);  // receiver-side reference
+    co_return st;
+  }
 
   // Receiver CPU cost by protocol.
   double cpu = 0.0;
@@ -345,6 +534,10 @@ std::uint32_t SimComm::acquire_pending() {
   PendingRecv& pr = pending_pool_[slot];
   pr.trigger.reset();
   pr.inflight_slot = kNilSlot;
+  pr.owner = this;
+  pr.timeout_ev = des::EventId{};
+  pr.src = -1;
+  pr.timed_out = false;
   return slot;
 }
 
@@ -392,8 +585,10 @@ des::Task<void> SimComm::isend_body(int dst, int tag, std::uint64_t bytes,
                                     std::uintptr_t buffer_addr,
                                     std::uint64_t seq,
                                     std::uint32_t request_slot) {
-  co_await send_impl(dst, tag, bytes, buffer_addr, seq);
-  request_pool_[request_slot].done.fire(world_->engine());
+  const SimStatus st = co_await send_impl(dst, tag, bytes, buffer_addr, seq);
+  Request& r = request_pool_[request_slot];
+  r.status.status = st;
+  r.done.fire(world_->engine());
 }
 
 SimRequest SimComm::irecv(int src, int tag) {
@@ -424,20 +619,26 @@ des::Task<SimRecvStatus> SimComm::wait(SimRequest request) {
   co_return st;
 }
 
-des::Task<void> SimComm::wait_all(std::span<const SimRequest> requests) {
+des::Task<SimStatus> SimComm::wait_all(std::span<const SimRequest> requests) {
   obs::ScopedSpan span(tracer_, track_, "wait_all", "p2p");
+  SimStatus first_error = SimStatus::kOk;
   for (const SimRequest& req : requests) {
     POLARIS_CHECK_MSG(req.valid(), "wait_all on an empty request");
     Request& r = request_pool_[req.slot_];
     POLARIS_CHECK_MSG(r.gen == req.gen_,
                       "wait_all on a request that was already waited");
     co_await r.done.wait();
+    if (first_error == SimStatus::kOk &&
+        r.status.status != SimStatus::kOk) {
+      first_error = r.status.status;
+    }
     release_request(req.slot_);
   }
+  co_return first_error;
 }
 
-des::Task<void> SimComm::put(int dst, std::uint64_t bytes,
-                             std::uintptr_t buffer_addr) {
+des::Task<SimStatus> SimComm::put(int dst, std::uint64_t bytes,
+                                  std::uintptr_t buffer_addr) {
   const auto& p = world_->params();
   POLARIS_CHECK_MSG(p.rdma, "put() requires an RDMA-capable fabric");
   auto& eng = world_->engine();
@@ -447,13 +648,16 @@ des::Task<void> SimComm::put(int dst, std::uint64_t bytes,
       buffer_addr != 0 ? buffer_addr : default_addr();
   const double reg = reg_cache_->acquire(addr, bytes);
   if (reg > 0.0) co_await des::delay(eng, des::from_seconds(reg));
-  co_await world_->network().transfer(static_cast<fabric::NodeId>(rank_),
-                                      static_cast<fabric::NodeId>(dst),
-                                      bytes + SimWorld::kHeaderBytes);
+  const fabric::XferStatus xst =
+      co_await transfer_retry(static_cast<fabric::NodeId>(rank_),
+                              static_cast<fabric::NodeId>(dst),
+                              bytes + SimWorld::kHeaderBytes);
+  if (xst != fabric::XferStatus::kOk) world_->count_drop();
+  co_return from_xfer(xst);
 }
 
-des::Task<void> SimComm::get(int src, std::uint64_t bytes,
-                             std::uintptr_t buffer_addr) {
+des::Task<SimStatus> SimComm::get(int src, std::uint64_t bytes,
+                                  std::uintptr_t buffer_addr) {
   const auto& p = world_->params();
   POLARIS_CHECK_MSG(p.rdma, "get() requires an RDMA-capable fabric");
   auto& eng = world_->engine();
@@ -464,12 +668,17 @@ des::Task<void> SimComm::get(int src, std::uint64_t bytes,
   const double reg = reg_cache_->acquire(addr, bytes);
   if (reg > 0.0) co_await des::delay(eng, des::from_seconds(reg));
   // Request header to the source, payload back; the source CPU never runs.
-  co_await world_->network().transfer(static_cast<fabric::NodeId>(rank_),
-                                      static_cast<fabric::NodeId>(src),
-                                      SimWorld::kHeaderBytes);
-  co_await world_->network().transfer(static_cast<fabric::NodeId>(src),
-                                      static_cast<fabric::NodeId>(rank_),
-                                      bytes + SimWorld::kHeaderBytes);
+  fabric::XferStatus xst =
+      co_await transfer_retry(static_cast<fabric::NodeId>(rank_),
+                              static_cast<fabric::NodeId>(src),
+                              SimWorld::kHeaderBytes);
+  if (xst == fabric::XferStatus::kOk) {
+    xst = co_await transfer_retry(static_cast<fabric::NodeId>(src),
+                                  static_cast<fabric::NodeId>(rank_),
+                                  bytes + SimWorld::kHeaderBytes);
+  }
+  if (xst != fabric::XferStatus::kOk) world_->count_drop();
+  co_return from_xfer(xst);
 }
 
 std::uint32_t SimComm::register_am(AmHandler handler) {
@@ -478,17 +687,23 @@ std::uint32_t SimComm::register_am(AmHandler handler) {
   return static_cast<std::uint32_t>(am_handlers_.size() - 1);
 }
 
-des::Task<void> SimComm::am_send(int dst, std::uint32_t handler,
-                                 std::uint64_t bytes) {
+des::Task<SimStatus> SimComm::am_send(int dst, std::uint32_t handler,
+                                      std::uint64_t bytes) {
   POLARIS_CHECK(dst >= 0 && dst < size());
   const auto& p = world_->params();
   auto& eng = world_->engine();
   obs::ScopedSpan span(tracer_, track_, "am_send", "am");
   const double copy = static_cast<double>(bytes) / p.copy_bw;
   co_await des::delay(eng, des::from_seconds(p.o_send + copy));
-  co_await world_->network().transfer(static_cast<fabric::NodeId>(rank_),
-                                      static_cast<fabric::NodeId>(dst),
-                                      bytes + SimWorld::kHeaderBytes);
+  const fabric::XferStatus xst =
+      co_await transfer_retry(static_cast<fabric::NodeId>(rank_),
+                              static_cast<fabric::NodeId>(dst),
+                              bytes + SimWorld::kHeaderBytes);
+  if (xst != fabric::XferStatus::kOk) {
+    // Never landed: the handler does not run.
+    world_->count_drop();
+    co_return from_xfer(xst);
+  }
   SimComm& peer = world_->comm(static_cast<std::size_t>(dst));
   POLARIS_CHECK_MSG(handler < peer.am_handlers_.size(),
                     "unknown active-message handler at destination");
@@ -496,6 +711,7 @@ des::Task<void> SimComm::am_send(int dst, std::uint32_t handler,
   co_await des::delay(eng, des::from_seconds(p.o_recv));
   ++peer.am_dispatched_;
   peer.am_handlers_[handler](rank_, bytes);
+  co_return SimStatus::kOk;
 }
 
 des::Task<void> SimComm::compute(double flops, double mem_bytes) {
@@ -510,68 +726,82 @@ des::Task<void> SimComm::sleep(double seconds) {
 
 // -------------------------------------------------------------- collectives
 
-des::Task<void> SimComm::run_schedule(const coll::Schedule& schedule,
-                                      std::size_t elem_bytes) {
+des::Task<SimStatus> SimComm::run_schedule(const coll::Schedule& schedule,
+                                           std::size_t elem_bytes) {
   POLARIS_CHECK(schedule.ranks == world_->ranks());
   auto& eng = world_->engine();
+  SimStatus status = SimStatus::kOk;
   for (const coll::CommStep& step : schedule.per_rank[rank_]) {
     if (step.has_send() && step.has_recv()) {
       // Post both concurrently (MPI_Sendrecv) and join.
       std::uint32_t remaining = 2;
       des::Trigger done(eng);
+      SimStatus send_st = SimStatus::kOk;
+      SimRecvStatus recv_st;
       eng.spawn([](SimComm& c, const coll::CommStep& s,
                    std::size_t eb, std::uint32_t& rem,
-                   des::Trigger& trig) -> des::Task<void> {
-        co_await c.send(s.send_peer, kCollTag,
-                        static_cast<std::uint64_t>(s.send_count) * eb);
+                   des::Trigger& trig, SimStatus& out) -> des::Task<void> {
+        out = co_await c.send(s.send_peer, kCollTag,
+                              static_cast<std::uint64_t>(s.send_count) * eb);
         if (--rem == 0) trig.fire();
-      }(*this, step, elem_bytes, remaining, done));
+      }(*this, step, elem_bytes, remaining, done, send_st));
       eng.spawn([](SimComm& c, const coll::CommStep& s, std::uint32_t& rem,
-                   des::Trigger& trig) -> des::Task<void> {
-        co_await c.recv(s.recv_peer, kCollTag);
+                   des::Trigger& trig,
+                   SimRecvStatus& out) -> des::Task<void> {
+        out = co_await c.recv(s.recv_peer, kCollTag);
         if (--rem == 0) trig.fire();
-      }(*this, step, remaining, done));
+      }(*this, step, remaining, done, recv_st));
       co_await done.wait();
+      if (send_st != SimStatus::kOk) {
+        status = send_st;
+      } else if (recv_st.status != SimStatus::kOk) {
+        status = recv_st.status;
+      }
     } else if (step.has_send()) {
-      co_await send(step.send_peer, kCollTag,
-                    static_cast<std::uint64_t>(step.send_count) * elem_bytes);
+      status = co_await send(
+          step.send_peer, kCollTag,
+          static_cast<std::uint64_t>(step.send_count) * elem_bytes);
     } else if (step.has_recv()) {
-      co_await recv(step.recv_peer, kCollTag);
+      status = (co_await recv(step.recv_peer, kCollTag)).status;
     }
+    // Partial failure surfaces immediately: skip the remaining steps on
+    // this rank (peers discover the hole through their own failed steps).
+    if (status != SimStatus::kOk) break;
   }
+  co_return status;
 }
 
-des::Task<void> SimComm::barrier() {
+des::Task<SimStatus> SimComm::barrier() {
   obs::ScopedSpan span(tracer_, track_, "barrier", "coll");
-  co_await run_schedule(
+  co_return co_await run_schedule(
       world_->collective_schedule(coll::Collective::kBarrier, 0, 0), 1);
 }
 
-des::Task<void> SimComm::broadcast(std::uint64_t bytes, int root) {
+des::Task<SimStatus> SimComm::broadcast(std::uint64_t bytes, int root) {
   obs::ScopedSpan span(tracer_, track_, "broadcast", "coll");
-  co_await run_schedule(
+  co_return co_await run_schedule(
       world_->collective_schedule(coll::Collective::kBroadcast, bytes, root),
       1);
 }
 
-des::Task<void> SimComm::allreduce(std::uint64_t bytes) {
+des::Task<SimStatus> SimComm::allreduce(std::uint64_t bytes) {
   obs::ScopedSpan span(tracer_, track_, "allreduce", "coll");
-  co_await run_schedule(
+  co_return co_await run_schedule(
       world_->collective_schedule(coll::Collective::kAllreduce, bytes, 0),
       1);
 }
 
-des::Task<void> SimComm::allgather(std::uint64_t block_bytes) {
+des::Task<SimStatus> SimComm::allgather(std::uint64_t block_bytes) {
   obs::ScopedSpan span(tracer_, track_, "allgather", "coll");
-  co_await run_schedule(
+  co_return co_await run_schedule(
       world_->collective_schedule(coll::Collective::kAllgather, block_bytes,
                                   0),
       1);
 }
 
-des::Task<void> SimComm::alltoall(std::uint64_t block_bytes) {
+des::Task<SimStatus> SimComm::alltoall(std::uint64_t block_bytes) {
   obs::ScopedSpan span(tracer_, track_, "alltoall", "coll");
-  co_await run_schedule(
+  co_return co_await run_schedule(
       world_->collective_schedule(coll::Collective::kAlltoall, block_bytes,
                                   0),
       1);
@@ -614,6 +844,10 @@ std::uint32_t SimWorld::acquire_inflight() {
   f.matched.reset();
   f.delivered.reset();
   f.refs = 2;  // the sender's protocol chain + the receiving recv
+  f.status = SimStatus::kOk;
+  f.retries_used = 0;
+  f.dropped = false;
+  f.sync_timeout = des::EventId{};
   max_inflight_in_use_ = std::max(max_inflight_in_use_, inflight_in_use());
   return slot;
 }
@@ -642,6 +876,14 @@ void SimWorld::attach_tracer(obs::Tracer& tracer) {
         tracer.add_track("ranks", "rank " + std::to_string(c->rank_));
   }
   network_->attach_tracer(tracer);
+}
+
+void SimWorld::enable_faults(fault::Injector& injector, RetryPolicy policy) {
+  POLARIS_CHECK(policy.max_retries < 250 && policy.backoff > 0.0 &&
+                policy.backoff_factor >= 1.0 && policy.recv_timeout >= 0.0);
+  injector_ = &injector;
+  retry_policy_ = policy;
+  network_->enable_faults();
 }
 
 void SimWorld::attach_metrics(obs::MetricsRegistry& metrics) {
@@ -692,6 +934,16 @@ double SimWorld::run() {
     metrics_->gauge("fabric.walker_hop_events").set(
         static_cast<double>(ns.walker_hop_events));
     metrics_->gauge("fabric.bypass_rate").set(ns.bypass_rate());
+    if (injector_) {
+      metrics_->gauge("fabric.messages_dropped").set(
+          static_cast<double>(ns.messages_dropped));
+      metrics_->gauge("fault.msg_retries").set(
+          static_cast<double>(msg_retries_));
+      metrics_->gauge("fault.msgs_dropped").set(
+          static_cast<double>(msg_drops_));
+      metrics_->gauge("fault.recv_timeouts").set(
+          static_cast<double>(recv_timeouts_));
+    }
     std::uint64_t eager = 0, rdv = 0, reg_hits = 0, reg_misses = 0;
     std::uint64_t m_posted = 0, m_arrived = 0, m_hits_posted = 0,
                   m_hits_unexpected = 0;

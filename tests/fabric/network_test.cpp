@@ -202,5 +202,113 @@ TEST(NetworkOnTorus, TimeGrowsWithDistance) {
   EXPECT_GT(t4, t1);
 }
 
+// ------------------------------------------------------------------- faults
+
+/// Runs a transfer and returns (completion time in seconds, status).
+struct XferResult {
+  double seconds = -1.0;
+  XferStatus status = XferStatus::kOk;
+};
+
+XferResult status_transfer(SimNetwork& net, NodeId src, NodeId dst,
+                           std::uint64_t bytes) {
+  XferResult r;
+  net.engine().spawn([](SimNetwork& n, NodeId s, NodeId d, std::uint64_t b,
+                        XferResult& out) -> des::Task<void> {
+    const des::SimTime t0 = n.engine().now();
+    out.status = co_await n.transfer(s, d, b);
+    out.seconds = des::to_seconds(n.engine().now() - t0);
+  }(net, src, dst, bytes, r));
+  net.engine().run();
+  return r;
+}
+
+TEST_F(NetworkTest, TransferToDownNodeRefusedAtInject) {
+  SimNetwork net(engine_, fabrics::myrinet2000(), topo_);
+  net.set_node_up(1, false);
+  const XferResult r = status_transfer(net, 0, 1, 4096);
+  EXPECT_EQ(r.status, XferStatus::kNodeDown);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  // Refusal is delivered through a scheduled event, never re-entrantly,
+  // but costs no simulated time.
+  EXPECT_EQ(r.seconds, 0.0);
+  net.set_node_up(1, true);
+  EXPECT_EQ(status_transfer(net, 0, 1, 4096).status, XferStatus::kOk);
+}
+
+TEST_F(NetworkTest, TransferOverDownLinkRefusedAtInject) {
+  SimNetwork net(engine_, fabrics::myrinet2000(), topo_);
+  const LinkId l = topo_.route(0, 1).front();
+  net.set_link_up(l, false);
+  EXPECT_EQ(status_transfer(net, 0, 1, 4096).status, XferStatus::kLinkDown);
+  net.set_link_up(l, true);
+  EXPECT_EQ(status_transfer(net, 0, 1, 4096).status, XferStatus::kOk);
+}
+
+TEST_F(NetworkTest, NodeDeathMidFlightKillsBypassTier) {
+  SimNetwork net(engine_, fabrics::myrinet2000(), topo_);
+  net.enable_faults();
+  const std::uint64_t bytes = 16 * 1024 * 1024;
+  const double full = net.uncongested_seconds(0, 1, bytes);
+  const double kill_at = full / 2;
+  engine_.schedule_at(des::from_seconds(kill_at),
+                      [&net] { net.set_node_up(1, false); });
+  const XferResult r = status_transfer(net, 0, 1, bytes);
+  EXPECT_EQ(r.status, XferStatus::kNodeDown);
+  // The in-flight message dies when the node does, not at its would-be
+  // completion time.
+  EXPECT_NEAR(r.seconds, kill_at, 1e-9);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, LinkDeathMidFlightKillsBypassTier) {
+  SimNetwork net(engine_, fabrics::myrinet2000(), topo_);
+  net.enable_faults();
+  const std::uint64_t bytes = 16 * 1024 * 1024;
+  const double full = net.uncongested_seconds(0, 1, bytes);
+  const LinkId l = topo_.route(0, 1).back();
+  engine_.schedule_at(des::from_seconds(full / 2),
+                      [&net, l] { net.set_link_up(l, false); });
+  const XferResult r = status_transfer(net, 0, 1, bytes);
+  EXPECT_EQ(r.status, XferStatus::kLinkDown);
+  EXPECT_NEAR(r.seconds, full / 2, 1e-9);
+}
+
+TEST_F(NetworkTest, NodeDeathKillsContendedWalkers) {
+  SimNetwork net(engine_, fabrics::myrinet2000(), topo_);
+  net.enable_faults();
+  // Two senders to one destination: contention demotes the messages to
+  // the packet-walker tier; the kill must chase the walkers' pending hop
+  // events, not just the analytic completion.
+  const std::uint64_t bytes = 16 * 1024 * 1024;
+  const double full = net.uncongested_seconds(0, 2, bytes);
+  std::vector<XferStatus> st(2, XferStatus::kOk);
+  for (int i = 0; i < 2; ++i) {
+    engine_.spawn([](SimNetwork& n, NodeId s,
+                     XferStatus& out) -> des::Task<void> {
+      out = co_await n.transfer(s, 2, 16 * 1024 * 1024);
+    }(net, static_cast<NodeId>(i), st[i]));
+  }
+  engine_.schedule_at(des::from_seconds(full / 2),
+                      [&net] { net.set_node_up(2, false); });
+  engine_.run();
+  EXPECT_EQ(st[0], XferStatus::kNodeDown);
+  EXPECT_EQ(st[1], XferStatus::kNodeDown);
+  EXPECT_EQ(net.stats().messages_dropped, 2u);
+  EXPECT_LE(des::to_seconds(engine_.now()), full);
+}
+
+TEST_F(NetworkTest, FaultsEnabledButIdleChangesNothing) {
+  SimNetwork net(engine_, fabrics::myrinet2000(), topo_);
+  net.enable_faults();
+  for (std::uint64_t bytes : {100ull, 4096ull, 1048576ull}) {
+    const double expected = net.uncongested_seconds(0, 1, bytes);
+    const XferResult r = status_transfer(net, 0, 1, bytes);
+    EXPECT_EQ(r.status, XferStatus::kOk);
+    EXPECT_NEAR(r.seconds, expected, expected * 0.01 + 1e-9) << bytes;
+  }
+  EXPECT_EQ(net.stats().messages_dropped, 0u);
+}
+
 }  // namespace
 }  // namespace polaris::fabric

@@ -23,11 +23,46 @@ TEST(TimeoutDetector, HeartbeatResetsSuspicion) {
   EXPECT_FALSE(d.suspect(10.0));
 }
 
-TEST(PhiAccrual, ZeroBeforeTwoHeartbeats) {
+// Regression: a node first registered at T > timeout used to be instantly
+// suspected (last_ defaulted to 0.0, an implicit heartbeat at the epoch).
+// The silence clock must start at registration.
+TEST(TimeoutDetector, LateRegistrationGetsFullGrace) {
+  TimeoutDetector d(5.0, /*registered_at=*/100.0);
+  EXPECT_FALSE(d.suspect(100.1));
+  EXPECT_FALSE(d.suspect(105.0));
+  EXPECT_TRUE(d.suspect(105.1));
+  EXPECT_FALSE(d.has_heartbeat());
+  EXPECT_DOUBLE_EQ(d.last_heartbeat(), 100.0);
+  d.heartbeat(105.2);
+  EXPECT_TRUE(d.has_heartbeat());
+  EXPECT_FALSE(d.suspect(106.0));
+}
+
+TEST(PhiAccrual, ZeroBeforeAnyHeartbeat) {
   PhiAccrualDetector d;
   EXPECT_DOUBLE_EQ(d.phi(100.0), 0.0);
+}
+
+// Regression: one heartbeat then permanent silence used to keep phi at 0
+// forever (empty interval window) — such a crash was never detected.  With
+// no bootstrap interval, suspicion now escalates after a grace multiple of
+// min_stddev.
+TEST(PhiAccrual, SingleHeartbeatEscalatesAfterGrace) {
+  PhiAccrualDetector d;  // min_stddev 1e-3 -> grace of 10 s
   d.heartbeat(0.0);
-  EXPECT_DOUBLE_EQ(d.phi(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.phi(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.phi(100.0), PhiAccrualDetector::kMaxPhi);
+}
+
+// With a bootstrap interval, the first heartbeat seeds the window and phi
+// behaves like a trained detector immediately.
+TEST(PhiAccrual, BootstrapIntervalArmsFirstHeartbeat) {
+  PhiAccrualDetector d(/*window=*/100, /*min_stddev=*/1e-3,
+                       /*bootstrap_interval=*/1.0);
+  d.heartbeat(0.0);
+  EXPECT_EQ(d.samples(), 1u);
+  EXPECT_LT(d.phi(0.5), 1.0);    // silence shorter than the expected period
+  EXPECT_GT(d.phi(10.0), 8.0);   // ten periods of silence: confidently dead
 }
 
 TEST(PhiAccrual, GrowsWithSilence) {
@@ -73,6 +108,7 @@ TEST(PhiAccrual, WindowBounded) {
 TEST(PhiAccrual, RejectsDegenerateConfig) {
   EXPECT_THROW(PhiAccrualDetector(1), support::ContractViolation);
   EXPECT_THROW(PhiAccrualDetector(10, 0.0), support::ContractViolation);
+  EXPECT_THROW(PhiAccrualDetector(10, 1e-3, -1.0), support::ContractViolation);
 }
 
 TEST(EvaluateTimeout, TighterTimeoutMeansFasterDetectionMoreFalseAlarms) {
@@ -112,6 +148,20 @@ TEST(EvaluatePhi, ReasonableOperatingPoint) {
   EXPECT_LT(q.false_positive_rate, 5e-3);
   EXPECT_GT(q.detection_latency, 1.0);
   EXPECT_LT(q.detection_latency, 60.0);
+}
+
+// Regression: the rate used to divide by heartbeats-1 even though only
+// arrivals past the 10-heartbeat warmup are judged, biasing it low.  A
+// threshold every judged arrival crosses must report a rate of exactly 1.
+TEST(EvaluatePhi, RateIsOverObservedWindowOnly) {
+  const auto q = evaluate_phi_detector(1.0, 0.5, 1e-9, 20, 34);
+  EXPECT_DOUBLE_EQ(q.false_positive_rate, 1.0);
+}
+
+TEST(EvaluatePhi, RejectsAllWarmupRuns) {
+  // 11 heartbeats leave zero judged arrivals — no rate to report.
+  EXPECT_THROW(evaluate_phi_detector(1.0, 0.5, 8.0, 11, 35),
+               support::ContractViolation);
 }
 
 }  // namespace

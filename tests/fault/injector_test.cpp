@@ -1,0 +1,122 @@
+// fault::Injector drives crashes/outages as DES events; HeartbeatService
+// turns the resulting silence into detector suspicion with measurable
+// latency.
+#include "polaris/fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "polaris/fault/heartbeat.hpp"
+#include "polaris/fault/failure.hpp"
+
+namespace polaris::fault {
+namespace {
+
+class InjectorTest : public ::testing::Test {
+ protected:
+  des::Engine engine_;
+  fabric::Crossbar topo_{8};
+  fabric::SimNetwork net_{engine_, fabric::fabrics::myrinet2000(), topo_};
+};
+
+TEST_F(InjectorTest, CrashAndRepairToggleTheNetwork) {
+  Injector inj(engine_, net_);
+  inj.schedule_node_crash(1.0, 3, /*repair_after=*/0.5);
+  EXPECT_TRUE(inj.node_up(3));
+  engine_.run_until(des::from_seconds(1.2));
+  EXPECT_FALSE(inj.node_up(3));
+  EXPECT_FALSE(net_.node_up(3));
+  EXPECT_EQ(inj.crashes(), 1u);
+  EXPECT_EQ(inj.downed_at(3), 1.0);
+  engine_.run();
+  EXPECT_TRUE(inj.node_up(3));
+  EXPECT_TRUE(inj.all_nodes_up());
+  ASSERT_EQ(inj.history().size(), 2u);
+  EXPECT_EQ(inj.history()[0].kind, FaultEvent::Kind::kNodeCrash);
+  EXPECT_EQ(inj.history()[1].kind, FaultEvent::Kind::kNodeRepair);
+}
+
+TEST_F(InjectorTest, OverlappingCrashesCollapse) {
+  Injector inj(engine_, net_);
+  inj.schedule_node_crash(1.0, 3, 2.0);
+  inj.schedule_node_crash(1.5, 3, 2.0);  // already down: no-op
+  engine_.run();
+  EXPECT_EQ(inj.crashes(), 1u);
+  EXPECT_TRUE(inj.node_up(3));
+}
+
+TEST_F(InjectorTest, LinkOutageTogglesTheLink) {
+  Injector inj(engine_, net_);
+  const fabric::LinkId l = topo_.route(0, 1).front();
+  inj.schedule_link_outage(1.0, l, /*repair_after=*/1.0);
+  engine_.run_until(des::from_seconds(1.5));
+  EXPECT_FALSE(net_.link_up(l));
+  EXPECT_EQ(inj.link_outages(), 1u);
+  engine_.run();
+  EXPECT_TRUE(net_.link_up(l));
+}
+
+TEST_F(InjectorTest, WorkForIsInterruptedByFaults) {
+  Injector inj(engine_, net_);
+  inj.schedule_node_crash(1.0, 2, /*repair_after=*/0.25);
+  bool first = true, second = true;
+  engine_.spawn([](Injector& i, bool& a, bool& b) -> des::Task<void> {
+    a = co_await i.work_for(3.0);     // crash at t=1 interrupts
+    co_await i.await_all_nodes_up();  // resumes at t=1.25
+    b = co_await i.work_for(3.0);     // no further faults: completes
+  }(inj, first, second));
+  engine_.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+  EXPECT_NEAR(des::to_seconds(engine_.now()), 1.25 + 3.0, 1e-9);
+}
+
+TEST_F(InjectorTest, LoadNodeTimelineSchedulesEveryEvent) {
+  Injector inj(engine_, net_);
+  const FailureModel model = FailureModel::exponential(100.0);
+  FailureTimeline timeline(model, 8, /*seed=*/7);
+  const std::size_t n =
+      inj.load_node_timeline(timeline, /*horizon=*/50.0,
+                             /*repair_after=*/0.1);
+  EXPECT_GT(n, 0u);
+  engine_.run();
+  EXPECT_EQ(inj.crashes(), n);
+  EXPECT_TRUE(inj.all_nodes_up());  // every crash was repaired
+}
+
+TEST_F(InjectorTest, HeartbeatsDetectACrashWithBoundedLatency) {
+  Injector inj(engine_, net_);
+  HeartbeatService::Config cfg;
+  cfg.period = 0.1;
+  cfg.timeout = 0.5;
+  cfg.horizon = 10.0;
+  HeartbeatService hb(engine_, net_, cfg);
+  hb.start();
+  inj.schedule_node_crash(3.0, 5);  // permanent
+  engine_.run();
+  EXPECT_TRUE(hb.suspected(5));
+  const double latency = hb.suspected_at(5) - inj.downed_at(5);
+  EXPECT_GT(latency, 0.0);
+  // Timeout detector bound: silence threshold + one polling period.
+  EXPECT_LE(latency, cfg.timeout + cfg.period + 1e-9);
+  // Healthy nodes stay unsuspected and keep delivering.
+  for (std::uint32_t n = 1; n < 5; ++n) EXPECT_FALSE(hb.suspected(n));
+  EXPECT_GT(hb.heartbeats_delivered(), 0u);
+  EXPECT_GE(hb.suspicions(), 1u);
+}
+
+TEST_F(InjectorTest, RepairedNodeClearsSuspicion) {
+  Injector inj(engine_, net_);
+  HeartbeatService::Config cfg;
+  cfg.period = 0.1;
+  cfg.timeout = 0.5;
+  cfg.horizon = 10.0;
+  HeartbeatService hb(engine_, net_, cfg);
+  hb.start();
+  inj.schedule_node_crash(3.0, 5, /*repair_after=*/2.0);
+  engine_.run();
+  EXPECT_FALSE(hb.suspected(5));  // fresh heartbeats cleared it
+  EXPECT_GE(hb.suspicions(), 1u);  // but the outage WAS noticed
+}
+
+}  // namespace
+}  // namespace polaris::fault

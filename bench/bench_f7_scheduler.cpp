@@ -10,6 +10,7 @@
 // any thread count.
 #include <cstddef>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "polaris/des/sweep.hpp"
@@ -17,6 +18,7 @@
 #include "polaris/sched/trace.hpp"
 #include "polaris/support/table.hpp"
 #include "polaris/support/units.hpp"
+#include "report.hpp"
 
 namespace {
 
@@ -34,6 +36,10 @@ struct Replay {
 
 int main() {
   using namespace polaris;
+
+  bench::Report report("bench_f7_scheduler",
+                       "legacy scheduler policy comparison: 10k-job grid "
+                       "and load sweep");
 
   support::Table main_t("F7a: 10k-job trace by machine size and policy");
   main_t.header({"nodes", "policy", "load", "utilization", "mean wait",
@@ -74,6 +80,11 @@ int main() {
                  support::format_time(r.metrics.p95_wait),
                  support::Table::to_cell(r.metrics.mean_bounded_slowdown),
                  static_cast<unsigned long long>(r.metrics.backfilled));
+      const std::string key = "grid.n" + std::to_string(nodes) + "." +
+                              sched::to_string(policy);
+      report.add(key + ".utilization", r.metrics.utilization, "fraction");
+      report.add(key + ".mean_wait", r.metrics.mean_wait, "s");
+      report.add(key + ".mean_bsld", r.metrics.mean_bounded_slowdown, "x");
     }
   }
   main_t.print(std::cout);
@@ -110,8 +121,15 @@ int main() {
     std::vector<std::string> row{
         support::Table::to_cell(sweep_res[at].load)};
     for (std::size_t p = 0; p < std::size(kPolicies); ++p) {
-      row.push_back(support::Table::to_cell(
-          sweep_res[at++].metrics.mean_bounded_slowdown));
+      const Replay& r = sweep_res[at++];
+      row.push_back(support::Table::to_cell(r.metrics.mean_bounded_slowdown));
+      report.add("sweep.load" + std::to_string(i) + "." +
+                     sched::to_string(kPolicies[p]) + ".mean_bsld",
+                 r.metrics.mean_bounded_slowdown, "x");
+      if (p == 0) {
+        report.add("sweep.load" + std::to_string(i) + ".offered",
+                   r.load, "fraction");
+      }
     }
     sweep.row(row);
   }
@@ -121,5 +139,10 @@ int main() {
                "bounded slowdown\nthan FCFS at the same utilization, and "
                "the gap widens with offered load\n— the talk's 'resource "
                "management ... high productivity' tooling at work.\n";
+
+  if (!report.write_file("BENCH_SCHED.json")) {
+    std::cerr << "warning: could not write BENCH_SCHED.json\n";
+  }
+  std::cout << "\nWrote BENCH_SCHED.json.\n";
   return 0;
 }

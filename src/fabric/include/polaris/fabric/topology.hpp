@@ -60,6 +60,14 @@ class Topology {
   /// closed forms.
   std::size_t scan_diameter(std::size_t max_nodes = 128) const;
 
+  /// Grid extents for topologies whose hosts form a coordinate grid,
+  /// innermost (fastest-varying in NodeId) dimension first: {w, h} for a
+  /// 2-D torus, {x, y, z} for a 3-D torus.  Empty for non-grid topologies
+  /// (crossbar, fat tree — whose natural NodeId order is already the
+  /// locality hierarchy).  Consumers: the resource manager's
+  /// locality-preserving linearization (polaris::rm).
+  virtual std::vector<std::size_t> dims() const { return {}; }
+
  protected:
   Topology(std::size_t nodes, std::size_t switches)
       : node_count_(nodes), switch_count_(switches) {}
@@ -135,6 +143,8 @@ class Torus2D final : public Topology {
   /// walk in each dimension.
   std::size_t diameter() const override { return 2 + w_ / 2 + h_ / 2; }
 
+  std::vector<std::size_t> dims() const override { return {w_, h_}; }
+
  private:
   std::vector<LinkId> compute_route(NodeId src, NodeId dst) const override;
   DeviceId router(std::size_t x, std::size_t y) const;
@@ -151,6 +161,8 @@ class Torus3D final : public Topology {
   std::size_t diameter() const override {
     return 2 + nx_ / 2 + ny_ / 2 + nz_ / 2;
   }
+
+  std::vector<std::size_t> dims() const override { return {nx_, ny_, nz_}; }
 
  private:
   std::vector<LinkId> compute_route(NodeId src, NodeId dst) const override;

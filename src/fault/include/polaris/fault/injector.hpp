@@ -39,6 +39,16 @@ struct FaultEvent {
   std::uint32_t id = 0;  ///< node or link
 };
 
+/// Observer of applied faults (and repairs).  The resource manager
+/// registers one to requeue jobs off crashed nodes; listeners run inside
+/// the fault event, after the network state has been flipped, so a
+/// listener sees the machine exactly as the survivors do.
+class FaultListener {
+ public:
+  virtual ~FaultListener() = default;
+  virtual void on_fault(const FaultEvent& ev) = 0;
+};
+
 class Injector {
  public:
   Injector(des::Engine& engine, fabric::SimNetwork& network);
@@ -84,6 +94,12 @@ class Injector {
   void attach_tracer(obs::Tracer& tracer);
   void attach_metrics(obs::MetricsRegistry& metrics);
 
+  /// Registers a listener notified of every applied fault and repair (in
+  /// registration order).  The listener must outlive the injector.
+  void add_listener(FaultListener* listener) {
+    listeners_.push_back(listener);
+  }
+
  private:
   struct TimedWait {
     Injector* injector;
@@ -109,6 +125,7 @@ class Injector {
 
   std::vector<des::OneShotEvent*> fault_waiters_;  ///< work_for parks here
   std::vector<des::OneShotEvent*> up_waiters_;
+  std::vector<FaultListener*> listeners_;
 
   obs::Tracer* tracer_ = nullptr;
   obs::TrackId track_ = 0;

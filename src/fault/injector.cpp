@@ -66,6 +66,7 @@ double Injector::downed_at(std::uint32_t node) const {
 }
 
 void Injector::apply(FaultEvent ev, double repair_after) {
+  const std::uint64_t before = history_.size();
   switch (ev.kind) {
     case FaultEvent::Kind::kNodeCrash: {
       if (!network_->node_up(ev.id)) return;  // overlapping schedules collapse
@@ -136,6 +137,11 @@ void Injector::apply(FaultEvent ev, double repair_after) {
       }
       break;
     }
+  }
+  // history_ grows iff the event was not collapsed as a duplicate; only
+  // real state changes reach the listeners.
+  if (history_.size() != before) {
+    for (FaultListener* l : listeners_) l->on_fault(ev);
   }
   update_gauges();
 }

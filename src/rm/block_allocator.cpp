@@ -1,0 +1,318 @@
+#include "polaris/rm/block_allocator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <numeric>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::rm {
+
+namespace {
+
+std::uint32_t floor_log2(std::uint32_t v) {
+  return static_cast<std::uint32_t>(std::bit_width(v)) - 1u;
+}
+
+std::uint32_t ceil_log2(std::uint32_t v) {
+  return v <= 1 ? 0u : static_cast<std::uint32_t>(std::bit_width(v - 1u));
+}
+
+/// Emits hosts of the sub-grid [lo, lo+ext) by recursive bisection of the
+/// longest extent, so consecutive output indices stay geometrically close
+/// and power-of-two runs form compact sub-bricks.
+void bisect(const std::vector<std::size_t>& dims,
+            std::array<std::size_t, 3> lo, std::array<std::size_t, 3> ext,
+            std::vector<fabric::NodeId>& out) {
+  std::size_t volume = 1;
+  for (std::size_t a = 0; a < dims.size(); ++a) volume *= ext[a];
+  if (volume == 1) {
+    std::size_t id = 0;
+    for (std::size_t a = dims.size(); a-- > 0;) id = id * dims[a] + lo[a];
+    out.push_back(static_cast<fabric::NodeId>(id));
+    return;
+  }
+  std::size_t axis = 0;
+  for (std::size_t a = 1; a < dims.size(); ++a) {
+    if (ext[a] > ext[axis]) axis = a;
+  }
+  const std::size_t half = ext[axis] / 2;
+  auto low_ext = ext;
+  low_ext[axis] = half;
+  bisect(dims, lo, low_ext, out);
+  auto high_lo = lo;
+  high_lo[axis] += half;
+  auto high_ext = ext;
+  high_ext[axis] = ext[axis] - half;
+  bisect(dims, high_lo, high_ext, out);
+}
+
+}  // namespace
+
+LinearOrder LinearOrder::identity(std::size_t nodes) {
+  LinearOrder o;
+  o.to_node.resize(nodes);
+  o.to_linear.resize(nodes);
+  std::iota(o.to_node.begin(), o.to_node.end(), fabric::NodeId{0});
+  std::iota(o.to_linear.begin(), o.to_linear.end(), std::uint32_t{0});
+  return o;
+}
+
+LinearOrder LinearOrder::for_topology(const fabric::Topology& topo) {
+  const std::vector<std::size_t> dims = topo.dims();
+  const std::size_t n = topo.node_count();
+  if (dims.empty()) return identity(n);
+  POLARIS_CHECK(dims.size() <= 3);
+  LinearOrder o;
+  o.to_node.reserve(n);
+  std::array<std::size_t, 3> lo{0, 0, 0};
+  std::array<std::size_t, 3> ext{1, 1, 1};
+  for (std::size_t a = 0; a < dims.size(); ++a) ext[a] = dims[a];
+  bisect(dims, lo, ext, o.to_node);
+  POLARIS_CHECK(o.to_node.size() == n);
+  o.to_linear.assign(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) o.to_linear[o.to_node[i]] = i;
+  return o;
+}
+
+BlockAllocator::BlockAllocator(std::size_t nodes) {
+  init(LinearOrder::identity(nodes));
+}
+
+BlockAllocator::BlockAllocator(const fabric::Topology& topo) {
+  init(LinearOrder::for_topology(topo));
+}
+
+void BlockAllocator::init(LinearOrder order) {
+  const std::size_t n = order.size();
+  POLARIS_CHECK(n >= 1 && n < kNilIndex);
+  order_ = std::move(order);
+  max_level_ = floor_log2(static_cast<std::uint32_t>(n));
+  free_blocks_.resize(max_level_ + 1);
+  owner_.assign(n, kNilIndex);
+  drained_.assign(n, 0);
+  free_range(0, static_cast<std::uint32_t>(n));
+}
+
+void BlockAllocator::push_free(std::uint32_t level, std::uint32_t start) {
+  free_pos_[pack(level, start)] =
+      static_cast<std::uint32_t>(free_blocks_[level].size());
+  free_blocks_[level].push_back(start);
+  level_mask_ |= 1ull << level;
+}
+
+void BlockAllocator::remove_free(std::uint32_t level, std::uint32_t start) {
+  const std::uint32_t* pos_ptr = free_pos_.find(pack(level, start));
+  POLARIS_CHECK(pos_ptr != nullptr);
+  const std::uint32_t pos = *pos_ptr;
+  std::vector<std::uint32_t>& vec = free_blocks_[level];
+  const std::uint32_t last = vec.back();
+  vec.pop_back();
+  free_pos_.erase(pack(level, start));
+  if (pos != vec.size()) {
+    vec[pos] = last;
+    *free_pos_.find(pack(level, last)) = pos;
+  }
+  if (vec.empty()) level_mask_ &= ~(1ull << level);
+}
+
+std::uint32_t BlockAllocator::take_block(std::uint32_t from_level,
+                                         std::uint32_t level) {
+  const std::uint32_t start = free_blocks_[from_level].back();
+  remove_free(from_level, start);
+  for (std::uint32_t lv = from_level; lv > level; --lv) {
+    ++stats_.splits;
+    push_free(lv - 1, start + (1u << (lv - 1)));
+  }
+  // The returned block leaves the free structure; any unclaimed tail the
+  // caller hands back through free_range() is counted again there.
+  free_count_ -= 1u << level;
+  return start;
+}
+
+void BlockAllocator::free_range(std::uint32_t start, std::uint32_t len) {
+  std::uint32_t s = start;
+  std::uint32_t remaining = len;
+  while (remaining != 0) {
+    std::uint32_t lv = floor_log2(remaining);
+    if (s != 0) {
+      lv = std::min(lv, static_cast<std::uint32_t>(std::countr_zero(s)));
+    }
+    lv = std::min(lv, max_level_);
+    const std::uint32_t size = 1u << lv;
+    // Coalesce upward while the buddy block is itself free.
+    std::uint32_t b = s;
+    std::uint32_t blv = lv;
+    while (blv < max_level_) {
+      const std::uint32_t buddy = b ^ (1u << blv);
+      if (free_pos_.find(pack(blv, buddy)) == nullptr) break;
+      remove_free(blv, buddy);
+      b = std::min(b, buddy);
+      ++blv;
+      ++stats_.merges;
+    }
+    push_free(blv, b);
+    s += size;
+    remaining -= size;
+  }
+  free_count_ += len;
+}
+
+void BlockAllocator::claim_range(std::uint32_t start, std::uint32_t len,
+                                 std::uint32_t owner, Allocation& out) {
+  for (std::uint32_t i = start; i < start + len; ++i) owner_[i] = owner;
+  out.runs.emplace_back(start, len);
+}
+
+bool BlockAllocator::allocate(std::uint32_t width, std::uint32_t owner,
+                              Allocation& out) {
+  out.clear();
+  POLARIS_CHECK(owner != kNilIndex);
+  if (width == 0 || free_count_ < width) return false;
+
+  const std::uint32_t want = ceil_log2(width);
+  bool placed = false;
+  if (want <= max_level_) {
+    // Fast path: one aligned block covers the whole request; the tail past
+    // `width` splits straight back into free buddies.
+    const std::uint64_t candidates = level_mask_ >> want;
+    if (candidates != 0) {
+      const std::uint32_t from =
+          want + static_cast<std::uint32_t>(std::countr_zero(candidates));
+      const std::uint32_t s = take_block(from, want);
+      claim_range(s, width, owner, out);
+      const std::uint32_t block = 1u << want;
+      if (block > width) free_range(s + width, block - width);
+      placed = true;
+    }
+  }
+  if (!placed) {
+    // Fragmented fallback: largest free blocks first, one final carve.
+    std::uint32_t remaining = width;
+    while (remaining != 0) {
+      const std::uint32_t fit = floor_log2(remaining);
+      const std::uint64_t below = level_mask_ & ((2ull << fit) - 1ull);
+      if (below != 0) {
+        const std::uint32_t lv = 63u - static_cast<std::uint32_t>(
+                                           std::countl_zero(below));
+        const std::uint32_t s = take_block(lv, lv);
+        claim_range(s, 1u << lv, owner, out);
+        remaining -= 1u << lv;
+      } else {
+        // Every free block is larger than the remainder: carve once.
+        const std::uint64_t above = level_mask_ >> (fit + 1);
+        POLARIS_CHECK(above != 0);
+        const std::uint32_t from =
+            fit + 1 +
+            static_cast<std::uint32_t>(std::countr_zero(above));
+        const std::uint32_t s = take_block(from, fit + 1);
+        claim_range(s, remaining, owner, out);
+        free_range(s + remaining, (1u << (fit + 1)) - remaining);
+        remaining = 0;
+      }
+    }
+  }
+
+  std::sort(out.runs.begin(), out.runs.end());
+  std::size_t w = 0;
+  for (std::size_t r = 1; r < out.runs.size(); ++r) {
+    if (out.runs[w].first + out.runs[w].second == out.runs[r].first) {
+      out.runs[w].second += out.runs[r].second;
+    } else {
+      out.runs[++w] = out.runs[r];
+    }
+  }
+  out.runs.resize(w + 1);
+  out.nodes.reserve(width);
+  for (const auto& [start, len] : out.runs) {
+    for (std::uint32_t i = start; i < start + len; ++i) {
+      out.nodes.push_back(order_.to_node[i]);
+    }
+  }
+  ++stats_.allocs;
+  if (out.runs.size() > 1) ++stats_.fragmented;
+  return true;
+}
+
+void BlockAllocator::release(const Allocation& a) {
+  ++stats_.releases;
+  for (const auto& [start, len] : a.runs) {
+    if (drained_count_ == 0) {
+      for (std::uint32_t i = start; i < start + len; ++i) {
+        owner_[i] = kNilIndex;
+      }
+      free_range(start, len);
+      continue;
+    }
+    // Withhold drained slots: free the maximal segments around them.
+    std::uint32_t seg = start;
+    for (std::uint32_t i = start; i < start + len; ++i) {
+      owner_[i] = kNilIndex;
+      if (drained_[i]) {
+        if (i > seg) free_range(seg, i - seg);
+        seg = i + 1;
+      }
+    }
+    if (start + len > seg) free_range(seg, start + len - seg);
+  }
+}
+
+void BlockAllocator::drain(fabric::NodeId node) {
+  const std::uint32_t lin = order_.to_linear[node];
+  if (drained_[lin]) return;
+  drained_[lin] = 1;
+  ++drained_count_;
+  if (owner_[lin] != kNilIndex) return;  // withheld when the job releases
+  // Idle: locate the free block containing the slot (its start is the slot
+  // rounded down to each level's alignment) and carve the slot out.
+  for (std::uint32_t lv = 0; lv <= max_level_; ++lv) {
+    const std::uint32_t s = lin & ~((1u << lv) - 1u);
+    if (free_pos_.find(pack(lv, s)) == nullptr) continue;
+    remove_free(lv, s);
+    free_count_ -= 1u << lv;
+    if (lin > s) free_range(s, lin - s);
+    const std::uint32_t end = s + (1u << lv);
+    if (end > lin + 1) free_range(lin + 1, end - lin - 1);
+    return;
+  }
+  POLARIS_CHECK_MSG(false, "drain: idle node missing from free index");
+}
+
+void BlockAllocator::undrain(fabric::NodeId node) {
+  const std::uint32_t lin = order_.to_linear[node];
+  if (!drained_[lin]) return;
+  drained_[lin] = 0;
+  --drained_count_;
+  if (owner_[lin] == kNilIndex) free_range(lin, 1);
+}
+
+void BlockAllocator::check_invariants() const {
+  const std::size_t n = order_.size();
+  std::vector<std::uint8_t> covered(n, 0);
+  std::size_t total = 0;
+  for (std::uint32_t lv = 0; lv < free_blocks_.size(); ++lv) {
+    const bool mask_bit = (level_mask_ >> lv) & 1u;
+    POLARIS_CHECK(mask_bit == !free_blocks_[lv].empty());
+    for (std::uint32_t pos = 0; pos < free_blocks_[lv].size(); ++pos) {
+      const std::uint32_t start = free_blocks_[lv][pos];
+      const std::uint32_t* idx = free_pos_.find(pack(lv, start));
+      POLARIS_CHECK(idx != nullptr && *idx == pos);
+      POLARIS_CHECK(start % (1u << lv) == 0);
+      for (std::uint32_t i = start; i < start + (1u << lv); ++i) {
+        POLARIS_CHECK(i < n);
+        POLARIS_CHECK(!covered[i]);
+        covered[i] = 1;
+        POLARIS_CHECK(owner_[i] == kNilIndex);
+        POLARIS_CHECK(!drained_[i]);
+        ++total;
+      }
+    }
+  }
+  POLARIS_CHECK(total == free_count_);
+  std::size_t drained_total = 0;
+  for (std::size_t i = 0; i < n; ++i) drained_total += drained_[i];
+  POLARIS_CHECK(drained_total == drained_count_);
+}
+
+}  // namespace polaris::rm

@@ -1,0 +1,164 @@
+// Topology-aware contiguous node allocation.
+//
+// The allocator hands jobs blocks of the simulated fabric that are
+// *compact in the machine's real geometry* — sub-bricks of a torus,
+// edge-switch/pod subtrees of a fat tree — so a job's traffic stays on
+// short private routes instead of crossing strangers' links (the
+// BlueGene-style block allocation production resource managers use).
+//
+// Mechanics: a binary buddy allocator over a locality-preserving
+// linearization of the hosts.
+//
+//  - Linearization: tori are ordered by recursive bisection (split the
+//    longest extent in half, recurse), so every aligned power-of-two range
+//    of the linear order is a compact sub-brick.  Fat trees and crossbars
+//    keep their natural NodeId order, which is already the subtree
+//    hierarchy (hosts under one edge switch are consecutive, pods are
+//    consecutive runs of edge groups).
+//  - Free blocks are indexed per power-of-two size class, with a
+//    FlatMap64 position index keyed by (level, start) so a *specific*
+//    block — a buddy to coalesce with, a crashed node to carve out — is
+//    found and removed in O(1) without scanning.  A per-level occupancy
+//    bitmask finds the best size class with one ctz.
+//  - allocate() prefers one aligned block covering the whole request
+//    (single contiguous run; the tail beyond the job's width is split
+//    back into free buddies), and otherwise falls back to a
+//    largest-block-first decomposition, so allocation *never fails while
+//    enough non-drained nodes are free* — contiguity degrades before
+//    admission does.
+//
+// Every operation is O(log nodes) worst case (buddy split/merge chains)
+// and touches no allocator in steady state beyond vector growth, which is
+// what keeps the resource manager's per-job-event decision cost flat from
+// 10^4 to 10^6 queued jobs.
+//
+// Faulted nodes: drain() removes a node from service (carving it out of
+// its free block if idle); release() of a job holding drained nodes
+// withholds exactly those nodes; undrain() returns a node to the free
+// pool with normal buddy coalescing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "polaris/fabric/topology.hpp"
+#include "polaris/rm/types.hpp"
+#include "polaris/support/flat_map.hpp"
+
+namespace polaris::rm {
+
+/// Host-order permutation the buddy structure runs over.
+struct LinearOrder {
+  std::vector<fabric::NodeId> to_node;   ///< linear index -> host
+  std::vector<std::uint32_t> to_linear;  ///< host -> linear index
+
+  std::size_t size() const { return to_node.size(); }
+
+  static LinearOrder identity(std::size_t nodes);
+  /// Recursive-bisection order for grid topologies (Topology::dims()),
+  /// natural order otherwise.
+  static LinearOrder for_topology(const fabric::Topology& topo);
+};
+
+/// The nodes granted to one job: maximal runs in linear order, plus the
+/// expanded host list (linear order, so neighbouring ranks land on
+/// neighbouring hosts when the caller maps rank i -> nodes[i]).
+struct Allocation {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> runs;  ///< (start, len)
+  std::vector<fabric::NodeId> nodes;
+
+  std::size_t fragments() const { return runs.size(); }
+  bool contiguous() const { return runs.size() <= 1; }
+  void clear() {
+    runs.clear();
+    nodes.clear();
+  }
+};
+
+class BlockAllocator {
+ public:
+  /// Identity linear order over `nodes` hosts (topology-blind).
+  explicit BlockAllocator(std::size_t nodes);
+  /// Locality-preserving order for `topo`'s geometry.
+  explicit BlockAllocator(const fabric::Topology& topo);
+
+  std::size_t node_count() const { return order_.size(); }
+  /// Nodes currently available to allocate (excludes drained).
+  std::size_t free_count() const { return free_count_; }
+  std::size_t drained_count() const { return drained_count_; }
+
+  /// Allocates `width` nodes for `owner` (an opaque job tag != kNilIndex).
+  /// Returns false iff fewer than `width` non-drained nodes are free.
+  /// On success `out` holds the runs/hosts; contiguity is best-effort
+  /// (single run whenever any sufficiently large aligned block is free).
+  bool allocate(std::uint32_t width, std::uint32_t owner, Allocation& out);
+
+  /// Returns an allocation's nodes to the free pool (drained nodes are
+  /// withheld until undrain()).  The allocation must be live.
+  void release(const Allocation& a);
+
+  /// Takes a node out of service.  Idle nodes leave the free pool at
+  /// once; nodes owned by a running job are withheld when that job's
+  /// allocation is released.  No-op if already drained.
+  void drain(fabric::NodeId node);
+  /// Returns a drained node to service (no-op if not drained).
+  void undrain(fabric::NodeId node);
+  bool drained(fabric::NodeId node) const {
+    return drained_[order_.to_linear[node]] != 0;
+  }
+
+  /// Owner tag of the job holding `node`, or kNilIndex if unowned.
+  std::uint32_t owner_of(fabric::NodeId node) const {
+    return owner_[order_.to_linear[node]];
+  }
+  bool node_free(fabric::NodeId node) const {
+    return owner_of(node) == kNilIndex && !drained(node);
+  }
+
+  const LinearOrder& order() const { return order_; }
+
+  struct Stats {
+    std::uint64_t allocs = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t splits = 0;       ///< buddy splits
+    std::uint64_t merges = 0;       ///< buddy coalesces
+    std::uint64_t fragmented = 0;   ///< allocations needing > 1 run
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Debug invariant check (O(nodes)): free-list totals match
+  /// free_count(), no block overlaps an owned or drained slot.  Throws on
+  /// violation.  Test hook, not a hot-path call.
+  void check_invariants() const;
+
+ private:
+  static constexpr std::uint64_t pack(std::uint32_t level,
+                                      std::uint32_t start) {
+    return (static_cast<std::uint64_t>(level) << 32) | start;
+  }
+
+  void init(LinearOrder order);
+  void push_free(std::uint32_t level, std::uint32_t start);
+  void remove_free(std::uint32_t level, std::uint32_t start);
+  /// Pops one block at exactly `from_level` and splits it down to `level`,
+  /// freeing the upper halves.  Returns the block start.
+  std::uint32_t take_block(std::uint32_t from_level, std::uint32_t level);
+  /// Frees [start, start+len) by maximal-aligned decomposition with buddy
+  /// coalescing.  Caller guarantees no slot is owned or drained.
+  void free_range(std::uint32_t start, std::uint32_t len);
+  void claim_range(std::uint32_t start, std::uint32_t len,
+                   std::uint32_t owner, Allocation& out);
+
+  LinearOrder order_;
+  std::uint32_t max_level_ = 0;
+  std::vector<std::vector<std::uint32_t>> free_blocks_;  ///< per level
+  support::FlatMap64<std::uint32_t> free_pos_;  ///< (level,start) -> index
+  std::uint64_t level_mask_ = 0;                ///< bit per nonempty level
+  std::vector<std::uint32_t> owner_;            ///< per linear slot
+  std::vector<std::uint8_t> drained_;           ///< per linear slot
+  std::size_t free_count_ = 0;
+  std::size_t drained_count_ = 0;
+  Stats stats_;
+};
+
+}  // namespace polaris::rm

@@ -1,0 +1,285 @@
+// polaris::rm — a live, topology-aware resource manager.
+//
+// The ResourceManager is a DES *service*: submissions, completions,
+// reservations, backfill cycles and fault notifications are all engine
+// events, so scheduling interleaves with everything else in the simulated
+// machine (fabric traffic, heartbeats, fault injection) instead of running
+// in the detached analytic loop of sched::Simulator.  The architecture is
+// SLURM-shaped:
+//
+//  - Placement: jobs receive contiguous blocks of the real fabric from a
+//    buddy BlockAllocator over a locality-preserving linearization
+//    (sub-bricks of a torus, subtree runs of a fat tree).
+//  - Queueing: up to 64 priority tiers, each an intrusive FIFO over the
+//    job slab, with a tier-occupancy bitmask — push, pop and
+//    highest-nonempty are O(1).  Fair share (decayed per-user usage from
+//    the AccountingStore) maps into sub-tiers below the base priority.
+//  - Starting: an O(1)-per-job quick-start pass pops queue heads while
+//    they fit; a *rate-limited* backfill cycle (EASY shadow from the
+//    incrementally-maintained PlanningTimeline, or conservative with a
+//    cycle-local profile) handles out-of-order starts.  Rate limiting is
+//    what keeps the per-job-event decision cost flat at 10^6 queued jobs:
+//    dirty events within `backfill_interval` of the last cycle coalesce
+//    into one deferred timer instead of each rescanning the queue.
+//  - Preemption: a high-tier head job may evict lower-tier preemptible
+//    running jobs (restart semantics: the partial run is accounted as
+//    wasted node-seconds and the victim requeues at the front of its
+//    tier).
+//  - Reservations: advance windows [start, end) of guaranteed width.
+//    Before the window opens, jobs whose planned end crosses the start
+//    must leave the width free; at open the manager takes a hold on the
+//    nodes and releases them only to jobs tagged with the reservation.
+//  - Faults: as a fault::FaultListener, a node crash kills the owning
+//    job (requeue, front of tier), drains the node, and triggers
+//    replacement allocation; repair undrains and wakes the queue.
+//
+// With RmConfig::legacy_fcfs() (single tier, flat order, no backfill) the
+// manager reproduces sched::Simulator's FCFS schedule job-for-job — the
+// equivalence is pinned by tests/rm.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "polaris/des/engine.hpp"
+#include "polaris/fabric/topology.hpp"
+#include "polaris/fault/injector.hpp"
+#include "polaris/obs/metrics.hpp"
+#include "polaris/obs/trace.hpp"
+#include "polaris/rm/accounting.hpp"
+#include "polaris/rm/block_allocator.hpp"
+#include "polaris/rm/timeline.hpp"
+#include "polaris/rm/types.hpp"
+
+namespace polaris::rm {
+
+struct RmConfig {
+  enum class Placement {
+    kFlat,      ///< identity node order (topology-blind)
+    kTopology,  ///< locality-preserving linearization
+  };
+  Placement placement = Placement::kTopology;
+
+  bool backfill = true;
+  /// false = EASY (protect the head job only); true = conservative (every
+  /// scanned job gets a planned start no later pass may delay).
+  bool conservative = false;
+  /// Queue prefix scanned per backfill cycle (SLURM bf_max_job_test).
+  std::uint32_t backfill_depth = 256;
+  /// Minimum sim-seconds between backfill cycles; dirty events in between
+  /// coalesce into one deferred cycle (SLURM bf_interval).
+  double backfill_interval = 30.0;
+
+  bool preemption = false;
+  /// A head job preempts only victims at least this many tiers below it.
+  std::uint32_t preempt_gap = 1;
+
+  bool fair_share = false;
+  /// Base-priority tiers (spec.priority clamped to [0, priority_tiers)).
+  std::uint32_t priority_tiers = 8;
+  /// Fair-share sub-tiers per priority tier (1 disables the split).
+  std::uint32_t fairshare_tiers = 4;
+  double fairshare_halflife = 7 * 24 * 3600.0;
+
+  /// The configuration under which the manager reproduces the legacy
+  /// sched::Simulator FCFS schedule job-for-job.
+  static RmConfig legacy_fcfs() {
+    RmConfig c;
+    c.placement = Placement::kFlat;
+    c.backfill = false;
+    c.preemption = false;
+    c.fair_share = false;
+    c.priority_tiers = 1;
+    c.fairshare_tiers = 1;
+    return c;
+  }
+};
+
+class ResourceManager final : public fault::FaultListener {
+ public:
+  /// Machine of `nodes` hosts with no geometry (placement forced flat).
+  ResourceManager(des::Engine& engine, std::size_t nodes, RmConfig cfg = {});
+  /// Machine shaped like `topo` (which must outlive the manager).
+  ResourceManager(des::Engine& engine, const fabric::Topology& topo,
+                  RmConfig cfg = {});
+
+  /// Schedules the job's arrival at spec.submit.  Call before or during
+  /// engine.run(); ids must be unique.
+  void submit(const JobSpec& spec);
+
+  /// Advance reservation of `width` nodes over [start, end) sim-seconds.
+  /// Jobs carrying the returned id in JobSpec::reservation run inside the
+  /// window; everyone else is kept from colliding with it.
+  ReservationId add_reservation(double start, double end,
+                                std::uint32_t width);
+
+  // --- fault integration ---
+  /// Subscribes to the injector; crashes/repairs then flow through
+  /// on_fault automatically.
+  void attach_injector(fault::Injector& injector) {
+    injector.add_listener(this);
+  }
+  void on_fault(const fault::FaultEvent& ev) override;
+  /// Direct node-state API for drivers without an Injector (e.g. acting
+  /// on heartbeat suspicion).
+  void node_failed(fabric::NodeId node);
+  void node_repaired(fabric::NodeId node);
+
+  void attach_metrics(obs::MetricsRegistry& metrics);
+  void attach_tracer(obs::Tracer& tracer);
+
+  const AccountingStore& accounting() const { return acct_; }
+  AccountingStore& accounting() { return acct_; }
+  const BlockAllocator& allocator() const { return alloc_; }
+
+  /// Nodes currently granted to a running job; nullptr otherwise.
+  const Allocation* allocation_of(JobId id) const;
+
+  std::size_t queue_depth() const { return pending_count_; }
+  std::size_t running_jobs() const { return running_count_; }
+
+  struct Summary {
+    std::uint64_t jobs = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t backfilled = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t requeues = 0;
+    std::uint64_t fragmented_allocs = 0;
+    double makespan = 0.0;
+    double utilization = 0.0;
+    double mean_wait = 0.0;
+    double p95_wait = 0.0;
+    double mean_bounded_slowdown = 0.0;
+  };
+  /// Aggregates over completed jobs (call after engine.run()).
+  Summary summary() const;
+
+  /// Scheduling passes (quick-start sweeps + backfill cycles) executed —
+  /// the denominator for amortized decision-cost measurements.
+  std::uint64_t decision_passes() const { return decision_passes_; }
+  std::uint64_t backfill_cycles() const { return backfill_cycles_; }
+
+ private:
+  struct RmJob {
+    JobSpec spec;
+    JobState state = JobState::kPending;
+    std::uint32_t slot = 0;  ///< index in jobs_ (stable: deque slab)
+    std::uint32_t tier = 0;
+    std::uint32_t prev = kNilIndex;  ///< intrusive tier-FIFO links
+    std::uint32_t next = kNilIndex;
+    bool queued = false;
+    double start = -1.0;
+    double planned_end = 0.0;  ///< timeline removal key
+    des::EventId completion{};
+    Allocation alloc;
+    ResourceManager* rm = nullptr;  ///< raw-callback context backpointer
+  };
+
+  struct Reservation {
+    double start = 0.0;
+    double end = 0.0;
+    std::uint32_t width = 0;
+    std::uint32_t remaining = 0;  ///< width not yet granted to tagged jobs
+    Allocation hold;
+    bool active = false;
+    bool expired = false;
+    ResourceManager* rm = nullptr;
+    std::uint32_t index = 0;
+    /// Pending tagged jobs, re-tiered to boost_tier() when the window opens.
+    std::vector<std::uint32_t> tagged;
+  };
+
+  static constexpr std::uint32_t kMaxTiers = 64;
+  /// Owner tags >= this mark reservation holds rather than jobs.
+  static constexpr std::uint32_t kResvTagBase = 0x8000'0000u;
+
+  static void arrival_cb(void* ctx);
+  static void completion_cb(void* ctx);
+  static void backfill_timer_cb(void* ctx);
+  static void resv_start_cb(void* ctx);
+  static void resv_end_cb(void* ctx);
+
+  double now_s() const;
+  double planning_estimate(const JobSpec& spec) const {
+    return spec.estimate > 0.0 ? spec.estimate : spec.runtime;
+  }
+  std::uint32_t compute_tier(const JobSpec& spec) const;
+  /// Tier above every normal one, for jobs whose reservation window is open.
+  std::uint32_t boost_tier() const {
+    const std::uint32_t p = std::max(1u, cfg_.priority_tiers);
+    const std::uint32_t f =
+        cfg_.fair_share ? std::max(1u, cfg_.fairshare_tiers) : 1u;
+    return p * f;
+  }
+
+  void enqueue(RmJob& job, bool front);
+  void dequeue(RmJob& job);
+  RmJob* queue_head();
+
+  /// Free nodes a pending job may actually take now, after withholding
+  /// capacity for reservations its planned run would collide with.
+  std::uint32_t available_for(const RmJob& job) const;
+  bool reservation_admits(const RmJob& job) const;
+
+  void start_job(RmJob& job, bool via_backfill);
+  void finish_job(RmJob& job);
+  void requeue_job(RmJob& job, bool preempted);
+
+  void run_queue();
+  void quick_start();
+  void maybe_backfill();
+  void backfill_cycle();
+  void try_preempt_for(RmJob& head);
+
+  void update_gauges();
+
+  des::Engine* engine_;
+  RmConfig cfg_;
+  BlockAllocator alloc_;
+  PlanningTimeline timeline_;
+  AccountingStore acct_;
+
+  std::deque<RmJob> jobs_;
+  support::FlatMap64<std::uint32_t> job_index_;  ///< JobId -> slot
+  std::array<std::uint32_t, kMaxTiers> head_;
+  std::array<std::uint32_t, kMaxTiers> tail_;
+  std::uint64_t queue_mask_ = 0;
+  std::size_t pending_count_ = 0;
+  std::size_t running_count_ = 0;
+
+  std::deque<Reservation> reservations_;
+
+  /// Tick of the last backfill cycle (integer ticks: the rate-limit
+  /// comparison and the deferred-timer target must agree exactly, which
+  /// double seconds cannot guarantee).
+  des::SimTime last_backfill_tick_ = std::numeric_limits<des::SimTime>::min() / 2;
+  bool backfill_timer_set_ = false;
+  bool in_run_queue_ = false;
+
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t backfilled_ = 0;
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t requeues_ = 0;
+  std::uint64_t decision_passes_ = 0;
+  std::uint64_t backfill_cycles_ = 0;
+  double last_finish_ = 0.0;
+
+  obs::Gauge* g_queue_depth_ = nullptr;
+  obs::Gauge* g_running_ = nullptr;
+  obs::Gauge* g_nodes_free_ = nullptr;
+  obs::Gauge* g_nodes_drained_ = nullptr;
+  obs::Counter* c_started_ = nullptr;
+  obs::Counter* c_backfilled_ = nullptr;
+  obs::Counter* c_preemptions_ = nullptr;
+  obs::Counter* c_requeues_ = nullptr;
+  obs::Histogram* h_wait_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
+  bool have_track_ = false;
+};
+
+}  // namespace polaris::rm

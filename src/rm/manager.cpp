@@ -1,0 +1,639 @@
+#include "polaris/rm/manager.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "polaris/des/time.hpp"
+#include "polaris/support/check.hpp"
+#include "polaris/support/stats.hpp"
+
+namespace polaris::rm {
+
+namespace {
+
+/// Cycle-local capacity profile for conservative backfill: a step function
+/// of free nodes over future time, seeded from the running set's planned
+/// completions.  Each scanned job reserves the earliest window that fits,
+/// so no later-scanned job can delay an earlier-scanned one.  Rebuilt per
+/// rate-limited cycle (it lives O(depth + running) long), never stored.
+class Profile {
+ public:
+  Profile(double now, double free_now,
+          const std::vector<PlanningTimeline::RunEnd>& ends) {
+    pts_.push_back({now, free_now});
+    double f = free_now;
+    for (const auto& e : ends) {
+      f += e.width;
+      if (e.end <= pts_.back().time) {
+        pts_.back().free = f;
+      } else {
+        pts_.push_back({e.end, f});
+      }
+    }
+  }
+
+  /// Earliest start >= now for `width` nodes over `dur` seconds; reserves
+  /// the window.
+  double reserve(double width, double dur) {
+    for (std::size_t i = 0; i < pts_.size(); ++i) {
+      if (pts_[i].free < width) continue;
+      const double t = pts_[i].time;
+      const double end = t + dur;
+      bool fits = true;
+      std::size_t j = i;
+      while (j < pts_.size() && pts_[j].time < end) {
+        if (pts_[j].free < width) {
+          fits = false;
+          break;
+        }
+        ++j;
+      }
+      if (!fits) continue;
+      // Split at `end`, then subtract the width over [t, end).
+      if (j == pts_.size() || pts_[j].time > end) {
+        pts_.insert(pts_.begin() + static_cast<std::ptrdiff_t>(j),
+                    {end, pts_[j - 1].free});
+      }
+      for (std::size_t k = i; k < j; ++k) pts_[k].free -= width;
+      return t;
+    }
+    // Beyond every breakpoint the machine is fully drained of running
+    // jobs; the request fits there (width <= machine checked upstream).
+    const double t = pts_.back().time;
+    pts_.push_back({t + dur, pts_.back().free});
+    pts_[pts_.size() - 2].free -= width;
+    return t;
+  }
+
+ private:
+  struct Point {
+    double time;
+    double free;  ///< free nodes from `time` to the next point
+  };
+  std::vector<Point> pts_;
+};
+
+}  // namespace
+
+ResourceManager::ResourceManager(des::Engine& engine, std::size_t nodes,
+                                 RmConfig cfg)
+    : engine_(&engine),
+      cfg_(cfg),
+      alloc_(nodes),
+      acct_(AccountingStore::Config{cfg.fairshare_halflife}) {
+  head_.fill(kNilIndex);
+  tail_.fill(kNilIndex);
+  const std::uint32_t p = std::max(1u, cfg_.priority_tiers);
+  const std::uint32_t f = cfg_.fair_share ? std::max(1u, cfg_.fairshare_tiers)
+                                          : 1u;
+  // One tier above the normal range is kept for reservation-boosted jobs.
+  POLARIS_CHECK_MSG(p * f <= kMaxTiers - 1, "rm: too many priority tiers");
+}
+
+ResourceManager::ResourceManager(des::Engine& engine,
+                                 const fabric::Topology& topo, RmConfig cfg)
+    : engine_(&engine),
+      cfg_(cfg),
+      alloc_(cfg.placement == RmConfig::Placement::kTopology
+                 ? BlockAllocator(topo)
+                 : BlockAllocator(topo.node_count())),
+      acct_(AccountingStore::Config{cfg.fairshare_halflife}) {
+  head_.fill(kNilIndex);
+  tail_.fill(kNilIndex);
+  const std::uint32_t p = std::max(1u, cfg_.priority_tiers);
+  const std::uint32_t f = cfg_.fair_share ? std::max(1u, cfg_.fairshare_tiers)
+                                          : 1u;
+  POLARIS_CHECK_MSG(p * f <= kMaxTiers - 1, "rm: too many priority tiers");
+}
+
+double ResourceManager::now_s() const { return des::to_seconds(engine_->now()); }
+
+std::uint32_t ResourceManager::compute_tier(const JobSpec& spec) const {
+  const std::uint32_t p_tiers = std::max(1u, cfg_.priority_tiers);
+  const std::uint32_t f_tiers =
+      cfg_.fair_share ? std::max(1u, cfg_.fairshare_tiers) : 1u;
+  const std::uint32_t p = static_cast<std::uint32_t>(std::clamp<std::int32_t>(
+      spec.priority, 0, static_cast<std::int32_t>(p_tiers) - 1));
+  std::uint32_t f = 0;
+  if (f_tiers > 1) {
+    const double factor = acct_.user_factor(spec.user, now_s());
+    f = std::min(f_tiers - 1,
+                 static_cast<std::uint32_t>(factor *
+                                            static_cast<double>(f_tiers)));
+  }
+  return p * f_tiers + f;
+}
+
+void ResourceManager::submit(const JobSpec& spec) {
+  POLARIS_CHECK(spec.width >= 1 && spec.width <= alloc_.node_count());
+  POLARIS_CHECK_MSG(job_index_.find(spec.id) == nullptr,
+                    "rm: duplicate job id");
+  if (spec.reservation != kNoReservation) {
+    POLARIS_CHECK(spec.reservation < reservations_.size());
+  }
+  const auto slot = static_cast<std::uint32_t>(jobs_.size());
+  jobs_.emplace_back();
+  RmJob& job = jobs_.back();
+  job.spec = spec;
+  job.slot = slot;
+  job.rm = this;
+  job_index_[spec.id] = slot;
+  const des::SimTime at =
+      std::max(engine_->now(), des::from_seconds(spec.submit));
+  engine_->schedule_raw_at(at, &arrival_cb, &job);
+}
+
+void ResourceManager::arrival_cb(void* ctx) {
+  RmJob& job = *static_cast<RmJob*>(ctx);
+  ResourceManager& rm = *job.rm;
+  rm.acct_.on_submit(job.spec);
+  job.tier = rm.compute_tier(job.spec);
+  if (job.spec.reservation != kNoReservation) {
+    Reservation& r = rm.reservations_[job.spec.reservation];
+    if (r.active) {
+      job.tier = rm.boost_tier();
+    } else if (!r.expired) {
+      r.tagged.push_back(job.slot);
+    }
+  }
+  rm.enqueue(job, /*front=*/false);
+  if (rm.have_track_) {
+    rm.tracer_->instant(rm.track_, "submit job " + std::to_string(job.spec.id),
+                        "rm");
+  }
+  rm.run_queue();
+}
+
+void ResourceManager::enqueue(RmJob& job, bool front) {
+  POLARIS_CHECK(!job.queued);
+  const std::uint32_t t = job.tier;
+  job.queued = true;
+  job.prev = kNilIndex;
+  job.next = kNilIndex;
+  if (head_[t] == kNilIndex) {
+    head_[t] = tail_[t] = job.slot;
+    queue_mask_ |= 1ull << t;
+  } else if (front) {
+    job.next = head_[t];
+    jobs_[head_[t]].prev = job.slot;
+    head_[t] = job.slot;
+  } else {
+    job.prev = tail_[t];
+    jobs_[tail_[t]].next = job.slot;
+    tail_[t] = job.slot;
+  }
+  ++pending_count_;
+}
+
+void ResourceManager::dequeue(RmJob& job) {
+  POLARIS_CHECK(job.queued);
+  const std::uint32_t t = job.tier;
+  if (job.prev != kNilIndex) {
+    jobs_[job.prev].next = job.next;
+  } else {
+    head_[t] = job.next;
+  }
+  if (job.next != kNilIndex) {
+    jobs_[job.next].prev = job.prev;
+  } else {
+    tail_[t] = job.prev;
+  }
+  if (head_[t] == kNilIndex) queue_mask_ &= ~(1ull << t);
+  job.prev = job.next = kNilIndex;
+  job.queued = false;
+  --pending_count_;
+}
+
+ResourceManager::RmJob* ResourceManager::queue_head() {
+  POLARIS_CHECK(queue_mask_ != 0);
+  const auto t = static_cast<std::uint32_t>(
+      63 - std::countl_zero(queue_mask_));
+  return &jobs_[head_[t]];
+}
+
+bool ResourceManager::reservation_admits(const RmJob& job) const {
+  if (job.spec.reservation == kNoReservation) return true;
+  const Reservation& r = reservations_[job.spec.reservation];
+  if (r.expired) return true;  // window passed: compete as a normal job
+  return r.active;
+}
+
+std::uint32_t ResourceManager::available_for(const RmJob& job) const {
+  if (job.spec.reservation != kNoReservation) {
+    const Reservation& r = reservations_[job.spec.reservation];
+    if (r.active) return r.remaining;  // granted out of the hold
+  }
+  auto free = static_cast<std::uint32_t>(alloc_.free_count());
+  const double end = now_s() + planning_estimate(job.spec);
+  for (const Reservation& r : reservations_) {
+    if (r.active || r.expired) continue;
+    if (r.start >= end) continue;  // the job vacates before the window
+    free -= std::min(free, r.width);
+  }
+  return free;
+}
+
+void ResourceManager::start_job(RmJob& job, bool via_backfill) {
+  const std::uint32_t width = job.spec.width;
+  if (job.spec.reservation != kNoReservation &&
+      reservations_[job.spec.reservation].active) {
+    // Grant out of the reservation hold: release it, place the job (the
+    // just-freed nodes are available again), re-hold the rest.
+    Reservation& r = reservations_[job.spec.reservation];
+    if (!r.hold.nodes.empty()) {
+      alloc_.release(r.hold);
+      r.hold.clear();
+    }
+    POLARIS_CHECK(r.remaining >= width);
+    r.remaining -= width;
+    const bool ok = alloc_.allocate(width, job.slot, job.alloc);
+    POLARIS_CHECK(ok);
+    r.remaining = std::min(
+        r.remaining, static_cast<std::uint32_t>(alloc_.free_count()));
+    if (r.remaining > 0) {
+      alloc_.allocate(r.remaining, kResvTagBase + r.index, r.hold);
+    }
+  } else {
+    const bool ok = alloc_.allocate(width, job.slot, job.alloc);
+    POLARIS_CHECK(ok);
+  }
+
+  job.state = JobState::kRunning;
+  job.start = now_s();
+  job.planned_end = job.start + planning_estimate(job.spec);
+  timeline_.add(job.planned_end, width, job.slot);
+  job.completion = engine_->schedule_raw_after(
+      des::from_seconds(job.spec.runtime), &completion_cb, &job);
+  acct_.on_start(job.spec.id, job.start);
+  ++started_;
+  ++running_count_;
+  if (via_backfill) ++backfilled_;
+  if (c_started_) c_started_->add();
+  if (via_backfill && c_backfilled_) c_backfilled_->add();
+  if (h_wait_) h_wait_->record(job.start - job.spec.submit);
+}
+
+void ResourceManager::completion_cb(void* ctx) {
+  RmJob& job = *static_cast<RmJob*>(ctx);
+  job.rm->finish_job(job);
+}
+
+void ResourceManager::finish_job(RmJob& job) {
+  const double finish = now_s();
+  timeline_.remove(job.slot, job.planned_end);
+  alloc_.release(job.alloc);
+  job.alloc.clear();
+  job.state = JobState::kCompleted;
+  acct_.on_complete(job.spec.id, finish);
+  ++completed_;
+  --running_count_;
+  last_finish_ = std::max(last_finish_, finish);
+  if (have_track_) {
+    const des::SimTime start_tick = des::from_seconds(job.start);
+    tracer_->complete_span(track_, "job " + std::to_string(job.spec.id), "rm",
+                           start_tick, engine_->now() - start_tick);
+  }
+  run_queue();
+}
+
+void ResourceManager::requeue_job(RmJob& job, bool preempted) {
+  POLARIS_CHECK(job.state == JobState::kRunning);
+  engine_->cancel(job.completion);
+  timeline_.remove(job.slot, job.planned_end);
+  alloc_.release(job.alloc);
+  job.alloc.clear();
+  acct_.on_requeue(job.spec.id, now_s());
+  job.state = JobState::kPending;
+  job.start = -1.0;
+  --running_count_;
+  if (preempted) {
+    ++preemptions_;
+    if (c_preemptions_) c_preemptions_->add();
+  } else {
+    ++requeues_;
+    if (c_requeues_) c_requeues_->add();
+  }
+  if (have_track_) {
+    tracer_->instant(track_,
+                     (preempted ? "preempt job " : "requeue job ") +
+                         std::to_string(job.spec.id),
+                     "rm");
+  }
+  // Front of its tier: a victim resumes before peers that never ran.
+  enqueue(job, /*front=*/true);
+}
+
+void ResourceManager::run_queue() {
+  if (in_run_queue_) return;
+  in_run_queue_ = true;
+  ++decision_passes_;
+  quick_start();
+  if (cfg_.preemption && queue_mask_ != 0) {
+    try_preempt_for(*queue_head());
+    quick_start();
+  }
+  maybe_backfill();
+  update_gauges();
+  in_run_queue_ = false;
+}
+
+void ResourceManager::quick_start() {
+  while (queue_mask_ != 0) {
+    RmJob* j = queue_head();
+    if (!reservation_admits(*j)) break;
+    if (j->spec.width > available_for(*j)) break;
+    dequeue(*j);
+    start_job(*j, /*via_backfill=*/false);
+  }
+}
+
+void ResourceManager::maybe_backfill() {
+  if (!cfg_.backfill || queue_mask_ == 0) return;
+  const des::SimTime interval = des::from_seconds(cfg_.backfill_interval);
+  if (engine_->now() - last_backfill_tick_ >= interval) {
+    backfill_cycle();
+    return;
+  }
+  // Too soon: coalesce into one deferred cycle instead of rescanning the
+  // queue on every event.
+  if (!backfill_timer_set_) {
+    backfill_timer_set_ = true;
+    engine_->schedule_raw_at(last_backfill_tick_ + interval,
+                             &backfill_timer_cb, this);
+  }
+}
+
+void ResourceManager::backfill_timer_cb(void* ctx) {
+  auto& rm = *static_cast<ResourceManager*>(ctx);
+  rm.backfill_timer_set_ = false;
+  rm.run_queue();
+}
+
+void ResourceManager::backfill_cycle() {
+  ++backfill_cycles_;
+  last_backfill_tick_ = engine_->now();
+  if (queue_mask_ == 0) return;
+  const double now = now_s();
+
+  if (cfg_.conservative) {
+    Profile prof(now, static_cast<double>(alloc_.free_count()),
+                 timeline_.ends());
+    const std::uint32_t head_slot = queue_head()->slot;
+    std::uint32_t scanned = 0;
+    for (int t = kMaxTiers - 1; t >= 0 && scanned < cfg_.backfill_depth;
+         --t) {
+      std::uint32_t s = head_[static_cast<std::size_t>(t)];
+      while (s != kNilIndex && scanned < cfg_.backfill_depth) {
+        RmJob& c = jobs_[s];
+        const std::uint32_t nxt = c.next;
+        ++scanned;
+        const bool is_head = s == head_slot;
+        if (reservation_admits(c)) {
+          const double est = planning_estimate(c.spec);
+          const double earliest = prof.reserve(c.spec.width, est);
+          if (earliest <= now && c.spec.width <= available_for(c)) {
+            dequeue(c);
+            start_job(c, /*via_backfill=*/!is_head);
+          }
+        }
+        s = nxt;
+      }
+    }
+    return;
+  }
+
+  // EASY: protect only the head job — its shadow start must not move.
+  RmJob* head = queue_head();
+  const PlanningTimeline::Shadow shadow = timeline_.shadow_for(
+      head->spec.width, static_cast<std::uint32_t>(alloc_.free_count()));
+  std::uint32_t extra = shadow.extra;
+  std::uint32_t scanned = 0;
+  for (int t = kMaxTiers - 1; t >= 0 && scanned < cfg_.backfill_depth; --t) {
+    std::uint32_t s = head_[t];
+    while (s != kNilIndex && scanned < cfg_.backfill_depth) {
+      RmJob& c = jobs_[s];
+      const std::uint32_t nxt = c.next;
+      if (&c != head) {
+        ++scanned;
+        if (reservation_admits(c) && c.spec.width <= available_for(c)) {
+          const double est = planning_estimate(c.spec);
+          const bool ends_before_shadow = now + est <= shadow.time;
+          const bool fits_extra = c.spec.width <= extra;
+          if (ends_before_shadow || fits_extra) {
+            if (!ends_before_shadow) extra -= c.spec.width;
+            dequeue(c);
+            start_job(c, /*via_backfill=*/true);
+          }
+        }
+      }
+      s = nxt;
+    }
+  }
+}
+
+void ResourceManager::try_preempt_for(RmJob& head) {
+  if (!reservation_admits(head)) return;
+  const std::uint32_t need = head.spec.width;
+  if (available_for(head) >= need) return;  // quick_start will take it
+  if (head.tier < cfg_.preempt_gap) return;
+  const std::uint32_t max_victim_tier = head.tier - cfg_.preempt_gap;
+
+  // The timeline's entries are exactly the running set.
+  struct Victim {
+    std::uint32_t tier;
+    double start;
+    JobId id;
+    std::uint32_t slot;
+  };
+  std::vector<Victim> victims;
+  for (const PlanningTimeline::RunEnd& e : timeline_.ends()) {
+    const RmJob& j = jobs_[e.slot];
+    if (!j.spec.preemptible || j.tier > max_victim_tier) continue;
+    victims.push_back({j.tier, j.start, j.spec.id, j.slot});
+  }
+  // Cheapest victims first: lowest tier, then shortest time invested.
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) {
+              if (a.tier != b.tier) return a.tier < b.tier;
+              if (a.start != b.start) return a.start > b.start;
+              return a.id > b.id;
+            });
+  std::uint32_t would_free = available_for(head);
+  std::size_t take = 0;
+  while (take < victims.size() && would_free < need) {
+    would_free += jobs_[victims[take].slot].spec.width;
+    ++take;
+  }
+  if (would_free < need) return;  // even evicting everyone eligible fails
+  for (std::size_t i = 0; i < take; ++i) {
+    requeue_job(jobs_[victims[i].slot], /*preempted=*/true);
+  }
+}
+
+ReservationId ResourceManager::add_reservation(double start, double end,
+                                               std::uint32_t width) {
+  POLARIS_CHECK(end > start && width >= 1 &&
+                width <= alloc_.node_count());
+  const auto idx = static_cast<std::uint32_t>(reservations_.size());
+  reservations_.emplace_back();
+  Reservation& r = reservations_.back();
+  r.start = start;
+  r.end = end;
+  r.width = width;
+  r.remaining = 0;
+  r.rm = this;
+  r.index = idx;
+  engine_->schedule_raw_at(
+      std::max(engine_->now(), des::from_seconds(start)), &resv_start_cb, &r);
+  engine_->schedule_raw_at(
+      std::max(engine_->now(), des::from_seconds(end)), &resv_end_cb, &r);
+  return idx;
+}
+
+void ResourceManager::resv_start_cb(void* ctx) {
+  Reservation& r = *static_cast<Reservation*>(ctx);
+  ResourceManager& rm = *r.rm;
+  r.active = true;
+  // Take the hold: whatever of the width is actually free (the admission
+  // guard kept jobs that would overlap the window off these nodes).
+  const auto take = std::min<std::uint32_t>(
+      r.width, static_cast<std::uint32_t>(rm.alloc_.free_count()));
+  r.remaining = take;
+  if (take > 0) {
+    rm.alloc_.allocate(take, kResvTagBase + r.index, r.hold);
+  }
+  for (const std::uint32_t slot : r.tagged) {
+    RmJob& j = rm.jobs_[slot];
+    if (j.state == JobState::kPending && j.queued) {
+      rm.dequeue(j);
+      j.tier = rm.boost_tier();
+      rm.enqueue(j, /*front=*/false);
+    }
+  }
+  r.tagged.clear();
+  if (rm.have_track_) {
+    rm.tracer_->instant(rm.track_,
+                        "reservation " + std::to_string(r.index) + " open",
+                        "rm");
+  }
+  rm.run_queue();
+}
+
+void ResourceManager::resv_end_cb(void* ctx) {
+  Reservation& r = *static_cast<Reservation*>(ctx);
+  ResourceManager& rm = *r.rm;
+  r.active = false;
+  r.expired = true;
+  r.remaining = 0;
+  if (!r.hold.nodes.empty()) {
+    rm.alloc_.release(r.hold);
+    r.hold.clear();
+  }
+  rm.run_queue();
+}
+
+void ResourceManager::on_fault(const fault::FaultEvent& ev) {
+  switch (ev.kind) {
+    case fault::FaultEvent::Kind::kNodeCrash:
+      node_failed(ev.id);
+      break;
+    case fault::FaultEvent::Kind::kNodeRepair:
+      node_repaired(ev.id);
+      break;
+    default:
+      break;  // link faults reroute traffic; nodes stay schedulable
+  }
+}
+
+void ResourceManager::node_failed(fabric::NodeId node) {
+  POLARIS_CHECK(node < alloc_.node_count());
+  if (alloc_.drained(node)) return;
+  const std::uint32_t owner = alloc_.owner_of(node);
+  alloc_.drain(node);
+  if (owner == kNilIndex) {
+    // idle node: just removed from the free pool
+  } else if (owner >= kResvTagBase) {
+    Reservation& r = reservations_[owner - kResvTagBase];
+    if (r.remaining > 0) --r.remaining;
+  } else {
+    requeue_job(jobs_[owner], /*preempted=*/false);
+  }
+  run_queue();
+}
+
+void ResourceManager::node_repaired(fabric::NodeId node) {
+  POLARIS_CHECK(node < alloc_.node_count());
+  if (!alloc_.drained(node)) return;
+  alloc_.undrain(node);
+  run_queue();
+}
+
+void ResourceManager::attach_metrics(obs::MetricsRegistry& metrics) {
+  g_queue_depth_ = &metrics.gauge("rm.queue_depth");
+  g_running_ = &metrics.gauge("rm.running");
+  g_nodes_free_ = &metrics.gauge("rm.nodes_free");
+  g_nodes_drained_ = &metrics.gauge("rm.nodes_drained");
+  c_started_ = &metrics.counter("rm.started");
+  c_backfilled_ = &metrics.counter("rm.backfilled");
+  c_preemptions_ = &metrics.counter("rm.preemptions");
+  c_requeues_ = &metrics.counter("rm.requeues");
+  h_wait_ = &metrics.histogram("rm.wait_time");
+  update_gauges();
+}
+
+void ResourceManager::attach_tracer(obs::Tracer& tracer) {
+  tracer_ = &tracer;
+  track_ = tracer.add_track("rm jobs", "rm");
+  have_track_ = true;
+}
+
+void ResourceManager::update_gauges() {
+  if (!g_queue_depth_) return;
+  g_queue_depth_->set(static_cast<double>(pending_count_));
+  g_running_->set(static_cast<double>(running_count_));
+  g_nodes_free_->set(static_cast<double>(alloc_.free_count()));
+  g_nodes_drained_->set(static_cast<double>(alloc_.drained_count()));
+}
+
+const Allocation* ResourceManager::allocation_of(JobId id) const {
+  const std::uint32_t* slot = job_index_.find(id);
+  if (!slot) return nullptr;
+  const RmJob& j = jobs_[*slot];
+  return j.state == JobState::kRunning ? &j.alloc : nullptr;
+}
+
+ResourceManager::Summary ResourceManager::summary() const {
+  Summary s;
+  s.backfilled = backfilled_;
+  s.preemptions = preemptions_;
+  s.requeues = requeues_;
+  s.fragmented_allocs = alloc_.stats().fragmented;
+  support::Summary waits;
+  double slowdown_sum = 0.0;
+  double node_seconds = 0.0;
+  for (const JobRecord& r : acct_.query({})) {
+    ++s.jobs;
+    if (r.state != JobState::kCompleted) continue;
+    ++s.completed;
+    waits.add(r.start - r.submit);
+    const double runtime = r.finish - r.start;
+    slowdown_sum += (r.finish - r.submit) / std::max(runtime, 10.0);
+    node_seconds += runtime * r.width;
+    s.makespan = std::max(s.makespan, r.finish);
+  }
+  if (s.completed > 0) {
+    s.mean_wait = waits.mean();
+    s.p95_wait = waits.percentile(95.0);
+    s.mean_bounded_slowdown =
+        slowdown_sum / static_cast<double>(s.completed);
+  }
+  if (s.makespan > 0.0) {
+    s.utilization =
+        node_seconds / (static_cast<double>(alloc_.node_count()) * s.makespan);
+  }
+  return s;
+}
+
+}  // namespace polaris::rm

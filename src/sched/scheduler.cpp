@@ -4,6 +4,8 @@
 #include <deque>
 #include <limits>
 #include <queue>
+#include <set>
+#include <tuple>
 
 #include "polaris/support/check.hpp"
 #include "polaris/support/stats.hpp"
@@ -67,12 +69,24 @@ class Simulator {
   std::size_t nodes_;
   std::size_t free_;
   Policy policy_;
-  std::deque<std::size_t> queue_;  // arrival order
-  std::vector<Running> running_;
+  std::deque<std::size_t> queue_;  // arrival order (non-SJF policies)
+  // SJF keeps two ordered indexes instead of rescanning the queue per
+  // start: candidates by (estimate, arrival), and arrivals by age (to tell
+  // an in-order start from a backfill).  Both O(log Q) per update.
+  std::set<std::tuple<double, std::uint64_t, std::size_t>> sjf_by_estimate_;
+  std::set<std::pair<std::uint64_t, std::size_t>> sjf_by_arrival_;
+  std::vector<Running> running_;  // kept sorted by (planning_end, job)
   std::priority_queue<Event, std::vector<Event>, Later> events_;
   std::uint64_t seq_ = 0;
   std::uint64_t backfilled_ = 0;
 };
+
+bool running_before(const Running& a, const Running& b) {
+  if (a.planning_end != b.planning_end) {
+    return a.planning_end < b.planning_end;
+  }
+  return a.job < b.job;
+}
 
 void Simulator::start_job(std::size_t j, double now, bool out_of_order) {
   Job& job = jobs_[j];
@@ -80,8 +94,10 @@ void Simulator::start_job(std::size_t j, double now, bool out_of_order) {
   job.start = now;
   job.finish = now + job.runtime;
   free_ -= job.width;
-  running_.push_back(
-      {j, now + std::max(job.estimate, job.runtime), job.width});
+  const Running r{j, now + std::max(job.estimate, job.runtime), job.width};
+  running_.insert(
+      std::upper_bound(running_.begin(), running_.end(), r, running_before),
+      r);
   events_.push(Event{job.finish, seq_++, Event::Kind::kCompletion, j});
   if (out_of_order) ++backfilled_;
 }
@@ -94,34 +110,32 @@ void Simulator::try_start_fcfs(double now) {
 }
 
 void Simulator::try_start_sjf(double now) {
-  // Repeatedly start the shortest-estimate queued job that fits.
-  for (;;) {
-    std::size_t best = queue_.size();
-    for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
-      const Job& j = jobs_[queue_[qi]];
-      if (j.width > free_) continue;
-      if (best == queue_.size() ||
-          j.estimate < jobs_[queue_[best]].estimate) {
-        best = qi;
-      }
+  // One forward walk in estimate order replaces the old restart-from-
+  // scratch scan per start: free_ only shrinks during the pass, so a job
+  // skipped for width can never fit later in the same pass, and every job
+  // this walk starts is exactly the one the rescan would have picked.
+  auto it = sjf_by_estimate_.begin();
+  while (it != sjf_by_estimate_.end()) {
+    const auto [estimate, seq, j] = *it;
+    if (jobs_[j].width > free_) {
+      ++it;
+      continue;
     }
-    if (best == queue_.size()) return;
-    start_job(queue_[best], now, best != 0);
-    queue_.erase(queue_.begin() + static_cast<long>(best));
+    const bool in_order = seq == sjf_by_arrival_.begin()->first;
+    start_job(j, now, !in_order);
+    sjf_by_arrival_.erase({seq, j});
+    it = sjf_by_estimate_.erase(it);
   }
 }
 
 std::pair<double, std::size_t> Simulator::head_reservation(
     double now) const {
+  // running_ is maintained in planning-end order, so the shadow walk reads
+  // it directly — the per-decision copy-and-sort is gone.
   const Job& head = jobs_[queue_.front()];
-  std::vector<Running> ends = running_;
-  std::sort(ends.begin(), ends.end(),
-            [](const Running& a, const Running& b) {
-              return a.planning_end < b.planning_end;
-            });
   std::size_t avail = free_;
   double shadow = now;
-  for (const Running& r : ends) {
+  for (const Running& r : running_) {
     if (avail >= head.width) break;
     avail += r.width;
     shadow = r.planning_end;
@@ -308,17 +322,28 @@ SchedMetrics Simulator::run() {
     const Event ev = events_.top();
     events_.pop();
     if (ev.kind == Event::Kind::kArrival) {
-      queue_.push_back(ev.job);
+      if (policy_ == Policy::kSjf) {
+        sjf_by_estimate_.insert({jobs_[ev.job].estimate, ev.seq, ev.job});
+        sjf_by_arrival_.insert({ev.seq, ev.job});
+      } else {
+        queue_.push_back(ev.job);
+      }
     } else {
-      free_ += jobs_[ev.job].width;
-      running_.erase(
-          std::remove_if(running_.begin(), running_.end(),
-                         [&](const Running& r) { return r.job == ev.job; }),
-          running_.end());
+      const Job& done = jobs_[ev.job];
+      free_ += done.width;
+      // Targeted erase: the entry sits at its (planning_end, job) position.
+      const Running key{ev.job,
+                        done.start + std::max(done.estimate, done.runtime),
+                        done.width};
+      const auto it = std::lower_bound(running_.begin(), running_.end(), key,
+                                       running_before);
+      POLARIS_CHECK(it != running_.end() && it->job == ev.job);
+      running_.erase(it);
     }
     try_start(ev.time);
   }
-  POLARIS_CHECK_MSG(queue_.empty(), "scheduler left jobs queued");
+  POLARIS_CHECK_MSG(queue_.empty() && sjf_by_estimate_.empty(),
+                    "scheduler left jobs queued");
 
   SchedMetrics m;
   m.jobs = jobs_.size();

@@ -336,6 +336,9 @@ class SimComm {
   SimRequest acquire_request();
   void release_request(std::uint32_t slot);
 
+  /// Host carrying `rank` (world placement; identity by default).
+  fabric::NodeId node_of(int rank) const;
+
   std::uintptr_t default_addr() const;
 
   SimWorld* world_;
@@ -394,6 +397,19 @@ class SimWorld {
 
   std::size_t ranks() const { return comms_.size(); }
   SimComm& comm(std::size_t r) { return *comms_.at(r); }
+
+  /// Maps ranks onto specific hosts of the topology (the resource
+  /// manager's allocation, a fragmentation experiment, ...).  `nodes[r]`
+  /// is rank r's host; one entry per rank, all distinct, all within the
+  /// topology.  Call before launch().  Without it rank r runs on node r —
+  /// the historical identity placement, so existing runs are unchanged.
+  void set_placement(std::vector<fabric::NodeId> nodes);
+  /// Host carrying `rank` under the current placement.
+  fabric::NodeId node_of(int rank) const {
+    return placement_.empty()
+               ? static_cast<fabric::NodeId>(rank)
+               : placement_[static_cast<std::size_t>(rank)];
+  }
   des::Engine& engine() { return engine_; }
   fabric::SimNetwork& network() { return *network_; }
   const fabric::FabricParams& params() const { return network_->params(); }
@@ -460,6 +476,7 @@ class SimWorld {
   des::Engine engine_;
   std::unique_ptr<fabric::Topology> topo_;
   std::unique_ptr<fabric::SimNetwork> network_;
+  std::vector<fabric::NodeId> placement_;  ///< empty = identity
   hw::NodeModel node_;
   std::uint32_t eager_threshold_;
   obs::MetricsRegistry* metrics_ = nullptr;

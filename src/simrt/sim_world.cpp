@@ -138,8 +138,7 @@ void SimComm::eager_wire_cb(void* ctx) {
   auto& f = *static_cast<detail::InFlight*>(ctx);
   SimComm& dst = *f.dst_comm;
   dst.world_->network().transfer_raw(
-      static_cast<fabric::NodeId>(f.src),
-      static_cast<fabric::NodeId>(dst.rank_),
+      dst.node_of(f.src), dst.node_of(dst.rank_),
       f.bytes + SimWorld::kHeaderBytes, &SimComm::eager_delivered_cb, &f);
 }
 
@@ -205,7 +204,7 @@ void SimComm::rdv_sync_timeout_cb(void* ctx) {
   SimComm& dst = *f.dst_comm;
   SimWorld& w = *dst.world_;
   if (f.matched.fired()) return;
-  if (!w.network().node_up(static_cast<fabric::NodeId>(dst.rank_))) {
+  if (!w.network().node_up(dst.node_of(dst.rank_))) {
     // Peer is dead: fail the handshake instead of waiting forever.
     f.status = SimStatus::kPeerDown;
     f.matched.fire(w.engine());
@@ -221,8 +220,8 @@ des::Task<SimStatus> SimComm::send_rendezvous(detail::InFlight& f,
                                               std::uintptr_t buffer_addr) {
   const auto& p = world_->params();
   auto& eng = world_->engine();
-  const auto src_node = static_cast<fabric::NodeId>(rank_);
-  const auto dst_node = static_cast<fabric::NodeId>(f.dst_comm->rank_);
+  const fabric::NodeId src_node = node_of(rank_);
+  const fabric::NodeId dst_node = node_of(f.dst_comm->rank_);
   // Protocol-phase prefix: the RDMA variant shares the rendezvous
   // handshake but lands the payload without receiver CPU.
   const bool is_rdma = f.proto == msg::Protocol::kRdma;
@@ -453,8 +452,7 @@ des::Task<SimRecvStatus> SimComm::recv_impl(RecvTicket ticket) {
       SimRecvStatus st;
       st.status = SimStatus::kTimeout;
       if (pr.src >= 0 &&
-          !world_->network().node_up(
-              static_cast<fabric::NodeId>(pr.src))) {
+          !world_->network().node_up(node_of(pr.src))) {
         st.status = SimStatus::kPeerDown;
       }
       world_->count_timeout();
@@ -649,8 +647,7 @@ des::Task<SimStatus> SimComm::put(int dst, std::uint64_t bytes,
   const double reg = reg_cache_->acquire(addr, bytes);
   if (reg > 0.0) co_await des::delay(eng, des::from_seconds(reg));
   const fabric::XferStatus xst =
-      co_await transfer_retry(static_cast<fabric::NodeId>(rank_),
-                              static_cast<fabric::NodeId>(dst),
+      co_await transfer_retry(node_of(rank_), node_of(dst),
                               bytes + SimWorld::kHeaderBytes);
   if (xst != fabric::XferStatus::kOk) world_->count_drop();
   co_return from_xfer(xst);
@@ -669,12 +666,10 @@ des::Task<SimStatus> SimComm::get(int src, std::uint64_t bytes,
   if (reg > 0.0) co_await des::delay(eng, des::from_seconds(reg));
   // Request header to the source, payload back; the source CPU never runs.
   fabric::XferStatus xst =
-      co_await transfer_retry(static_cast<fabric::NodeId>(rank_),
-                              static_cast<fabric::NodeId>(src),
+      co_await transfer_retry(node_of(rank_), node_of(src),
                               SimWorld::kHeaderBytes);
   if (xst == fabric::XferStatus::kOk) {
-    xst = co_await transfer_retry(static_cast<fabric::NodeId>(src),
-                                  static_cast<fabric::NodeId>(rank_),
+    xst = co_await transfer_retry(node_of(src), node_of(rank_),
                                   bytes + SimWorld::kHeaderBytes);
   }
   if (xst != fabric::XferStatus::kOk) world_->count_drop();
@@ -696,8 +691,7 @@ des::Task<SimStatus> SimComm::am_send(int dst, std::uint32_t handler,
   const double copy = static_cast<double>(bytes) / p.copy_bw;
   co_await des::delay(eng, des::from_seconds(p.o_send + copy));
   const fabric::XferStatus xst =
-      co_await transfer_retry(static_cast<fabric::NodeId>(rank_),
-                              static_cast<fabric::NodeId>(dst),
+      co_await transfer_retry(node_of(rank_), node_of(dst),
                               bytes + SimWorld::kHeaderBytes);
   if (xst != fabric::XferStatus::kOk) {
     // Never landed: the handler does not run.
@@ -1024,10 +1018,26 @@ const coll::Schedule& SimWorld::collective_schedule(coll::Collective kind,
   return schedules_[idx];
 }
 
+void SimWorld::set_placement(std::vector<fabric::NodeId> nodes) {
+  POLARIS_CHECK_MSG(nodes.size() == comms_.size(),
+                    "placement must name one host per rank");
+  std::vector<std::uint8_t> seen(topo_->node_count(), 0);
+  for (const fabric::NodeId n : nodes) {
+    POLARIS_CHECK_MSG(n < topo_->node_count(), "placement host out of range");
+    POLARIS_CHECK_MSG(!seen[n], "placement hosts must be distinct");
+    seen[n] = 1;
+  }
+  placement_ = std::move(nodes);
+}
+
+fabric::NodeId SimComm::node_of(int rank) const {
+  return world_->node_of(rank);
+}
+
 fabric::LogGPParams SimWorld::loggp() const {
   const std::size_t far = comms_.size() > 1 ? comms_.size() - 1 : 1;
-  const int hops = static_cast<int>(topo_->switch_hops(
-      0, static_cast<fabric::NodeId>(far)));
+  const int hops = static_cast<int>(
+      topo_->switch_hops(node_of(0), node_of(static_cast<int>(far))));
   return fabric::extract_loggp(network_->params(), std::max(hops, 1));
 }
 

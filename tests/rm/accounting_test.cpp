@@ -1,0 +1,169 @@
+// AccountingStore: the sacct-alike ledger and decayed-usage fair share.
+#include "polaris/rm/accounting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "polaris/rm/types.hpp"
+
+namespace polaris::rm {
+namespace {
+
+JobSpec spec(JobId id, UserId user, AccountId account, std::uint32_t width,
+             double submit) {
+  JobSpec s;
+  s.id = id;
+  s.user = user;
+  s.account = account;
+  s.width = width;
+  s.submit = submit;
+  return s;
+}
+
+TEST(AccountingTest, LifecycleStampsAndTotals) {
+  AccountingStore acct;
+  acct.on_submit(spec(1, /*user=*/2, /*account=*/3, /*width=*/4, 10.0));
+  acct.on_start(1, 20.0);
+  const JobRecord* rec = acct.find(1);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, JobState::kRunning);
+  EXPECT_DOUBLE_EQ(rec->wait(), 10.0);
+  acct.on_complete(1, 50.0);
+  EXPECT_EQ(rec->state, JobState::kCompleted);
+  EXPECT_DOUBLE_EQ(rec->finish, 50.0);
+
+  const AccountingStore::Totals t = acct.totals();
+  EXPECT_EQ(t.jobs, 1u);
+  EXPECT_EQ(t.completed, 1u);
+  EXPECT_EQ(t.requeues, 0u);
+  EXPECT_DOUBLE_EQ(t.node_seconds, 120.0);  // 4 nodes x 30 s
+  EXPECT_DOUBLE_EQ(t.wasted_node_seconds, 0.0);
+  EXPECT_EQ(acct.find(99), nullptr);
+}
+
+TEST(AccountingTest, RequeueChargesPartialRunAsWaste) {
+  AccountingStore acct;
+  acct.on_submit(spec(1, 0, 0, 4, 0.0));
+  acct.on_start(1, 0.0);
+  acct.on_requeue(1, 30.0);
+  const JobRecord* rec = acct.find(1);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, JobState::kPending);
+  EXPECT_EQ(rec->requeues, 1u);
+  EXPECT_DOUBLE_EQ(rec->wasted_node_seconds, 120.0);
+  EXPECT_DOUBLE_EQ(rec->start, -1.0);
+
+  acct.on_start(1, 100.0);
+  acct.on_complete(1, 150.0);
+  const AccountingStore::Totals t = acct.totals();
+  EXPECT_DOUBLE_EQ(t.node_seconds, 200.0);         // final run only
+  EXPECT_DOUBLE_EQ(t.wasted_node_seconds, 120.0);  // aborted run
+  // The wasted run still counts against the user's fair share (the first
+  // charge decays slightly over the 120 s between the two charges).
+  EXPECT_NEAR(acct.user_usage(0, 150.0), 320.0, 0.05);
+}
+
+TEST(AccountingTest, FairShareFactorPenalizesUsage) {
+  AccountingStore acct;
+  acct.on_submit(spec(1, /*user=*/0, 0, 8, 0.0));
+  acct.on_start(1, 0.0);
+  acct.on_complete(1, 1000.0);  // user 0 consumed 8000 node-seconds
+
+  const double hog = acct.user_factor(0, 1000.0);
+  const double idle = acct.user_factor(1, 1000.0);
+  EXPECT_DOUBLE_EQ(idle, 1.0);  // never charged
+  EXPECT_LT(hog, idle);
+  EXPECT_GT(hog, 0.0);
+  // Sole user: usage == mean usage, so the factor is exactly 2^-1.
+  EXPECT_NEAR(hog, 0.5, 1e-12);
+
+  // More shares tolerate more usage before the factor drops.
+  acct.set_user_shares(0, 4.0);
+  EXPECT_GT(acct.user_factor(0, 1000.0), hog);
+
+  EXPECT_LT(acct.account_factor(0, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(acct.account_factor(9, 1000.0), 1.0);
+}
+
+TEST(AccountingTest, UsageDecaysWithHalflife) {
+  AccountingStore acct(AccountingStore::Config{/*fairshare_halflife=*/100.0});
+  acct.on_submit(spec(1, 0, 0, 1, 0.0));
+  acct.on_start(1, 0.0);
+  acct.on_complete(1, 40.0);  // 40 node-seconds at t=40
+  const double now = acct.user_usage(0, 40.0);
+  EXPECT_DOUBLE_EQ(now, 40.0);
+  EXPECT_NEAR(acct.user_usage(0, 140.0), 20.0, 1e-9);   // one half-life
+  EXPECT_NEAR(acct.user_usage(0, 240.0), 10.0, 1e-9);   // two
+  EXPECT_GT(acct.user_factor(0, 2040.0), 0.49);  // usage nearly gone...
+  EXPECT_LE(acct.user_factor(0, 2040.0), 0.5);   // ...but so is the mean
+}
+
+TEST(AccountingTest, QueriesFilterByUserAccountAndState) {
+  AccountingStore acct;
+  acct.on_submit(spec(3, /*user=*/0, /*account=*/0, 1, 0.0));
+  acct.on_submit(spec(1, /*user=*/0, /*account=*/1, 1, 1.0));
+  acct.on_submit(spec(2, /*user=*/1, /*account=*/1, 1, 2.0));
+  acct.on_start(1, 5.0);
+  acct.on_complete(1, 6.0);
+  acct.on_start(2, 5.0);
+
+  EXPECT_EQ(acct.query({}).size(), 3u);
+  // Sorted by id regardless of submission order.
+  EXPECT_EQ(acct.query({})[0].id, 1u);
+  EXPECT_EQ(acct.query({})[2].id, 3u);
+
+  AccountingStore::Query by_user;
+  by_user.user = 0;
+  EXPECT_EQ(acct.query(by_user).size(), 2u);
+
+  AccountingStore::Query by_account;
+  by_account.account = 1;
+  EXPECT_EQ(acct.query(by_account).size(), 2u);
+
+  AccountingStore::Query done;
+  done.filter_state = true;
+  done.state = JobState::kCompleted;
+  const auto completed = acct.query(done);
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0].id, 1u);
+
+  AccountingStore::Query both;
+  both.user = 1;
+  both.filter_state = true;
+  both.state = JobState::kRunning;
+  EXPECT_EQ(acct.query(both).size(), 1u);
+}
+
+TEST(AccountingTest, CancelRecordsTerminalState) {
+  AccountingStore acct;
+  acct.on_submit(spec(1, 0, 0, 2, 0.0));
+  acct.on_cancel(1, 9.0);
+  const JobRecord* rec = acct.find(1);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, JobState::kCancelled);
+  EXPECT_DOUBLE_EQ(rec->finish, 9.0);
+  EXPECT_EQ(acct.totals().completed, 0u);
+}
+
+TEST(AccountingTest, FingerprintIsDeterministicAndSensitive) {
+  auto build = [](double finish) {
+    AccountingStore acct;
+    acct.on_submit(spec(1, 2, 3, 4, 0.0));
+    acct.on_start(1, 10.0);
+    acct.on_complete(1, finish);
+    acct.on_submit(spec(2, 0, 0, 1, 5.0));
+    return acct;
+  };
+  const AccountingStore a = build(100.0);
+  const AccountingStore b = build(100.0);
+  const AccountingStore c = build(101.0);
+  EXPECT_EQ(a.dump(), b.dump());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  EXPECT_NE(a.dump().find("COMPLETED"), std::string::npos);
+  EXPECT_NE(a.dump().find("PENDING"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace polaris::rm

@@ -239,6 +239,20 @@ bool Engine::step_bounded(SimTime until) {
   return true;
 }
 
+SimTime Engine::next_event_time() const {
+  SimTime best = kNoEventTime;
+  if (wheel_count_ != 0) {
+    // Wheel buckets are one tick wide and hold only times in
+    // [now, now + span), so the first occupied bucket at/after now's
+    // position (wrapping) fronts the earliest wheel event.
+    const std::size_t b =
+        next_bucket(static_cast<std::size_t>(now_) & kWheelMask);
+    best = pool_[buckets_[b].head].t;
+  }
+  if (!heap_.empty() && heap_[0].t < best) best = heap_[0].t;
+  return best;
+}
+
 std::size_t Engine::run() {
   stopped_ = false;
   std::size_t n = 0;

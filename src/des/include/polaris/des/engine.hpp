@@ -37,6 +37,7 @@
 
 #include <cstdint>
 #include <exception>
+#include <limits>
 #include <vector>
 
 #include "polaris/des/time.hpp"
@@ -148,6 +149,17 @@ class Engine {
   /// True when no events remain queued.  A queue holding only cancelled
   /// events reports non-empty until run() reaps past them.
   bool empty() const { return wheel_count_ == 0 && heap_.empty(); }
+
+  /// Returned by next_event_time() when no events remain queued.
+  static constexpr SimTime kNoEventTime = std::numeric_limits<SimTime>::max();
+
+  /// Timestamp of the earliest queued event, kNoEventTime when drained.
+  /// A pending cancelled event may make this a (still correct) lower bound
+  /// rather than the exact next live time; exact whenever cancel() is
+  /// unused.  This is the conservative-sync hook for parallel DES: a shard
+  /// reports min(next_event_time, earliest outbound handoff) and the
+  /// coordinator advances the global window to the minimum across shards.
+  SimTime next_event_time() const;
 
   // -- internal (used by task.hpp/sync.hpp) --------------------------------
   void note_process_started() { ++live_processes_; }

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "polaris/support/rng.hpp"
+#include "polaris/support/thread_budget.hpp"
 
 namespace polaris::des {
 
@@ -19,8 +20,7 @@ std::size_t SweepRunner::default_threads() {
     const long v = std::strtol(env, nullptr, 10);
     if (v >= 1) return static_cast<std::size_t>(v);
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw != 0 ? hw : 1;
+  return support::WorkerBudget::instance().total();
 }
 
 }  // namespace polaris::des

@@ -1,0 +1,52 @@
+#include "polaris/fabric/partition.hpp"
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::fabric {
+
+Partition make_block_partition(std::size_t nodes,
+                               const std::vector<std::size_t>& dims,
+                               const FabricParams& params,
+                               std::size_t shards) {
+  POLARIS_CHECK_MSG(shards >= 1 && shards <= nodes,
+                    "shard count must be in [1, node_count]");
+
+  Partition p;
+  p.shards = shards;
+  p.first_node.resize(shards + 1);
+  const std::size_t base = nodes / shards;
+  const std::size_t rem = nodes % shards;
+  NodeId at = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    p.first_node[s] = at;
+    at += static_cast<NodeId>(base + (s < rem ? 1 : 0));
+  }
+  p.first_node[shards] = static_cast<NodeId>(nodes);
+
+  // Ordered cross-shard pairs: N^2 minus the within-shard blocks.
+  std::uint64_t same = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::uint64_t b = p.shard_size(s);
+    same += b * b;
+  }
+  p.cut_host_pairs =
+      static_cast<std::uint64_t>(nodes) * static_cast<std::uint64_t>(nodes) -
+      same;
+
+  // Grid topologies (tori) attach each host to its own switch: any
+  // distinct-host path is host -> switch -> ... -> switch -> host with at
+  // least two switch traversals.  Single-switch and tree fabrics can
+  // connect two hosts through one shared edge switch.
+  p.min_cut_switch_hops = dims.empty() ? 1 : 2;
+  p.lookahead_s =
+      params.path_latency(static_cast<int>(p.min_cut_switch_hops));
+  return p;
+}
+
+Partition make_block_partition(const Topology& topo,
+                               const FabricParams& params,
+                               std::size_t shards) {
+  return make_block_partition(topo.node_count(), topo.dims(), params, shards);
+}
+
+}  // namespace polaris::fabric

@@ -143,7 +143,9 @@ class Communicator {
                     std::span<const double> input = {});
 
   /// Drives incoming traffic; called automatically inside blocking ops.
-  void progress();
+  /// Returns the number of descriptors handled (blocking ops use a nonzero
+  /// return to reset their idle backoff).
+  std::size_t progress();
 
   // -- introspection -----------------------------------------------------------
   const msg::MatchStats& match_stats() const { return matcher_.stats(); }

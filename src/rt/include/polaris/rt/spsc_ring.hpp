@@ -99,6 +99,38 @@ class SpscRing {
     return k;
   }
 
+  /// Consumer side: drains the ring empty in fixed-size batches, invoking
+  /// `fn(T&&)` once per element in FIFO order.  One acquire/release index
+  /// round-trip per batch instead of per element, so deep rings drain at
+  /// memcpy-like cost.  Returns the number of elements drained.
+  template <typename Fn>
+  std::size_t drain(Fn&& fn) {
+    constexpr std::size_t kBatch = 32;
+    T batch[kBatch];
+    std::size_t total = 0;
+    for (;;) {
+      const std::size_t n = try_pop_n(batch, kBatch);
+      if (n == 0) return total;
+      for (std::size_t i = 0; i < n; ++i) fn(std::move(batch[i]));
+      total += n;
+    }
+  }
+
+  /// Consumer side: pops one value, idling via `backoff.pause()` (see
+  /// rt::IdleBackoff: spin, then yield, then park) while the ring is empty
+  /// so a quiet wire does not busy-burn a core.  `stopped()` is polled once
+  /// per idle iteration; returns false if it turns true before a value
+  /// arrives.  Resets the backoff ladder on success.
+  template <typename Backoff, typename Stop>
+  bool pop_wait(T& out, Backoff& backoff, Stop&& stopped) {
+    while (!try_pop(out)) {
+      if (stopped()) return false;
+      backoff.pause();
+    }
+    backoff.reset();
+    return true;
+  }
+
   /// Consumer-side emptiness snapshot (exact for the consumer thread).
   bool empty() const {
     return tail_.load(std::memory_order_relaxed) ==

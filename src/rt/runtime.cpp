@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "polaris/coll/cost.hpp"
+#include "polaris/rt/wait.hpp"
 #include "polaris/support/check.hpp"
 
 namespace polaris::rt {
@@ -51,12 +52,13 @@ SpscRing<detail::WireMsg>& Communicator::ring_from(int src) {
 
 void Communicator::push_with_progress(int dst, detail::WireMsg m) {
   auto& ring = ring_to(dst);
+  IdleBackoff backoff;
   while (!ring.try_push(std::move(m))) {
-    progress();
+    if (progress() != 0) backoff.reset();
     if (abort_flag_->load(std::memory_order_relaxed)) {
       throw std::runtime_error("polaris::rt: aborted (a peer rank failed)");
     }
-    std::this_thread::yield();
+    backoff.pause();
   }
 }
 
@@ -102,12 +104,13 @@ void Communicator::send(int dst, int tag, std::span<const std::byte> data) {
   m.payload = data.data();
   m.done_flag = &pulled;
   push_with_progress(dst, m);
+  IdleBackoff backoff;
   while (!pulled.load(std::memory_order_acquire)) {
-    progress();
+    if (progress() != 0) backoff.reset();
     if (abort_flag_->load(std::memory_order_relaxed)) {
       throw std::runtime_error("polaris::rt: aborted (a peer rank failed)");
     }
-    std::this_thread::yield();
+    backoff.pause();
   }
 }
 
@@ -151,12 +154,13 @@ bool Communicator::test(Request& r) {
 RecvStatus Communicator::wait(Request& r) {
   POLARIS_CHECK_MSG(r.valid(), "wait on an empty request");
   obs::ScopedSpan span(tracer_, track_, "wait", "p2p");
+  IdleBackoff backoff;
   while (!r.state_->done.load(std::memory_order_acquire)) {
-    progress();
+    if (progress() != 0) backoff.reset();
     if (abort_flag_->load(std::memory_order_relaxed)) {
       throw std::runtime_error("polaris::rt: aborted (a peer rank failed)");
     }
-    std::this_thread::yield();
+    backoff.pause();
   }
   RecvStatus st;
   st.src = r.state_->src;
@@ -172,22 +176,17 @@ RecvStatus Communicator::recv(int src, int tag, std::span<std::byte> out) {
   return wait(r);
 }
 
-void Communicator::progress() {
-  // Drain each ring in batches: one acquire/release index round-trip per
-  // batch instead of per descriptor.
-  constexpr std::size_t kBatch = 16;
-  detail::WireMsg batch[kBatch];
+std::size_t Communicator::progress() {
+  std::size_t handled = 0;
   for (int src = 0; src < size_; ++src) {
     if (src == rank_) continue;
     auto& ring = ring_from(src);
     if (ring_depth_) {
       ring_depth_->observe_max(static_cast<double>(ring.size_approx()));
     }
-    std::size_t n;
-    while ((n = ring.try_pop_n(batch, kBatch)) != 0) {
-      for (std::size_t i = 0; i < n; ++i) handle_incoming(batch[i]);
-    }
+    handled += ring.drain([this](detail::WireMsg&& m) { handle_incoming(m); });
   }
+  return handled;
 }
 
 void Communicator::handle_incoming(const detail::WireMsg& m) {

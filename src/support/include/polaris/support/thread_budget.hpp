@@ -1,0 +1,79 @@
+// Process-wide worker-thread budget.
+//
+// Two layers of the simulator can each decide to go parallel: SweepRunner
+// fans sweep points across threads, and pdes::ShardedEngine fans shards
+// across workers.  When they compose (a sweep whose body runs a sharded
+// simulation) naive per-layer sizing multiplies — POLARIS_SWEEP_THREADS x
+// shards threads on a machine with neither.  WorkerBudget is the shared
+// ledger both layers draw from: a total (POLARIS_SIM_THREADS, default
+// hardware concurrency) and a count of threads currently on loan.  A layer
+// acquires a lease for the parallelism it wants and receives what the
+// ledger can cover; the inner layer then sees a drained budget and runs
+// serial instead of oversubscribing.
+//
+// Accounting counts *extra* threads: the calling thread is always one of
+// its own lease's workers, so a lease of k workers charges k-1 to the
+// ledger and a budget of N supports one layer of N workers (not N+1).
+#pragma once
+
+#include <cstddef>
+
+namespace polaris::support {
+
+class WorkerBudget {
+ public:
+  /// total == 0 reads POLARIS_SIM_THREADS, falling back to
+  /// std::thread::hardware_concurrency(); the floor is always 1.
+  explicit WorkerBudget(std::size_t total = 0);
+  ~WorkerBudget();
+
+  WorkerBudget(const WorkerBudget&) = delete;
+  WorkerBudget& operator=(const WorkerBudget&) = delete;
+
+  /// The process-wide ledger (POLARIS_SIM_THREADS-sized).
+  static WorkerBudget& instance();
+
+  /// RAII loan of worker slots.  workers() includes the calling thread;
+  /// destruction (or release()) returns the extra threads to the ledger.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    ~Lease() { release(); }
+
+    /// Threads this lease may run concurrently (>= 1 when engaged).
+    std::size_t workers() const { return workers_; }
+
+    void release();
+
+   private:
+    friend class WorkerBudget;
+    Lease(WorkerBudget* budget, std::size_t workers)
+        : budget_(budget), workers_(workers) {}
+
+    WorkerBudget* budget_ = nullptr;
+    std::size_t workers_ = 0;
+  };
+
+  /// Grants min(want, what's left), never less than 1: the caller can
+  /// always run its own thread.  Use for auto-sized layers.
+  Lease acquire(std::size_t want);
+
+  /// Grants exactly `want` workers regardless of the ledger state — for
+  /// explicit user overrides (a config that says "8 workers" means 8).
+  /// Still charges the ledger so nested layers see the drain.
+  Lease acquire_exact(std::size_t want);
+
+  std::size_t total() const;
+  std::size_t in_use() const;
+
+ private:
+  void release_slots(std::size_t extra);
+
+  struct Impl;
+  // Pointer-to-impl keeps <mutex> out of this widely-included header.
+  Impl* impl_;
+};
+
+}  // namespace polaris::support

@@ -1,0 +1,97 @@
+#include "polaris/support/thread_budget.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace polaris::support {
+
+namespace {
+
+std::size_t default_total() {
+  if (const char* env = std::getenv("POLARIS_SIM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+}  // namespace
+
+struct WorkerBudget::Impl {
+  mutable std::mutex mu;
+  std::size_t total = 1;
+  std::size_t in_use = 0;  // extra (non-caller) threads on loan
+};
+
+WorkerBudget::WorkerBudget(std::size_t total) : impl_(new Impl) {
+  impl_->total = total != 0 ? total : default_total();
+}
+
+WorkerBudget::~WorkerBudget() { delete impl_; }
+
+WorkerBudget& WorkerBudget::instance() {
+  static WorkerBudget budget;
+  return budget;
+}
+
+WorkerBudget::Lease::Lease(Lease&& other) noexcept
+    : budget_(other.budget_), workers_(other.workers_) {
+  other.budget_ = nullptr;
+  other.workers_ = 0;
+}
+
+WorkerBudget::Lease& WorkerBudget::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    budget_ = other.budget_;
+    workers_ = other.workers_;
+    other.budget_ = nullptr;
+    other.workers_ = 0;
+  }
+  return *this;
+}
+
+void WorkerBudget::Lease::release() {
+  if (budget_ != nullptr && workers_ > 1) {
+    budget_->release_slots(workers_ - 1);
+  }
+  budget_ = nullptr;
+  workers_ = 0;
+}
+
+WorkerBudget::Lease WorkerBudget::acquire(std::size_t want) {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const std::size_t left =
+      impl_->total > impl_->in_use ? impl_->total - impl_->in_use : 0;
+  const std::size_t grant =
+      std::clamp<std::size_t>(want, 1, std::max<std::size_t>(1, left));
+  impl_->in_use += grant - 1;
+  return Lease(this, grant);
+}
+
+WorkerBudget::Lease WorkerBudget::acquire_exact(std::size_t want) {
+  const std::size_t grant = std::max<std::size_t>(1, want);
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->in_use += grant - 1;
+  return Lease(this, grant);
+}
+
+std::size_t WorkerBudget::total() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->total;
+}
+
+std::size_t WorkerBudget::in_use() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->in_use;
+}
+
+void WorkerBudget::release_slots(std::size_t extra) {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->in_use = impl_->in_use > extra ? impl_->in_use - extra : 0;
+}
+
+}  // namespace polaris::support

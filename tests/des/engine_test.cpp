@@ -312,6 +312,36 @@ TEST(Engine, RawCallbacksAreCancellable) {
   EXPECT_EQ(e.now(), 9);
 }
 
+TEST(Engine, NextEventTimeOnEmptyEngineIsSentinel) {
+  Engine e;
+  EXPECT_EQ(e.next_event_time(), Engine::kNoEventTime);
+  e.schedule_at(5, [] {});
+  e.run();
+  EXPECT_EQ(e.next_event_time(), Engine::kNoEventTime);
+}
+
+TEST(Engine, NextEventTimeSeesWheelAndHeap) {
+  Engine e;
+  e.schedule_at(3, [] {});          // near: timing-wheel window
+  e.schedule_at(3 + 50000, [] {});  // far: overflow heap
+  EXPECT_EQ(e.next_event_time(), 3);
+  e.run_until(3);
+  EXPECT_EQ(e.next_event_time(), 3 + 50000);
+}
+
+TEST(Engine, NextEventTimeIsALowerBoundUnderCancel) {
+  Engine e;
+  const EventId id = e.schedule_at(3, [] {});
+  e.schedule_at(10, [] {});
+  e.cancel(id);
+  // A tombstoned head may be reported: the contract is a lower bound,
+  // which is all conservative synchronization needs.
+  EXPECT_LE(e.next_event_time(), 10);
+  EXPECT_GE(e.next_event_time(), 3);
+  e.run();
+  EXPECT_EQ(e.now(), 10);
+}
+
 TEST(TimeConversions, RoundTrip) {
   EXPECT_EQ(from_seconds(1.0), kSecond);
   EXPECT_EQ(from_seconds(1e-6), kMicrosecond);

@@ -1,0 +1,153 @@
+// Fault injection through the sharded engine: a crashed node's NIC NACKs
+// every later delivery, and the resulting XferStatus propagation must be
+// shard-placement independent — the same ranks observe the same failure
+// no matter where the shard boundaries fall.
+#include <gtest/gtest.h>
+
+#include "polaris/pdes/engine.hpp"
+
+namespace polaris::pdes {
+namespace {
+
+Config faulty_halo(std::uint32_t crash_rank, double time_s) {
+  Config cfg;
+  cfg.workload.kind = AppKind::kHalo;
+  cfg.workload.grid_w = 10;
+  cfg.workload.grid_h = 10;
+  cfg.workload.iters = 6;
+  cfg.workload.jitter = true;
+  cfg.faults.push_back({crash_rank, time_s});
+  return cfg;
+}
+
+/// Crash time landing mid-run: 40% of the healthy completion time.
+double mid_run_time(Config cfg) {
+  cfg.faults.clear();
+  cfg.shards = 1;
+  return 0.4 * run(cfg).sim_seconds;
+}
+
+TEST(FaultInjection, CrashMidExchangeIsShardInvariant) {
+  Config probe = faulty_halo(37, 0.0);
+  const double t = mid_run_time(probe);
+  ASSERT_GT(t, 0.0);
+  Config cfg = faulty_halo(37, t);
+
+  cfg.shards = 1;
+  const Result base = run(cfg);
+  EXPECT_EQ(base.ranks_failed, 1u);  // only the crashed rank
+  EXPECT_EQ(base.ranks_ok, 99u);     // halo neighbors route around it
+  EXPECT_GT(base.nacks, 0u);
+
+  for (const std::size_t s : {2, 4, 8}) {
+    Config c = cfg;
+    c.shards = s;
+    const Result got = run(c);
+    SCOPED_TRACE(testing::Message() << "shards=" << s);
+    EXPECT_EQ(base.golden_hash, got.golden_hash);
+    EXPECT_DOUBLE_EQ(base.sim_seconds, got.sim_seconds);
+    EXPECT_EQ(base.ranks_ok, got.ranks_ok);
+    EXPECT_EQ(base.ranks_failed, got.ranks_failed);
+    EXPECT_EQ(base.nacks, got.nacks);
+  }
+}
+
+TEST(FaultInjection, NeighborsObserveTheCrashedRank) {
+  Config cfg = faulty_halo(37, mid_run_time(faulty_halo(37, 0.0)));
+  cfg.shards = 4;
+  ShardedEngine engine(cfg);
+  (void)engine.run();
+
+  const RankState& dead = engine.rank_state(37);
+  EXPECT_TRUE(dead.dead());
+  EXPECT_FALSE(dead.finished());
+  EXPECT_EQ(dead.status, kRankCrashed);
+
+  // 10x10 torus neighbors of 37: W=36, E=38, N=27, S=47.
+  for (const std::uint32_t n : {36u, 38u, 27u, 47u}) {
+    SCOPED_TRACE(testing::Message() << "neighbor " << n);
+    const RankState& nb = engine.rank_state(n);
+    EXPECT_TRUE(nb.finished());
+    EXPECT_FALSE(nb.dead());
+    EXPECT_NE(nb.nbr_dead, 0u);  // the dead direction was masked out
+    EXPECT_EQ(nb.status, kRankPeerDown);
+  }
+
+  // A rank far from the crash never hears about it.
+  const RankState& far = engine.rank_state(92);
+  EXPECT_TRUE(far.finished());
+  EXPECT_EQ(far.nbr_dead, 0u);
+  EXPECT_EQ(far.status, kRankOk);
+}
+
+TEST(FaultInjection, AllreduceHaltPropagates) {
+  Config cfg;
+  cfg.workload.kind = AppKind::kAllreduce;
+  cfg.workload.grid_w = 4;
+  cfg.workload.grid_h = 4;
+  cfg.workload.iters = 4;
+  cfg.faults.push_back({5, 1e-6});  // die during the first exchange
+
+  cfg.shards = 1;
+  const Result base = run(cfg);
+  // A collective cannot route around a dead partner: nobody finishes.
+  EXPECT_EQ(base.ranks_ok, 0u);
+  EXPECT_EQ(base.ranks_failed, 16u);
+  EXPECT_GT(base.nacks, 0u);
+
+  for (const std::size_t s : {2, 4}) {
+    Config c = cfg;
+    c.shards = s;
+    const Result got = run(c);
+    SCOPED_TRACE(testing::Message() << "shards=" << s);
+    EXPECT_EQ(base.golden_hash, got.golden_hash);
+    EXPECT_EQ(base.ranks_failed, got.ranks_failed);
+    EXPECT_EQ(base.nacks, got.nacks);
+  }
+
+  // The halt status is the latched NACK payload.
+  ShardedEngine engine(cfg);
+  (void)engine.run();
+  EXPECT_EQ(engine.rank_state(5).status, kRankCrashed);
+  bool saw_peer_down = false;
+  for (std::uint32_t r = 0; r < 16; ++r) {
+    if (r == 5) continue;
+    if (engine.rank_state(r).status == kRankPeerDown) saw_peer_down = true;
+  }
+  EXPECT_TRUE(saw_peer_down);
+}
+
+TEST(FaultInjection, CrashAtTimeZeroIsShardInvariant) {
+  Config cfg = faulty_halo(0, 0.0);
+  cfg.shards = 1;
+  const Result base = run(cfg);
+  EXPECT_EQ(base.ranks_failed, 1u);
+  for (const std::size_t s : {3, 8}) {
+    Config c = cfg;
+    c.shards = s;
+    const Result got = run(c);
+    SCOPED_TRACE(testing::Message() << "shards=" << s);
+    EXPECT_EQ(base.golden_hash, got.golden_hash);
+  }
+}
+
+TEST(FaultInjection, TwoCrashesCompose) {
+  Config cfg = faulty_halo(12, 0.0);
+  const double t = mid_run_time(cfg);
+  cfg.faults = {{12, t}, {88, t * 0.5}};
+  cfg.shards = 1;
+  const Result base = run(cfg);
+  EXPECT_EQ(base.ranks_failed, 2u);
+  EXPECT_EQ(base.ranks_ok, 98u);
+  for (const std::size_t s : {4, 8}) {
+    Config c = cfg;
+    c.shards = s;
+    const Result got = run(c);
+    SCOPED_TRACE(testing::Message() << "shards=" << s);
+    EXPECT_EQ(base.golden_hash, got.golden_hash);
+    EXPECT_EQ(base.nacks, got.nacks);
+  }
+}
+
+}  // namespace
+}  // namespace polaris::pdes

@@ -1,0 +1,128 @@
+// Shard-count invariance: the golden trace is the determinism contract.
+// Sharding and worker count are execution parameters — they must not
+// change one bit of the simulation outcome.
+#include <gtest/gtest.h>
+
+#include "polaris/pdes/engine.hpp"
+
+namespace polaris::pdes {
+namespace {
+
+void expect_same_outcome(const Result& base, const Result& got,
+                         const char* what) {
+  EXPECT_EQ(base.golden_hash, got.golden_hash) << what;
+  EXPECT_DOUBLE_EQ(base.sim_seconds, got.sim_seconds) << what;
+  EXPECT_EQ(base.ranks_ok, got.ranks_ok) << what;
+  EXPECT_EQ(base.ranks_failed, got.ranks_failed) << what;
+  EXPECT_EQ(base.events, got.events) << what;
+  EXPECT_EQ(base.msgs_intra + base.msgs_cross, got.msgs_intra + got.msgs_cross)
+      << what;
+  EXPECT_EQ(base.nacks, got.nacks) << what;
+}
+
+void expect_shard_invariant(Config cfg,
+                            std::initializer_list<std::size_t> shard_counts) {
+  cfg.shards = 1;
+  const Result base = run(cfg);
+  for (const std::size_t s : shard_counts) {
+    Config c = cfg;
+    c.shards = s;
+    const Result got = run(c);
+    SCOPED_TRACE(testing::Message() << "shards=" << s);
+    expect_same_outcome(base, got, "shard count changed the outcome");
+  }
+}
+
+TEST(ShardInvariance, JitteredHalo) {
+  Config cfg;
+  cfg.workload.kind = AppKind::kHalo;
+  cfg.workload.grid_w = 12;
+  cfg.workload.grid_h = 9;  // 108 ranks: odd blocks at every shard count
+  cfg.workload.iters = 5;
+  cfg.workload.jitter = true;
+  cfg.workload.seed = 42;
+  expect_shard_invariant(cfg, {2, 3, 4, 8});
+}
+
+TEST(ShardInvariance, JitteredAllreduce) {
+  Config cfg;
+  cfg.workload.kind = AppKind::kAllreduce;
+  cfg.workload.grid_w = 6;
+  cfg.workload.grid_h = 5;  // 30 ranks: ghost partners above the rank count
+  cfg.workload.iters = 4;
+  cfg.workload.jitter = true;
+  cfg.workload.seed = 7;
+  expect_shard_invariant(cfg, {2, 4, 7, 8});
+}
+
+TEST(ShardInvariance, Cg) {
+  Config cfg;
+  cfg.workload.kind = AppKind::kCg;
+  cfg.workload.grid_w = 7;
+  cfg.workload.grid_h = 4;
+  cfg.workload.iters = 3;
+  expect_shard_invariant(cfg, {2, 4, 8});
+}
+
+TEST(ShardInvariance, TinyComputeKeepsWindowsBusy) {
+  // Near-zero compute makes every window dense with same-tick traffic —
+  // the hardest case for commutative same-tick processing.
+  Config cfg;
+  cfg.workload.kind = AppKind::kHalo;
+  cfg.workload.grid_w = 10;
+  cfg.workload.grid_h = 10;
+  cfg.workload.iters = 4;
+  cfg.workload.compute_s = 0.0;  // clamped to one tick internally
+  cfg.workload.jitter = true;
+  expect_shard_invariant(cfg, {2, 5, 8});
+}
+
+TEST(ShardInvariance, TinyChannelCapacityForcesSpill) {
+  // A 2-deep ring overflows on every dense window; the spill path must be
+  // outcome-neutral because ingestion is canonically sorted.
+  Config cfg;
+  cfg.workload.kind = AppKind::kHalo;
+  cfg.workload.grid_w = 8;
+  cfg.workload.grid_h = 8;
+  cfg.workload.iters = 3;
+  cfg.workload.jitter = true;
+  cfg.channel_capacity = 2;
+  expect_shard_invariant(cfg, {2, 4, 8});
+}
+
+TEST(WorkerInvariance, WorkerCountIsPureExecutionParameter) {
+  Config cfg;
+  cfg.workload.kind = AppKind::kHalo;
+  cfg.workload.grid_w = 12;
+  cfg.workload.grid_h = 9;
+  cfg.workload.iters = 4;
+  cfg.workload.jitter = true;
+  cfg.shards = 8;
+  cfg.workers = 1;
+  const Result base = run(cfg);
+  for (const std::size_t w : {2, 3, 8}) {
+    Config c = cfg;
+    c.workers = w;
+    const Result got = run(c);
+    SCOPED_TRACE(testing::Message() << "workers=" << w);
+    expect_same_outcome(base, got, "worker count changed the outcome");
+    EXPECT_EQ(got.workers, w);
+  }
+}
+
+TEST(ShardInvariance, RepeatRunsAreBitIdentical) {
+  Config cfg;
+  cfg.workload.kind = AppKind::kAllreduce;
+  cfg.workload.grid_w = 4;
+  cfg.workload.grid_h = 8;
+  cfg.workload.iters = 3;
+  cfg.workload.jitter = true;
+  cfg.shards = 4;
+  const Result a = run(cfg);
+  const Result b = run(cfg);
+  EXPECT_EQ(a.golden_hash, b.golden_hash);
+  EXPECT_EQ(a.events, b.events);
+}
+
+}  // namespace
+}  // namespace polaris::pdes

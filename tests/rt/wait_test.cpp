@@ -1,0 +1,122 @@
+#include "polaris/rt/wait.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "polaris/rt/spsc_ring.hpp"
+
+namespace polaris::rt {
+namespace {
+
+TEST(IdleBackoff, EscalatesToParkedSleeps) {
+  IdleBackoff b;
+  const std::uint32_t ladder = IdleBackoff::kSpinIters + IdleBackoff::kYieldIters;
+  for (std::uint32_t i = 0; i < ladder; ++i) b.pause();
+  EXPECT_EQ(b.parks(), 0u);  // still in the spin/yield tiers
+  b.pause();
+  b.pause();
+  EXPECT_EQ(b.parks(), 2u);
+}
+
+TEST(IdleBackoff, ResetReturnsToTheSpinTier) {
+  IdleBackoff b;
+  for (std::uint32_t i = 0; i < 200; ++i) b.pause();
+  const std::uint64_t parked = b.parks();
+  EXPECT_GT(parked, 0u);
+  b.reset();
+  for (std::uint32_t i = 0; i < IdleBackoff::kSpinIters; ++i) b.pause();
+  EXPECT_EQ(b.parks(), parked);  // no new parks after reset
+}
+
+TEST(SpinBarrier, SerialSectionRunsOncePerGeneration) {
+  constexpr std::size_t kThreads = 4;
+  constexpr int kGens = 50;
+  SpinBarrier barrier(kThreads);
+  int serial_runs = 0;  // written in the serial section only
+  std::atomic<int> failures{0};
+
+  auto body = [&] {
+    for (int g = 1; g <= kGens; ++g) {
+      barrier.arrive_and_wait([&] { ++serial_runs; });
+      // Serial writes are visible to every participant after release.
+      if (serial_runs != g) failures.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> pool;
+  for (std::size_t i = 0; i + 1 < kThreads; ++i) pool.emplace_back(body);
+  body();
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(serial_runs, kGens);
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(SpinBarrier, PublishesPreBarrierWritesToTheSerialSection) {
+  constexpr std::size_t kThreads = 3;
+  SpinBarrier barrier(kThreads);
+  std::uint64_t slots[kThreads] = {};
+  std::uint64_t total = 0;
+
+  auto body = [&](std::size_t me) {
+    slots[me] = me + 1;  // plain write, published by the barrier
+    barrier.arrive_and_wait([&] {
+      for (std::size_t i = 0; i < kThreads; ++i) total += slots[i];
+    });
+  };
+  std::vector<std::thread> pool;
+  for (std::size_t i = 0; i + 1 < kThreads; ++i) pool.emplace_back(body, i);
+  body(kThreads - 1);
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(total, 1u + 2u + 3u);
+}
+
+TEST(SpinBarrier, SingleParticipantRunsSerialInline) {
+  SpinBarrier barrier(1);
+  int runs = 0;
+  for (int i = 0; i < 5; ++i) barrier.arrive_and_wait([&] { ++runs; });
+  EXPECT_EQ(runs, 5);
+  EXPECT_EQ(barrier.parks(), 0u);
+}
+
+TEST(SpscRing, DrainEmptiesInFifoOrder) {
+  SpscRing<int> ring(128);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(ring.try_push(int{i}));
+  std::vector<int> got;
+  const std::size_t n = ring.drain([&](int&& v) { got.push_back(v); });
+  EXPECT_EQ(n, 100u);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(SpscRing, DrainOnEmptyRingReturnsZero) {
+  SpscRing<int> ring(8);
+  EXPECT_EQ(ring.drain([](int&&) { FAIL(); }), 0u);
+}
+
+TEST(SpscRing, PopWaitBlocksUntilTheProducerArrives) {
+  SpscRing<int> ring(8);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    while (!ring.try_push(41)) {}
+  });
+  int v = 0;
+  IdleBackoff backoff;
+  EXPECT_TRUE(ring.pop_wait(v, backoff, [] { return false; }));
+  EXPECT_EQ(v, 41);
+  producer.join();
+}
+
+TEST(SpscRing, PopWaitHonorsStop) {
+  SpscRing<int> ring(8);
+  int v = 0;
+  IdleBackoff backoff;
+  int polls = 0;
+  EXPECT_FALSE(ring.pop_wait(v, backoff, [&] { return ++polls > 3; }));
+  EXPECT_GT(polls, 3);
+}
+
+}  // namespace
+}  // namespace polaris::rt

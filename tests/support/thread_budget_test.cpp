@@ -1,0 +1,96 @@
+#include "polaris/support/thread_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace polaris::support {
+namespace {
+
+TEST(WorkerBudget, CallerIsAlwaysOneOfItsOwnWorkers) {
+  WorkerBudget b(4);
+  EXPECT_EQ(b.total(), 4u);
+  const WorkerBudget::Lease l = b.acquire(1);
+  EXPECT_EQ(l.workers(), 1u);
+  // One worker means zero extra threads on loan.
+  EXPECT_EQ(b.in_use(), 0u);
+}
+
+TEST(WorkerBudget, AcquireClampsToWhatIsLeft) {
+  WorkerBudget b(4);
+  const WorkerBudget::Lease outer = b.acquire(8);
+  EXPECT_EQ(outer.workers(), 4u);
+  EXPECT_EQ(b.in_use(), 3u);
+  // The ledger is drained: a nested layer degrades to serial instead of
+  // oversubscribing.
+  const WorkerBudget::Lease inner = b.acquire(4);
+  EXPECT_EQ(inner.workers(), 1u);
+  EXPECT_EQ(b.in_use(), 3u);
+}
+
+TEST(WorkerBudget, PartialDrainGrantsTheRemainder) {
+  WorkerBudget b(6);
+  const WorkerBudget::Lease outer = b.acquire(3);  // charges 2
+  const WorkerBudget::Lease inner = b.acquire(8);
+  // 6 total - 2 on loan = 4 left, plus... the caller counts within the
+  // grant, so the remainder itself is the grant.
+  EXPECT_EQ(inner.workers(), 4u);
+  EXPECT_EQ(b.in_use(), 5u);
+  (void)outer;
+}
+
+TEST(WorkerBudget, AcquireExactHonorsExplicitOverrides) {
+  WorkerBudget b(2);
+  const WorkerBudget::Lease l = b.acquire_exact(6);
+  EXPECT_EQ(l.workers(), 6u);
+  // Still charged, so nested layers see the drain (floored at zero left).
+  const WorkerBudget::Lease inner = b.acquire(4);
+  EXPECT_EQ(inner.workers(), 1u);
+}
+
+TEST(WorkerBudget, ReleaseReturnsSlotsToTheLedger) {
+  WorkerBudget b(4);
+  {
+    const WorkerBudget::Lease l = b.acquire(4);
+    EXPECT_EQ(b.in_use(), 3u);
+  }
+  EXPECT_EQ(b.in_use(), 0u);
+  const WorkerBudget::Lease again = b.acquire(4);
+  EXPECT_EQ(again.workers(), 4u);
+}
+
+TEST(WorkerBudget, LeaseMoveTransfersOwnership) {
+  WorkerBudget b(4);
+  WorkerBudget::Lease a = b.acquire(3);
+  WorkerBudget::Lease m = std::move(a);
+  EXPECT_EQ(m.workers(), 3u);
+  EXPECT_EQ(a.workers(), 0u);
+  EXPECT_EQ(b.in_use(), 2u);
+  m.release();
+  EXPECT_EQ(b.in_use(), 0u);
+  m.release();  // idempotent
+  EXPECT_EQ(b.in_use(), 0u);
+}
+
+TEST(WorkerBudget, MinimumGrantIsOne) {
+  WorkerBudget b(1);
+  const WorkerBudget::Lease a = b.acquire(5);
+  EXPECT_EQ(a.workers(), 1u);
+  const WorkerBudget::Lease z = b.acquire(0);
+  EXPECT_EQ(z.workers(), 1u);
+}
+
+TEST(WorkerBudget, TotalFloorsAtOne) {
+  const WorkerBudget b(0);  // reads env / hardware, never below 1
+  EXPECT_GE(b.total(), 1u);
+}
+
+TEST(WorkerBudget, ProcessWideInstanceIsStable) {
+  WorkerBudget& a = WorkerBudget::instance();
+  WorkerBudget& b = WorkerBudget::instance();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.total(), 1u);
+}
+
+}  // namespace
+}  // namespace polaris::support

@@ -76,6 +76,27 @@ enum class XferStatus : std::uint8_t {
 
 const char* to_string(XferStatus status);
 
+/// Per-message path selection policy.
+///
+///  - kOblivious (default): every message between a pair takes the
+///    topology's single deterministic route — bit-identical to every run
+///    before adaptive routing existed (the golden-trace tests pin this).
+///  - kAdaptive: each injection scans the pair's equal-cost minimal paths
+///    (Topology::route_k) and takes the one with the least live occupancy —
+///    queued serialization time (`busy_until`) plus an in-flight-message
+///    penalty so tier-1 analytic flights (which reserve no busy_until) are
+///    still visible.  Ties break toward the lowest choice index, so the
+///    decision is a pure function of simulator state and replays exactly.
+///    With faults enabled, candidates crossing a downed link are skipped —
+///    adaptive messages reroute around dead fabric that would refuse an
+///    oblivious sender.
+enum class RoutingMode : std::uint8_t {
+  kOblivious = 0,
+  kAdaptive = 1,
+};
+
+const char* to_string(RoutingMode mode);
+
 /// Aggregate traffic statistics for a SimNetwork.
 struct NetworkStats {
   std::uint64_t messages = 0;
@@ -94,6 +115,10 @@ struct NetworkStats {
   /// Transfers that completed with an error: refused at injection because an
   /// endpoint/link was already down, or killed mid-flight by a fault.
   std::uint64_t messages_dropped = 0;
+
+  // Adaptive-routing accounting (zero in oblivious mode).
+  std::uint64_t adaptive_decisions = 0;  ///< injections with > 1 candidate
+  std::uint64_t adaptive_rerouted = 0;   ///< picked a non-oblivious path
 
   /// Fraction of network messages (self-transfers excluded) that completed
   /// analytically without ever owning a walker.
@@ -164,6 +189,11 @@ class SimNetwork {
   /// `assume_circuit` is false.
   double uncongested_seconds(NodeId src, NodeId dst, std::uint64_t bytes,
                              bool assume_circuit = true) const;
+
+  /// Switches path selection; takes effect for messages injected after the
+  /// call.  In-flight messages keep the path they reserved.
+  void set_routing(RoutingMode mode) { routing_ = mode; }
+  RoutingMode routing() const { return routing_; }
 
   const FabricParams& params() const { return params_; }
   const Topology& topology() const { return topo_; }
@@ -276,11 +306,17 @@ class SimNetwork {
     XferStatus await_resume() const noexcept { return status; }
   };
 
-  /// Post-circuit injection shared by both transfer forms: fault check,
-  /// packet planning, flight materialization, idle-path test, then tier
-  /// dispatch.
+  /// Post-circuit injection shared by both transfer forms: path selection,
+  /// fault check, packet planning, flight materialization, idle-path test,
+  /// then tier dispatch.
   void inject(NodeId src, NodeId dst, std::uint64_t bytes, DoneFn done,
               void* ctx);
+
+  /// Adaptive path selection: least-occupied equal-cost candidate, lowest
+  /// index on ties.  `ser_total` is this message's full serialization time
+  /// in ticks — the congestion price of one in-flight message on a link.
+  const std::vector<LinkId>& select_path(NodeId src, NodeId dst,
+                                         des::SimTime ser_total);
 
   void begin_flight(NodeId src, NodeId dst, const std::vector<LinkId>& path,
                     des::SimTime ser, std::uint32_t packets, DoneFn done,
@@ -334,6 +370,7 @@ class SimNetwork {
   des::Engine& engine_;
   FabricParams params_;
   const Topology& topo_;
+  RoutingMode routing_ = RoutingMode::kOblivious;
   des::SimTime prop_mid_ = 0;   ///< wire + switch forwarding, ticks
   des::SimTime prop_last_ = 0;  ///< wire only (after the final link), ticks
 

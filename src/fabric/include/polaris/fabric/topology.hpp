@@ -10,6 +10,14 @@
 // "mesh of commodity nodes" alternative).  Routing is deterministic —
 // destination-mod uplink selection in the fat tree, dimension-order with
 // shortest wrap in the torus — so simulations replay identically.
+//
+// Pairs with redundant fabric additionally expose their full *equal-cost
+// minimal path set* (route_choices / route_k): every ECMP uplink+core
+// combination in the fat tree, every dimension-traversal order in the
+// torus.  Choice 0 is always the deterministic oblivious route, so a
+// consumer that never asks for k > 0 sees exactly the historical paths;
+// fabric::SimNetwork's adaptive routing mode picks among the alternates
+// by live link occupancy.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +46,21 @@ class Topology {
   /// node-based map and never evicts), so the network model holds routes
   /// by pointer instead of copying them per message.
   const std::vector<LinkId>& route(NodeId src, NodeId dst) const;
+
+  /// Equal-cost minimal paths the topology can enumerate for the pair
+  /// (>= 1; exactly 1 for src == dst and for single-path topologies).
+  virtual std::size_t route_choices(NodeId src, NodeId dst) const {
+    (void)src;
+    (void)dst;
+    return 1;
+  }
+
+  /// The k-th equal-cost minimal path, k in [0, route_choices(src, dst)).
+  /// Choice 0 is bit-identical to route() — the deterministic oblivious
+  /// path — so callers that never ask for k > 0 replay historical traces
+  /// exactly.  Same stable-reference contract as route().
+  const std::vector<LinkId>& route_k(NodeId src, NodeId dst,
+                                     std::size_t k) const;
 
   /// Number of links traversed (0 for self).
   std::size_t hop_count(NodeId src, NodeId dst) const {
@@ -82,11 +105,18 @@ class Topology {
   /// Subclasses produce the path; the base class caches it.
   virtual std::vector<LinkId> compute_route(NodeId src, NodeId dst) const = 0;
 
+  /// The k-th alternate path, called only with 0 < k < route_choices().
+  /// Topologies that report route_choices() == 1 never see a call.
+  virtual std::vector<LinkId> compute_route_k(NodeId src, NodeId dst,
+                                              std::size_t k) const;
+
   std::size_t node_count_;
   std::size_t switch_count_;
 
  private:
   mutable std::unordered_map<std::uint64_t, std::vector<LinkId>> route_cache_;
+  mutable std::unordered_map<std::uint64_t, std::vector<LinkId>>
+      alt_route_cache_;  ///< k > 0 paths, keyed (src, dst, k)
   std::unordered_map<std::uint64_t, LinkId> link_ids_;
   std::vector<std::pair<DeviceId, DeviceId>> link_ends_;
 };
@@ -121,8 +151,14 @@ class FatTree final : public Topology {
   /// Smallest even k such that a k-ary fat tree holds >= nodes hosts.
   static std::size_t radix_for(std::size_t nodes);
 
+  /// ECMP width: 1 under the same edge switch, k/2 aggregation choices
+  /// within a pod, (k/2)^2 core choices across pods.
+  std::size_t route_choices(NodeId src, NodeId dst) const override;
+
  private:
   std::vector<LinkId> compute_route(NodeId src, NodeId dst) const override;
+  std::vector<LinkId> compute_route_k(NodeId src, NodeId dst,
+                                      std::size_t k) const override;
 
   // Device numbering helpers (hosts are 0..k^3/4-1).
   DeviceId edge_switch(std::size_t pod, std::size_t idx) const;
@@ -145,8 +181,14 @@ class Torus2D final : public Topology {
 
   std::vector<std::size_t> dims() const override { return {w_, h_}; }
 
+  /// Minimal-adaptive width: 2 dimension orders (XY, YX) when both
+  /// dimensions move, else the single dimension-order path.
+  std::size_t route_choices(NodeId src, NodeId dst) const override;
+
  private:
   std::vector<LinkId> compute_route(NodeId src, NodeId dst) const override;
+  std::vector<LinkId> compute_route_k(NodeId src, NodeId dst,
+                                      std::size_t k) const override;
   DeviceId router(std::size_t x, std::size_t y) const;
 
   std::size_t w_, h_;
@@ -164,8 +206,14 @@ class Torus3D final : public Topology {
 
   std::vector<std::size_t> dims() const override { return {nx_, ny_, nz_}; }
 
+  /// Minimal-adaptive width: m! dimension orders for m moving dimensions
+  /// (identity x-y-z first, so choice 0 stays the oblivious path).
+  std::size_t route_choices(NodeId src, NodeId dst) const override;
+
  private:
   std::vector<LinkId> compute_route(NodeId src, NodeId dst) const override;
+  std::vector<LinkId> compute_route_k(NodeId src, NodeId dst,
+                                      std::size_t k) const override;
   DeviceId router(std::size_t x, std::size_t y, std::size_t z) const;
 
   std::size_t nx_, ny_, nz_;

@@ -19,6 +19,16 @@ const char* to_string(XferStatus status) {
   return "unknown";
 }
 
+const char* to_string(RoutingMode mode) {
+  switch (mode) {
+    case RoutingMode::kOblivious:
+      return "oblivious";
+    case RoutingMode::kAdaptive:
+      return "adaptive";
+  }
+  return "unknown";
+}
+
 SimNetwork::SimNetwork(des::Engine& engine, FabricParams params,
                        const Topology& topology)
     : engine_(engine), params_(std::move(params)), topo_(topology) {
@@ -125,12 +135,62 @@ void SimNetwork::raw_setup_done_cb(void* ctx) {
   net->inject(src, dst, bytes, done, done_ctx);
 }
 
+const std::vector<LinkId>& SimNetwork::select_path(NodeId src, NodeId dst,
+                                                   des::SimTime ser_total) {
+  const std::size_t choices = topo_.route_choices(src, dst);
+  if (choices <= 1) return topo_.route(src, dst);
+  ++stats_.adaptive_decisions;
+  const des::SimTime now = engine_.now();
+  const std::vector<LinkId>* best = nullptr;
+  std::size_t best_k = 0;
+  des::SimTime best_cost = 0;
+  for (std::size_t k = 0; k < choices; ++k) {
+    const std::vector<LinkId>& cand = topo_.route_k(src, dst, k);
+    des::SimTime cost = 0;
+    bool down = false;
+    for (const LinkId l : cand) {
+      if (faults_enabled_ && link_down_[l] != 0) {
+        down = true;
+        break;
+      }
+      const LinkState& ls = links_[l];
+      // Queued serialization plus a per-in-flight-message penalty of this
+      // message's own serialization time: tier-1 flights reserve no
+      // busy_until, so inflight is the only signal that sees them.
+      if (ls.busy_until > now) cost += ls.busy_until - now;
+      cost += static_cast<des::SimTime>(ls.inflight) * ser_total;
+    }
+    if (down) continue;
+    if (best == nullptr || cost < best_cost) {
+      best = &cand;
+      best_k = k;
+      best_cost = cost;
+      if (cost == 0) break;  // an idle path; lower k cannot beat it
+    }
+  }
+  if (best == nullptr) {
+    // Every candidate crosses a downed link: fall back to the oblivious
+    // path and let the injection refusal scan fail the message.
+    return topo_.route(src, dst);
+  }
+  if (best_k != 0) ++stats_.adaptive_rerouted;
+  return *best;
+}
+
 void SimNetwork::inject(NodeId src, NodeId dst, std::uint64_t bytes,
                         DoneFn done, void* ctx) {
+  const PacketPlan plan = plan_packets(bytes);
+  const des::SimTime ser = serialize_ticks(plan.bytes_per_packet);
+
   // Borrowed straight out of the Topology route cache (node-based map:
   // the reference stays valid for the message lifetime) — no per-message
-  // route copy.
-  const std::vector<LinkId>& path = topo_.route(src, dst);
+  // route copy.  Oblivious mode never touches route_k: identical lookups,
+  // identical paths, identical traces.
+  const std::vector<LinkId>& path =
+      routing_ == RoutingMode::kAdaptive
+          ? select_path(src, dst,
+                        ser * static_cast<des::SimTime>(plan.count))
+          : topo_.route(src, dst);
 
   if (faults_enabled_) {
     // Refuse at the NIC: deterministic routing means a message whose source,
@@ -154,9 +214,7 @@ void SimNetwork::inject(NodeId src, NodeId dst, std::uint64_t bytes,
     }
   }
 
-  const PacketPlan plan = plan_packets(bytes);
   stats_.packets += plan.count;
-  const des::SimTime ser = serialize_ticks(plan.bytes_per_packet);
 
   // Any in-flight analytic flight sharing a link with this path could be
   // delayed by our packets (and vice versa), so its closed-form completion

@@ -22,6 +22,35 @@ const std::vector<LinkId>& Topology::route(NodeId src, NodeId dst) const {
   return it->second;
 }
 
+const std::vector<LinkId>& Topology::route_k(NodeId src, NodeId dst,
+                                             std::size_t k) const {
+  if (k == 0) return route(src, dst);  // the oblivious path, shared cache
+  POLARIS_CHECK(src < node_count_ && dst < node_count_);
+  POLARIS_CHECK_MSG(k < route_choices(src, dst), "route choice out of range");
+  // Alternate paths get their own cache keyed (src, dst, k).  24 bits per
+  // node and 16 for k bound the packing; checked so growth past 16M hosts
+  // fails loudly instead of aliasing.
+  POLARIS_CHECK(node_count_ < (1u << 24) && k < (1u << 16));
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 40) |
+                            (static_cast<std::uint64_t>(dst) << 16) |
+                            static_cast<std::uint64_t>(k);
+  if (auto it = alt_route_cache_.find(key); it != alt_route_cache_.end()) {
+    return it->second;
+  }
+  auto [it, inserted] =
+      alt_route_cache_.emplace(key, compute_route_k(src, dst, k));
+  return it->second;
+}
+
+std::vector<LinkId> Topology::compute_route_k(NodeId src, NodeId dst,
+                                              std::size_t k) const {
+  (void)src;
+  (void)dst;
+  (void)k;
+  POLARIS_CHECK_MSG(false, "topology reported alternates it cannot compute");
+  return {};
+}
+
 std::size_t Topology::scan_diameter(std::size_t max_nodes) const {
   const std::size_t n = std::min(node_count_, max_nodes);
   std::size_t d = 0;
@@ -170,6 +199,61 @@ std::vector<LinkId> FatTree::compute_route(NodeId src, NodeId dst) const {
   return path;
 }
 
+std::size_t FatTree::route_choices(NodeId src, NodeId dst) const {
+  if (src == dst) return 1;
+  const std::size_t half = k_ / 2;
+  const std::size_t hosts_per_pod = half * half;
+  if (src / hosts_per_pod != dst / hosts_per_pod) {
+    return half * half;  // one path per core switch
+  }
+  if ((src % hosts_per_pod) / half != (dst % hosts_per_pod) / half) {
+    return half;  // one path per aggregation switch in the pod
+  }
+  return 1;  // same edge switch: single two-link path
+}
+
+std::vector<LinkId> FatTree::compute_route_k(NodeId src, NodeId dst,
+                                             std::size_t k) const {
+  const std::size_t half = k_ / 2;
+  const std::size_t hosts_per_pod = half * half;
+  const std::size_t src_pod = src / hosts_per_pod;
+  const std::size_t dst_pod = dst / hosts_per_pod;
+  const std::size_t src_edge = (src % hosts_per_pod) / half;
+  const std::size_t dst_edge = (dst % hosts_per_pod) / half;
+
+  std::vector<LinkId> path;
+  const DeviceId se = edge_switch(src_pod, src_edge);
+  const DeviceId de = edge_switch(dst_pod, dst_edge);
+  path.push_back(link_between(src, se));
+
+  if (src_pod == dst_pod) {
+    // Rotate the aggregation choice off the oblivious dst % half pick, so
+    // k == 0 would reproduce compute_route exactly (it is never called
+    // with 0; the rotation keeps the two enumerations aligned anyway).
+    const DeviceId agg = agg_switch(src_pod, (dst % half + k) % half);
+    path.push_back(link_between(se, agg));
+    path.push_back(link_between(agg, de));
+    path.push_back(link_between(de, dst));
+    return path;
+  }
+
+  // Cross-pod: each core switch gives exactly one minimal path, and the
+  // core determines the aggregation switch on both sides (core c hangs off
+  // agg c / half in every pod).  Rotate off the oblivious core.
+  const std::size_t base_core = (dst % half) * half + (dst / half) % half;
+  const std::size_t core_idx = (base_core + k) % (half * half);
+  const std::size_t agg_idx = core_idx / half;
+  const DeviceId up_agg = agg_switch(src_pod, agg_idx);
+  const DeviceId core = core_switch(core_idx);
+  const DeviceId down_agg = agg_switch(dst_pod, agg_idx);
+  path.push_back(link_between(se, up_agg));
+  path.push_back(link_between(up_agg, core));
+  path.push_back(link_between(core, down_agg));
+  path.push_back(link_between(down_agg, de));
+  path.push_back(link_between(de, dst));
+  return path;
+}
+
 // -------------------------------------------------------------------- Torus2D
 
 Torus2D::Torus2D(std::size_t width, std::size_t height)
@@ -231,6 +315,38 @@ std::vector<LinkId> Torus2D::compute_route(NodeId src, NodeId dst) const {
     const std::size_t y2 = (y + h_ + static_cast<std::size_t>(sy)) % h_;
     path.push_back(link_between(router(x, y), router(x, y2)));
     y = y2;
+  }
+  path.push_back(link_between(router(x, y), dst));
+  return path;
+}
+
+std::size_t Torus2D::route_choices(NodeId src, NodeId dst) const {
+  if (src == dst) return 1;
+  const bool moves_x = src % w_ != dst % w_;
+  const bool moves_y = src / w_ != dst / w_;
+  return (moves_x && moves_y) ? 2 : 1;
+}
+
+std::vector<LinkId> Torus2D::compute_route_k(NodeId src, NodeId dst,
+                                             std::size_t k) const {
+  POLARIS_CHECK(k == 1);  // the only alternate: y-then-x dimension order
+  std::size_t x = src % w_, y = src / w_;
+  const std::size_t dx = dst % w_, dy = dst / w_;
+
+  std::vector<LinkId> path;
+  path.push_back(link_between(src, router(x, y)));
+
+  auto [sy, ny] = ring_steps(y, dy, h_);
+  for (std::size_t i = 0; i < ny; ++i) {
+    const std::size_t y2 = (y + h_ + static_cast<std::size_t>(sy)) % h_;
+    path.push_back(link_between(router(x, y), router(x, y2)));
+    y = y2;
+  }
+  auto [sx, nx] = ring_steps(x, dx, w_);
+  for (std::size_t i = 0; i < nx; ++i) {
+    const std::size_t x2 = (x + w_ + static_cast<std::size_t>(sx)) % w_;
+    path.push_back(link_between(router(x, y), router(x2, y)));
+    x = x2;
   }
   path.push_back(link_between(router(x, y), dst));
   return path;
@@ -301,6 +417,51 @@ std::vector<LinkId> Torus3D::compute_route(NodeId src, NodeId dst) const {
   walk(z, dz, nz_, [&](std::size_t v) { return router(x, y, v); });
 
   path.push_back(link_between(router(x, y, z), dst));
+  return path;
+}
+
+namespace {
+constexpr std::size_t kFactorial[4] = {1, 1, 2, 6};
+}  // namespace
+
+std::size_t Torus3D::route_choices(NodeId src, NodeId dst) const {
+  if (src == dst) return 1;
+  std::size_t moving = 0;
+  if (src % nx_ != dst % nx_) ++moving;
+  if ((src / nx_) % ny_ != (dst / nx_) % ny_) ++moving;
+  if (src / (nx_ * ny_) != dst / (nx_ * ny_)) ++moving;
+  return kFactorial[moving];
+}
+
+std::vector<LinkId> Torus3D::compute_route_k(NodeId src, NodeId dst,
+                                             std::size_t k) const {
+  std::size_t cur[3] = {src % nx_, (src / nx_) % ny_, src / (nx_ * ny_)};
+  const std::size_t tgt[3] = {dst % nx_, (dst / nx_) % ny_,
+                              dst / (nx_ * ny_)};
+  const std::size_t ext[3] = {nx_, ny_, nz_};
+
+  // The k-th lexicographic permutation of the moving dimensions; the
+  // sorted (identity) order is k == 0 == the oblivious x-y-z walk.
+  std::vector<std::size_t> order;
+  for (std::size_t d = 0; d < 3; ++d) {
+    if (cur[d] != tgt[d]) order.push_back(d);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const bool more = std::next_permutation(order.begin(), order.end());
+    POLARIS_CHECK_MSG(more, "route choice exceeds dimension permutations");
+  }
+
+  std::vector<LinkId> path;
+  path.push_back(link_between(src, router(cur[0], cur[1], cur[2])));
+  for (const std::size_t d : order) {
+    auto [step, count] = ring_steps(cur[d], tgt[d], ext[d]);
+    for (std::size_t i = 0; i < count; ++i) {
+      const DeviceId from = router(cur[0], cur[1], cur[2]);
+      cur[d] = (cur[d] + ext[d] + static_cast<std::size_t>(step)) % ext[d];
+      path.push_back(link_between(from, router(cur[0], cur[1], cur[2])));
+    }
+  }
+  path.push_back(link_between(router(cur[0], cur[1], cur[2]), dst));
   return path;
 }
 

@@ -16,6 +16,7 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -152,6 +153,20 @@ class LogHistogram {
       if (other.min_ < min_) min_ = other.min_;
     }
   }
+
+  /// Combines per-shard (or per-frontend, per-thread, ...) histograms into
+  /// one at export time: bucket-add over every part.  The canonical "sharded
+  /// registries merged at export" path — callers should not hand-roll the
+  /// merge_from loop.
+  static LogHistogram merge(std::span<const LogHistogram* const> parts) {
+    LogHistogram out;
+    for (const LogHistogram* p : parts) out.merge_from(*p);
+    return out;
+  }
+
+  /// Quantile estimate, q in [0, 1]: quantile(0.99) is p99.  Same
+  /// estimator as percentile(), on the conventional unit scale.
+  double quantile(double q) const { return percentile(q * 100.0); }
 
   /// Percentile estimate (p in [0, 100]): cumulative walk to the target
   /// rank, linear interpolation inside the landing bucket.

@@ -172,6 +172,7 @@ Result ShardedEngine::run() {
   }
   res.max_shard_busy_s = static_cast<double>(max_busy) * 1e-9;
   res.sum_busy_s = static_cast<double>(sum_busy) * 1e-9;
+  std::vector<const obs::LogHistogram*> window_ns, window_events, drain_batch;
   for (const auto& w : worlds_) {
     res.events += w->events();
     res.msgs_intra += w->msgs_intra();
@@ -179,10 +180,13 @@ Result ShardedEngine::run() {
     res.nacks += w->nacks();
     res.peak_event_nodes += w->peak_event_nodes();
     res.peak_inflight_recs += w->peak_inflight_recs();
-    res.window_ns.merge_from(w->window_ns_hist());
-    res.window_events.merge_from(w->window_events_hist());
-    res.drain_batch.merge_from(w->drain_batch_hist());
+    window_ns.push_back(&w->window_ns_hist());
+    window_events.push_back(&w->window_events_hist());
+    drain_batch.push_back(&w->drain_batch_hist());
   }
+  res.window_ns = obs::LogHistogram::merge(window_ns);
+  res.window_events = obs::LogHistogram::merge(window_events);
+  res.drain_batch = obs::LogHistogram::merge(drain_batch);
 
   // Golden trace: every rank's per-phase completion stream plus its final
   // state, folded in global rank order — shard-placement invariant.

@@ -86,6 +86,26 @@ struct RetryPolicy {
   double recv_timeout = 0.0;     ///< seconds; 0 disables receive timeouts
 };
 
+/// Congestion-aware eager admission (SimWorld::set_admission).
+///
+/// With max_per_dest > 0, an eager wire injection toward a destination rank
+/// that already has that many eager messages on the wire is deferred by
+/// `backoff` seconds (doubling per consecutive deferral of the same
+/// message) before re-testing — senders back off hot destinations instead
+/// of piling serialization onto their edge link.  After max_deferrals the
+/// message injects regardless: admission shapes traffic, it never drops,
+/// and per-source ordering is preserved by the receiver's sequence-number
+/// hold rings exactly as for any other out-of-order delivery.
+///
+/// Disabled by default (max_per_dest == 0): the wire chain takes one
+/// untaken branch and runs are event-for-event identical to the seed.
+struct AdmissionControl {
+  std::uint32_t max_per_dest = 0;  ///< in-flight eager cap per dest; 0 = off
+  double backoff = 5e-6;           ///< seconds before the first re-test
+  double backoff_factor = 2.0;     ///< multiplier per consecutive deferral
+  std::uint32_t max_deferrals = 8; ///< then inject unconditionally
+};
+
 namespace detail {
 
 /// Slab-pooled per-message simulation record (one per send, owned by the
@@ -108,6 +128,7 @@ struct InFlight {
   // Fault-path state (untouched on healthy runs beyond the acquire reset).
   SimStatus status = SimStatus::kOk;  ///< sticky first failure
   std::uint8_t retries_used = 0;      ///< eager wire retries consumed
+  std::uint8_t deferrals = 0;         ///< eager admission back-offs consumed
   bool dropped = false;               ///< gave up; seq advanced, no delivery
   des::EventId sync_timeout{};        ///< rendezvous match-wait deadline
 };
@@ -438,6 +459,24 @@ class SimWorld {
   std::uint64_t msg_drops() const { return msg_drops_; }
   std::uint64_t recv_timeouts() const { return recv_timeouts_; }
 
+  // -- eager admission control -------------------------------------------------
+  /// Arms congestion-aware eager admission (see AdmissionControl).  Call
+  /// before launch(); never call with messages on the wire.
+  void set_admission(AdmissionControl admission);
+  const AdmissionControl& admission() const { return admission_; }
+  bool admission_enabled() const { return admission_.max_per_dest > 0; }
+  std::uint32_t eager_dest_load(int rank) const {
+    return eager_dest_load_[static_cast<std::size_t>(rank)];
+  }
+  void note_eager_inject(int rank) {
+    ++eager_dest_load_[static_cast<std::size_t>(rank)];
+  }
+  void note_eager_done(int rank) {
+    --eager_dest_load_[static_cast<std::size_t>(rank)];
+  }
+  void count_deferral() { ++eager_deferrals_; }
+  std::uint64_t eager_deferrals() const { return eager_deferrals_; }
+
   /// Attaches a tracer (use an obs::SimClock over this world's engine):
   /// one track per rank plus the network's per-link tracks.  Rank spans
   /// cover every operation — send/recv with protocol-phase sub-spans,
@@ -482,6 +521,9 @@ class SimWorld {
   obs::MetricsRegistry* metrics_ = nullptr;
   fault::Injector* injector_ = nullptr;
   RetryPolicy retry_policy_;
+  AdmissionControl admission_;
+  std::vector<std::uint32_t> eager_dest_load_;  ///< empty until set_admission
+  std::uint64_t eager_deferrals_ = 0;
   std::uint64_t msg_retries_ = 0;
   std::uint64_t msg_drops_ = 0;
   std::uint64_t recv_timeouts_ = 0;

@@ -137,7 +137,29 @@ des::Task<void> SimComm::send_eager(detail::InFlight& f) {
 void SimComm::eager_wire_cb(void* ctx) {
   auto& f = *static_cast<detail::InFlight*>(ctx);
   SimComm& dst = *f.dst_comm;
-  dst.world_->network().transfer_raw(
+  SimWorld& w = *dst.world_;
+  if (w.admission_enabled()) {
+    const AdmissionControl& ac = w.admission();
+    if (f.deferrals < ac.max_deferrals &&
+        w.eager_dest_load(dst.rank_) >= ac.max_per_dest) {
+      // The destination is hot: hold this injection back and re-test
+      // after an exponentially growing pause.
+      double backoff = ac.backoff;
+      for (std::uint8_t i = 0; i < f.deferrals; ++i) {
+        backoff *= ac.backoff_factor;
+      }
+      ++f.deferrals;
+      w.count_deferral();
+      w.engine().schedule_raw_after(des::from_seconds(backoff),
+                                    &SimComm::eager_wire_cb, &f);
+      return;
+    }
+    // Admitted: counted until eager_delivered_cb runs (a failed wire leg
+    // decrements there and re-increments when the retry re-enters here,
+    // so the load count tracks actual wire occupancy).
+    w.note_eager_inject(dst.rank_);
+  }
+  w.network().transfer_raw(
       dst.node_of(f.src), dst.node_of(dst.rank_),
       f.bytes + SimWorld::kHeaderBytes, &SimComm::eager_delivered_cb, &f);
 }
@@ -146,6 +168,7 @@ void SimComm::eager_delivered_cb(void* ctx, fabric::XferStatus status) {
   auto& f = *static_cast<detail::InFlight*>(ctx);
   SimComm& dst = *f.dst_comm;
   SimWorld& w = *dst.world_;
+  if (w.admission_enabled()) w.note_eager_done(dst.rank_);
   if (status != fabric::XferStatus::kOk) {
     const RetryPolicy& rp = w.retry_policy();
     if (f.retries_used < rp.max_retries) {
@@ -840,6 +863,7 @@ std::uint32_t SimWorld::acquire_inflight() {
   f.refs = 2;  // the sender's protocol chain + the receiving recv
   f.status = SimStatus::kOk;
   f.retries_used = 0;
+  f.deferrals = 0;
   f.dropped = false;
   f.sync_timeout = des::EventId{};
   max_inflight_in_use_ = std::max(max_inflight_in_use_, inflight_in_use());
@@ -878,6 +902,12 @@ void SimWorld::enable_faults(fault::Injector& injector, RetryPolicy policy) {
   injector_ = &injector;
   retry_policy_ = policy;
   network_->enable_faults();
+}
+
+void SimWorld::set_admission(AdmissionControl admission) {
+  POLARIS_CHECK(admission.backoff > 0.0 && admission.backoff_factor >= 1.0);
+  admission_ = admission;
+  eager_dest_load_.assign(admission_enabled() ? comms_.size() : 0, 0);
 }
 
 void SimWorld::attach_metrics(obs::MetricsRegistry& metrics) {
@@ -961,6 +991,10 @@ double SimWorld::run() {
     }
     metrics_->gauge("simrt.eager_sends").set(static_cast<double>(eager));
     metrics_->gauge("simrt.rendezvous_sends").set(static_cast<double>(rdv));
+    if (admission_enabled()) {
+      metrics_->gauge("simrt.eager_deferrals")
+          .set(static_cast<double>(eager_deferrals_));
+    }
     metrics_->gauge("msg.reg_cache.hits").set(static_cast<double>(reg_hits));
     metrics_->gauge("msg.reg_cache.misses").set(
         static_cast<double>(reg_misses));

@@ -1,0 +1,165 @@
+// The serving tier: open-loop arrivals, LB policies, tail latency, and
+// failover.  These are behavioural tests of ServeSim as a closed system —
+// every request that enters must leave as exactly one completion or one
+// drop, the whole run must replay bit-for-bit from its seed, and the
+// queueing-theory ordering (smarter balancers -> shorter tails at high
+// load) must come out of the simulation rather than being baked in.
+#include "polaris/serve/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "polaris/fabric/params.hpp"
+#include "polaris/fabric/topology.hpp"
+#include "polaris/obs/metrics.hpp"
+
+namespace polaris::serve {
+namespace {
+
+/// Small-but-loaded baseline: 2 front-ends, 4 shards, 10us service.
+/// Per-shard capacity 100k rps -> aggregate 400k; `rho` scales the
+/// open-loop offered load against it.
+ServeConfig quick_config(double rho, LbPolicy lb) {
+  ServeConfig cfg;
+  cfg.frontends = 2;
+  cfg.shards = 4;
+  cfg.service_mean_s = 10e-6;
+  const double capacity = cfg.shards / cfg.service_mean_s;
+  cfg.arrival = support::ArrivalSpec::poisson(rho * capacity / cfg.frontends);
+  cfg.request_bytes = 128;
+  cfg.response_bytes = 128;
+  cfg.lb = lb;
+  cfg.fabric = fabric::fabrics::myrinet2000();
+  cfg.duration_s = 0.05;
+  cfg.warmup_s = 0.01;
+  cfg.seed = 0xBEEF;
+  return cfg;
+}
+
+TEST(ServeSim, EveryRequestCompletesOrDrops) {
+  ServeSim sim(quick_config(0.7, LbPolicy::kRandom));
+  const ServeResult r = sim.run();
+  EXPECT_GT(r.offered, 0u);
+  EXPECT_EQ(r.offered, r.completed + r.dropped);
+  EXPECT_EQ(r.dropped, 0u);  // no faults -> nothing can be lost
+  EXPECT_EQ(r.failovers, 0u);
+  EXPECT_LE(r.recorded, r.completed);
+  EXPECT_EQ(r.latency_ns.count(), r.recorded);
+}
+
+TEST(ServeSim, OpenLoopOfferedLoadTracksArrivalRate) {
+  const ServeConfig cfg = quick_config(0.5, LbPolicy::kRoundRobin);
+  ServeSim sim(cfg);
+  const ServeResult r = sim.run();
+  const double expected =
+      cfg.frontends * cfg.arrival.rate * cfg.duration_s;
+  EXPECT_NEAR(static_cast<double>(r.offered), expected, expected * 0.1);
+}
+
+TEST(ServeSim, SameSeedReplaysBitForBit) {
+  const ServeConfig cfg = quick_config(0.8, LbPolicy::kPo2c);
+  ServeSim a(cfg);
+  ServeSim b(cfg);
+  const ServeResult ra = a.run();
+  const ServeResult rb = b.run();
+  EXPECT_EQ(ra.offered, rb.offered);
+  EXPECT_EQ(ra.completed, rb.completed);
+  EXPECT_EQ(ra.recorded, rb.recorded);
+  EXPECT_EQ(ra.max_queue_depth, rb.max_queue_depth);
+  EXPECT_EQ(ra.latency_ns.sum(), rb.latency_ns.sum());
+  EXPECT_EQ(ra.latency_ns.max(), rb.latency_ns.max());
+  EXPECT_EQ(ra.net.messages, rb.net.messages);
+  EXPECT_EQ(ra.net.bytes, rb.net.bytes);
+  EXPECT_EQ(a.engine().now(), b.engine().now());
+}
+
+TEST(ServeSim, DifferentSeedsDiverge) {
+  ServeConfig cfg = quick_config(0.8, LbPolicy::kRandom);
+  ServeSim a(cfg);
+  cfg.seed += 1;
+  ServeSim b(cfg);
+  EXPECT_NE(a.run().latency_ns.sum(), b.run().latency_ns.sum());
+}
+
+// The reason the serving tier exists: at high load, sampling queue state
+// (po2c, jsq) must beat blind policies on the tail.  The bench pins the
+// exact ratios; here we only assert the ordering so the test stays robust
+// to parameter drift.
+TEST(ServeSim, QueueAwarePoliciesCutTheTailAtHighLoad) {
+  const double rho = 0.9;
+  const ServeResult random = ServeSim(quick_config(rho, LbPolicy::kRandom)).run();
+  const ServeResult po2c = ServeSim(quick_config(rho, LbPolicy::kPo2c)).run();
+  const ServeResult jsq = ServeSim(quick_config(rho, LbPolicy::kJsq)).run();
+  EXPECT_LT(po2c.p99_us(), random.p99_us());
+  EXPECT_LT(jsq.p99_us(), random.p99_us());
+  EXPECT_LE(po2c.max_queue_depth, random.max_queue_depth);
+}
+
+TEST(ServeSim, ShardCrashFailsOverAndConserves) {
+  ServeConfig cfg = quick_config(0.6, LbPolicy::kPo2c);
+  cfg.timeline_bucket_s = 0.005;
+  ServeSim sim(cfg);
+  // Kill one shard for the middle of the run; its traffic must fail over.
+  sim.injector().schedule_node_crash(0.02, sim.shard_node(0),
+                                     /*repair_after=*/0.015);
+  const ServeResult r = sim.run();
+  EXPECT_GT(r.failovers, 0u);
+  EXPECT_EQ(r.offered, r.completed + r.dropped);
+  EXPECT_GT(r.completed, 0u);
+  // 10 buckets of 5ms cover the 50ms run; every completion lands in one.
+  ASSERT_EQ(r.timeline.size(), 10u);
+  std::uint64_t bucketed = 0;
+  for (const auto& h : r.timeline) bucketed += h.count();
+  EXPECT_EQ(bucketed, r.completed);
+}
+
+TEST(ServeSim, CustomPlacementRoutesOverTheGivenNodes) {
+  ServeConfig cfg = quick_config(0.3, LbPolicy::kRoundRobin);
+  cfg.frontends = 2;
+  cfg.shards = 2;
+  cfg.arrival = support::ArrivalSpec::poisson(20'000.0);
+  // Front-ends in pod 0 of a 16-host fat tree, shards in pod 3: every
+  // request/response crosses the core.
+  cfg.frontend_nodes = {0, 1};
+  cfg.shard_nodes = {12, 13};
+  ServeSim sim(cfg, std::make_unique<fabric::FatTree>(4));
+  EXPECT_EQ(sim.frontend_node(1), 1u);
+  EXPECT_EQ(sim.shard_node(0), 12u);
+  const ServeResult r = sim.run();
+  EXPECT_EQ(r.offered, r.completed);
+  EXPECT_GT(r.net.messages, 0u);
+}
+
+TEST(ServeSim, AdaptiveRoutingModeReachesTheNetwork) {
+  ServeConfig cfg = quick_config(0.5, LbPolicy::kRandom);
+  cfg.routing = fabric::RoutingMode::kAdaptive;
+  cfg.frontend_nodes = {0, 1};
+  cfg.shard_nodes = {4, 6, 8, 10};
+  ServeSim sim(cfg, std::make_unique<fabric::FatTree>(4));
+  EXPECT_EQ(sim.network().routing(), fabric::RoutingMode::kAdaptive);
+  const ServeResult r = sim.run();
+  EXPECT_EQ(r.offered, r.completed);
+  EXPECT_GT(r.net.adaptive_decisions, 0u);
+}
+
+TEST(ServeSim, ExportMetricsMirrorsTheResult) {
+  const ServeResult r = ServeSim(quick_config(0.5, LbPolicy::kJsq)).run();
+  obs::MetricsRegistry reg;
+  export_metrics(r, reg);
+  EXPECT_EQ(reg.counter("serve.offered").value(), r.offered);
+  EXPECT_EQ(reg.counter("serve.completed").value(), r.completed);
+  EXPECT_EQ(reg.log_histogram("serve.latency_ns").count(),
+            r.latency_ns.count());
+  EXPECT_DOUBLE_EQ(reg.gauge("serve.p99_us").value(), r.p99_us());
+}
+
+TEST(ServeSim, ToStringCoversAllPolicies) {
+  EXPECT_STREQ(to_string(LbPolicy::kRandom), "random");
+  EXPECT_STREQ(to_string(LbPolicy::kRoundRobin), "round-robin");
+  EXPECT_STREQ(to_string(LbPolicy::kJsq), "jsq");
+  EXPECT_STREQ(to_string(LbPolicy::kPo2c), "po2c");
+}
+
+}  // namespace
+}  // namespace polaris::serve

@@ -96,6 +96,53 @@ TEST(SimWorldP2P, EagerThresholdOverrideChangesProtocol) {
   EXPECT_EQ(world.comm(0).eager_count(), 1u);
 }
 
+// Incast of eager messages onto one receiver, with and without admission
+// control.  The knob SHAPES traffic — deferred injections retry with
+// backoff until the destination drains — so every message still arrives;
+// only the injection schedule changes.
+TEST(SimWorldP2P, EagerAdmissionDefersButDeliversEverything) {
+  constexpr int kSenders = 7;
+  constexpr int kPerSender = 4;
+  auto incast = [&](SimWorld& world) {
+    world.launch([&](SimComm& c) -> des::Task<void> {
+      if (c.rank() == 0) {
+        for (int i = 0; i < kSenders * kPerSender; ++i) {
+          co_await c.recv(msg::kAnySource, 0);
+        }
+      } else {
+        for (int i = 0; i < kPerSender; ++i) {
+          co_await c.send(0, 0, 512);  // well under the eager threshold
+        }
+      }
+    });
+    world.run();
+  };
+
+  SimWorld off(kSenders + 1, myrinet2000());
+  incast(off);
+  EXPECT_EQ(off.eager_deferrals(), 0u);  // knob off: zero-cost branch
+
+  SimWorld on(kSenders + 1, myrinet2000());
+  AdmissionControl ac;
+  ac.max_per_dest = 2;
+  on.set_admission(ac);
+  incast(on);
+  EXPECT_GT(on.eager_deferrals(), 0u);  // 7 senders vs a 2-message window
+  // Conservation: the receiver's loop completed, so all 28 landed.
+  EXPECT_EQ(on.comm(1).eager_count(), static_cast<std::uint64_t>(kPerSender));
+}
+
+TEST(SimWorldP2P, AdmissionOffIsEventIdenticalToSeedPath) {
+  // set_admission with max_per_dest = 0 must be indistinguishable from
+  // never calling it (the golden-trace test pins the global version of
+  // this; here we pin the cheap local invariant).
+  SimWorld world(2, infiniband_4x());
+  AdmissionControl ac;
+  ac.max_per_dest = 0;
+  world.set_admission(ac);
+  EXPECT_FALSE(world.admission_enabled());
+}
+
 TEST(SimWorldP2P, MessagesDoNotOvertake) {
   // A large eager message followed by a small one, same tag: the receiver
   // must see them in send order despite different wire times.

@@ -1,0 +1,114 @@
+#include "polaris/support/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace polaris::support {
+namespace {
+
+TEST(ArrivalProcess, GapsAreStrictlyPositive) {
+  for (const auto spec :
+       {ArrivalSpec::poisson(1e6), ArrivalSpec::bursty(1e6)}) {
+    ArrivalProcess p(spec, 42);
+    for (int i = 0; i < 10'000; ++i) {
+      EXPECT_GT(p.next(), 0.0);
+    }
+  }
+}
+
+TEST(ArrivalProcess, SameSeedReplaysExactly) {
+  for (const auto spec :
+       {ArrivalSpec::poisson(50'000.0), ArrivalSpec::bursty(50'000.0)}) {
+    ArrivalProcess a(spec, 7);
+    ArrivalProcess b(spec, 7);
+    for (int i = 0; i < 5'000; ++i) {
+      EXPECT_EQ(a.next(), b.next());
+      EXPECT_EQ(a.in_burst(), b.in_burst());
+    }
+  }
+}
+
+TEST(ArrivalProcess, DifferentSeedsDiverge) {
+  ArrivalProcess a(ArrivalSpec::poisson(1000.0), 1);
+  ArrivalProcess b(ArrivalSpec::poisson(1000.0), 2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(ArrivalProcess, PoissonLongRunRateMatchesSpec) {
+  const double rate = 200'000.0;
+  ArrivalProcess p(ArrivalSpec::poisson(rate), 3);
+  const int n = 200'000;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += p.next();
+  const double measured = n / total;
+  EXPECT_NEAR(measured, rate, rate * 0.02);
+  EXPECT_FALSE(p.in_burst());  // Poisson never modulates
+}
+
+// The MMPP solver normalizes the calm/burst rates so that the long-run
+// average is the nominal rate: a bursty process at rate R is directly
+// load-comparable to Poisson at rate R.
+TEST(ArrivalProcess, BurstyLongRunRateMatchesNominal) {
+  const double rate = 100'000.0;
+  ArrivalProcess p(ArrivalSpec::bursty(rate, /*burst_factor=*/8.0,
+                                       /*burst_fraction=*/0.1,
+                                       /*mean_burst_s=*/2e-3),
+                   11);
+  const int n = 500'000;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += p.next();
+  EXPECT_NEAR(n / total, rate, rate * 0.05);
+}
+
+TEST(ArrivalProcess, BurstyVisitsBothStatesAtConfiguredFraction) {
+  const double burst_fraction = 0.2;
+  ArrivalProcess p(
+      ArrivalSpec::bursty(50'000.0, 10.0, burst_fraction, 1e-3), 13);
+  const int n = 400'000;
+  double total = 0.0;
+  double burst_time = 0.0;
+  int burst_arrivals = 0;
+  for (int i = 0; i < n; ++i) {
+    const double gap = p.next();
+    total += gap;
+    // Attribute each gap to the state its arrival lands in: summing gaps
+    // recovers elapsed time, so burst_time converges on time-in-burst.
+    if (p.in_burst()) {
+      burst_time += gap;
+      ++burst_arrivals;
+    }
+  }
+  // Time share = the configured stationary fraction...
+  EXPECT_NEAR(burst_time / total, burst_fraction, 0.05);
+  // ...but bursts arrive burst_factor times faster, so the ARRIVAL share
+  // is amplified: f*B / (f*B + (1-f)) = 0.71 for f=0.2, B=10.
+  const double f = burst_fraction, b = 10.0;
+  const double arrivals_share = f * b / (f * b + (1.0 - f));
+  EXPECT_NEAR(static_cast<double>(burst_arrivals) / n, arrivals_share, 0.1);
+}
+
+TEST(ArrivalProcess, BurstStateArrivesFasterThanCalm) {
+  ArrivalProcess p(ArrivalSpec::bursty(10'000.0, 16.0, 0.1, 5e-3), 17);
+  double calm_total = 0.0, burst_total = 0.0;
+  int calm_n = 0, burst_n = 0;
+  for (int i = 0; i < 300'000; ++i) {
+    const double gap = p.next();
+    if (p.in_burst()) {
+      burst_total += gap;
+      ++burst_n;
+    } else {
+      calm_total += gap;
+      ++calm_n;
+    }
+  }
+  ASSERT_GT(calm_n, 0);
+  ASSERT_GT(burst_n, 0);
+  const double calm_mean = calm_total / calm_n;
+  const double burst_mean = burst_total / burst_n;
+  EXPECT_LT(burst_mean, calm_mean / 4.0);  // nominally 16x faster
+}
+
+}  // namespace
+}  // namespace polaris::support

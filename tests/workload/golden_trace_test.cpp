@@ -37,11 +37,17 @@ struct GoldenRun {
   std::size_t trace_bytes = 0;
 };
 
-GoldenRun run_halo16() {
+GoldenRun run_halo16(bool explicit_oblivious = false) {
   Halo2DConfig cfg;
   cfg.iterations = 3;
   AppResult res;
   simrt::SimWorld world(16, fabric::fabrics::myrinet2000());
+  if (explicit_oblivious) {
+    // Redundant with the default, deliberately: this run proves that a
+    // build carrying the adaptive-routing machinery produces the seed
+    // trace when the mode is (explicitly) off.
+    world.network().set_routing(fabric::RoutingMode::kOblivious);
+  }
   obs::SimClock clock(world.engine());
   obs::Tracer tracer(clock);
   world.attach_tracer(tracer);
@@ -75,6 +81,20 @@ constexpr std::size_t kGoldenTraceBytes = 103794;
 
 TEST(GoldenTrace, HaloExchangeMatchesSeedEngineEventOrder) {
   const GoldenRun run = run_halo16();
+  EXPECT_EQ(run.final_time, kGoldenFinalTime);
+  EXPECT_EQ(run.executed, kGoldenExecuted);
+  EXPECT_EQ(run.scheduled, kGoldenScheduled);
+  EXPECT_EQ(run.trace_bytes, kGoldenTraceBytes);
+  EXPECT_EQ(run.trace_hash, kGoldenTraceHash);
+}
+
+// Adaptive routing is compiled into the network but DISABLED here: with
+// RoutingMode::kOblivious every injection takes Topology::route() — choice
+// 0 of the multipath set, bit-identical to the pre-multipath paths — so
+// the golden constants must still hold exactly.  A mismatch means the
+// adaptive machinery leaked into the oblivious data path.
+TEST(GoldenTrace, AdaptiveRoutingDisabledReplaysSeedTraceExactly) {
+  const GoldenRun run = run_halo16(/*explicit_oblivious=*/true);
   EXPECT_EQ(run.final_time, kGoldenFinalTime);
   EXPECT_EQ(run.executed, kGoldenExecuted);
   EXPECT_EQ(run.scheduled, kGoldenScheduled);

@@ -62,6 +62,7 @@
 #include "polaris/fabric/params.hpp"
 #include "polaris/fabric/topology.hpp"
 #include "polaris/obs/trace.hpp"
+#include "polaris/support/check.hpp"
 
 namespace polaris::fabric {
 
@@ -207,6 +208,21 @@ class SimNetwork {
   /// bypassed — and circuit establishment emits instant events.  Untraced
   /// runs pay one null-pointer branch per reservation.
   void attach_tracer(obs::Tracer& tracer);
+
+  /// Stops recording (hot paths take their null-tracer branches); tracks
+  /// and interned names survive, so re-attaching the same tracer rebinds
+  /// without creating duplicates.
+  void detach_tracer() { tracer_ = nullptr; }
+
+  /// Cheap enable gate over the bound tracer: the record-path pointer
+  /// itself is the flag, so disabled tracing costs exactly the
+  /// null-pointer branch an untraced run pays — no per-event enabled
+  /// check.  Requires a prior attach_tracer; tracks and interned names
+  /// are untouched either way.
+  void set_tracing_enabled(bool on) {
+    POLARIS_CHECK(bound_tracer_ != nullptr);
+    tracer_ = on ? bound_tracer_ : nullptr;
+  }
 
   /// Busy seconds accumulated on one link (serialization occupancy).
   double link_busy_seconds(LinkId id) const;
@@ -397,6 +413,9 @@ class SimNetwork {
       std::numeric_limits<obs::TrackId>::max();
   std::vector<obs::TrackId> link_tracks_;
   obs::TrackId circuit_track_ = kNoTrack;
+  obs::NameId busy_id_ = obs::kNoName;      ///< interned in attach_tracer
+  obs::NameId cat_link_id_ = obs::kNoName;  ///< interned in attach_tracer
+  obs::Tracer* bound_tracer_ = nullptr;     ///< tracer tracks were built for
 
   // Optical circuit cache: per source, LRU of destinations in a fixed
   // inline array (front = most recent).

@@ -557,7 +557,8 @@ void SimNetwork::credit_link(LinkId l, des::SimTime begin, des::SimTime ser,
   if (tracer_) {
     // One span per reservation; a bypassed message credits each link with a
     // single merged span whose duration covers all its packets.
-    tracer_->complete_span(link_track(l), "busy", "link", begin, busy);
+    tracer_->complete_span(link_track(l), busy_id_, cat_link_id_, begin,
+                           busy);
   }
 }
 
@@ -704,6 +705,13 @@ double SimNetwork::link_busy_seconds(LinkId id) const {
 
 void SimNetwork::attach_tracer(obs::Tracer& tracer) {
   tracer_ = &tracer;
+  if (bound_tracer_ == &tracer) return;  // rebind after detach_tracer
+  bound_tracer_ = &tracer;
+  // The per-reservation link span is the hottest record site in the
+  // simulator: cache its interned names.  Circuit spans keep dynamic
+  // "src->dst" names (cold, one per setup/hit).
+  busy_id_ = tracer.intern("busy");
+  cat_link_id_ = tracer.intern("link");
   link_tracks_.assign(topo_.link_count(), kNoTrack);
   if (params_.circuit_setup > 0.0) {
     circuit_track_ = tracer.add_track("links", "circuits");

@@ -4,11 +4,13 @@
 // from the registry) and updates it with one atomic op; a null pointer
 // means "no observer attached" and costs one predictable branch.  Metric
 // objects live as long as the registry, so cached pointers never dangle.
-// Counters and gauges are lock-free; histograms take a short mutex because
-// they retain samples for exact percentiles (cross-checked against
-// support::Summary in tests).
+// Counters and gauges are lock-free; Histogram takes a short mutex and
+// bounds its memory with a reservoir (percentiles cross-checked against
+// support::Summary in tests); LogHistogram is the single-writer hot-path
+// alternative with no lock and no retained samples.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstdint>
@@ -20,8 +22,6 @@
 #include <string>
 #include <string_view>
 #include <vector>
-
-#include "polaris/support/stats.hpp"
 
 namespace polaris::obs {
 
@@ -58,46 +58,117 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Sample distribution with exact percentiles.  record() appends under a
-/// mutex; reads snapshot under the same mutex.  Intended for per-operation
-/// latencies/sizes at experiment scale, not unbounded streams.
+/// Sample distribution with bounded memory.  record() appends under a
+/// mutex; reads snapshot under the same mutex.  Up to `reservoir_cap`
+/// samples are retained exactly (percentiles match support::Summary to the
+/// bit); past the cap, reservoir sampling (Vitter's algorithm R, fixed-seed
+/// xorshift so runs are deterministic) keeps a uniform subset for
+/// percentile estimates while count/sum/min/max stay exact.  Intended for
+/// attach-time/report paths, not the hot path — hot paths use LogHistogram.
 class Histogram {
  public:
+  static constexpr std::size_t kDefaultReservoirCap = 16384;
+
+  explicit Histogram(std::size_t reservoir_cap = kDefaultReservoirCap)
+      : cap_(reservoir_cap > 0 ? reservoir_cap : 1) {}
+
   void record(double x) {
     const std::lock_guard<std::mutex> lock(mu_);
-    summary_.add(x);
+    ++count_;
+    sum_ += x;
+    if (count_ == 1 || x < min_) min_ = x;
+    if (count_ == 1 || x > max_) max_ = x;
+    if (samples_.size() < cap_) {
+      samples_.push_back(x);
+      if (samples_.size() > 1) sorted_ = false;
+    } else {
+      // Replace a random slot with probability cap/count: every sample seen
+      // so far is retained with equal probability.
+      const std::uint64_t j = next_rand() % count_;
+      if (j < cap_) {
+        samples_[static_cast<std::size_t>(j)] = x;
+        sorted_ = false;
+      }
+    }
   }
 
   std::size_t count() const {
     const std::lock_guard<std::mutex> lock(mu_);
-    return summary_.count();
+    return static_cast<std::size_t>(count_);
   }
   double mean() const {
     const std::lock_guard<std::mutex> lock(mu_);
-    return summary_.count() ? summary_.mean() : 0.0;
+    return count_ ? exact_sum() / static_cast<double>(count_) : 0.0;
   }
   double min() const {
     const std::lock_guard<std::mutex> lock(mu_);
-    return summary_.count() ? summary_.min() : 0.0;
+    return count_ ? min_ : 0.0;
   }
   double max() const {
     const std::lock_guard<std::mutex> lock(mu_);
-    return summary_.count() ? summary_.max() : 0.0;
+    return count_ ? max_ : 0.0;
   }
   double sum() const {
     const std::lock_guard<std::mutex> lock(mu_);
-    return summary_.count() ? summary_.sum() : 0.0;
+    return count_ ? exact_sum() : 0.0;
   }
   /// Linear-interpolated percentile, p in [0, 100]; same definition as
-  /// support::Summary::percentile.
+  /// support::Summary::percentile (exact below the reservoir cap, a
+  /// uniform-subset estimate above it).
   double percentile(double p) const {
     const std::lock_guard<std::mutex> lock(mu_);
-    return summary_.count() ? summary_.percentile(p) : 0.0;
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    if (samples_.size() == 1) return samples_[0];
+    const double rank =
+        p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size()) return samples_.back();
+    return samples_[lo] + frac * (samples_[lo + 1] - samples_[lo]);
   }
+  /// Number of retained samples (== count() until the reservoir fills).
+  std::size_t reservoir_size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+  }
+  std::size_t reservoir_cap() const { return cap_; }
 
  private:
+  /// Matches support::Summary::sum(): accumulate over the retained vector
+  /// (bit-identical below the cap); past the cap the running total is the
+  /// exact value.
+  double exact_sum() const {
+    if (count_ <= cap_) {
+      double s = 0.0;
+      for (const double x : samples_) s += x;
+      return s;
+    }
+    return sum_;
+  }
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  std::uint64_t next_rand() {
+    // xorshift64: deterministic, never zero.
+    rng_ ^= rng_ << 13;
+    rng_ ^= rng_ >> 7;
+    rng_ ^= rng_ << 17;
+    return rng_;
+  }
+
   mutable std::mutex mu_;
-  support::Summary summary_;
+  const std::size_t cap_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t rng_ = 0x9e3779b97f4a7c15ULL;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
 };
 
 /// Fixed-bucket log-linear histogram (HdrHistogram-style) for hot-path
@@ -142,6 +213,17 @@ class LogHistogram {
     return count_ != 0 ? static_cast<double>(sum_) / count_ : 0.0;
   }
 
+  /// Zeroes every bucket and accumulator so the instance can be reused
+  /// (per-shard histograms between runs, ring reuse) without reallocating
+  /// the counts array.
+  void reset() {
+    std::fill(counts_.begin(), counts_.end(), std::uint64_t{0});
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+    min_ = ~std::uint64_t{0};
+  }
+
   /// Bucket-add merge; the receiving histogram accumulates `other`'s
   /// samples at bucket resolution (exact counts, ~3% value quantization).
   void merge_from(const LogHistogram& other) {
@@ -178,11 +260,9 @@ class LogHistogram {
       if (counts_[i] == 0) continue;
       const std::uint64_t next = seen + counts_[i];
       if (static_cast<double>(next) >= rank) {
-        const double into =
-            counts_[i] == 0
-                ? 0.0
-                : (rank - static_cast<double>(seen)) /
-                      static_cast<double>(counts_[i]);
+        // counts_[i] > 0 here: empty buckets were skipped above.
+        const double into = (rank - static_cast<double>(seen)) /
+                            static_cast<double>(counts_[i]);
         return static_cast<double>(bucket_floor(i)) +
                into * static_cast<double>(bucket_width(i));
       }

@@ -11,24 +11,50 @@
 //
 // Instrumented code holds a `Tracer*` that is null until an observer
 // attaches; every hook is a branch on that pointer, so an untraced run
-// pays nothing else.  Recording is thread-safe (one mutex around the event
-// log): the DES engine is single-threaded, the real runtime's rank threads
-// contend only while tracing is on.
+// pays nothing else.  Two storage modes:
+//
+//  * Full mode (default): every event is retained verbatim (std::string
+//    name/category, one mutex around the log).  Exact, unbounded, and
+//    byte-stable — the golden-trace suite pins its JSON output.
+//  * Ring mode (construct with RingOptions): each track owns a fixed
+//    capacity single-producer/single-consumer ring of 32-byte compact
+//    events over interned name IDs.  record = a relaxed enabled check, a
+//    deterministic 1-in-N sampling branch, and (if sampled) a clock read
+//    plus one ring slot write — no allocation, no lock, no string.  When a
+//    ring fills, the newest events are dropped and counted; always-on
+//    per-track counters (span count, sampled span nanoseconds, drops) stay
+//    exact regardless of sampling.  TraceStreamWriter drains rings
+//    incrementally so arbitrarily long runs export in bounded memory.
+//
+// Ring-mode concurrency contract: each track is recorded by at most one
+// thread at a time (ranks, shards and links already have per-owner
+// tracks); the drainer may run concurrently with all producers.
 #pragma once
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
+#include <deque>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "polaris/obs/clock.hpp"
+#include "polaris/support/check.hpp"
 
 namespace polaris::obs {
 
 using TrackId = std::uint32_t;
+
+/// Interned event-name handle.  Id 0 is always the empty string.
+using NameId = std::uint32_t;
+inline constexpr NameId kNoName = 0;
 
 enum class EventKind : std::uint8_t {
   kSpan,     ///< has start and duration
@@ -49,7 +75,9 @@ struct TraceEvent {
   std::int64_t end_ns() const { return start_ns + (dur_ns < 0 ? 0 : dur_ns); }
 };
 
-/// Handle for an open span (index into the event log).
+/// Handle for an open span.  Full mode: index into the event log.  Ring
+/// mode: tagged (track, open-slot) pair.  An invalid id (disabled tracer,
+/// unsampled span, slot pool exhausted) makes end_span a no-op.
 struct SpanId {
   std::size_t index = std::numeric_limits<std::size_t>::max();
   bool valid() const {
@@ -57,47 +85,265 @@ struct SpanId {
   }
 };
 
+/// Bounded-memory tracing knobs; passing this to the Tracer constructor
+/// selects ring mode.
+struct RingOptions {
+  /// Events retained per track; rounded up to a power of two.  A full ring
+  /// drops the newest events (counted per track).
+  std::size_t ring_capacity = std::size_t{1} << 14;
+  /// Deterministic sampling: the k-th span (resp. instant) on a track is
+  /// recorded iff k % sample_every == 0 (rounded up to a power of two).
+  /// Counters keep exact totals either way.  1 = record everything.
+  std::uint32_t sample_every = 1;
+  /// Concurrently-open spans per track (begin/end pairs in flight).
+  std::uint32_t open_span_slots = 64;
+  /// Upper bound on add_track() calls (contract-checked).  The always-on
+  /// per-track counters are preallocated densely up front — several tracks
+  /// per cache line — so the sampled-away record path touches one hot line
+  /// instead of each track's ring header.
+  std::size_t max_tracks = 4096;
+};
+
+namespace detail {
+
+/// 32-byte interned event; track is implicit (one ring per track).
+struct CompactEvent {
+  std::int64_t start_ns = 0;
+  std::int64_t aux = 0;  ///< span: dur_ns; counter: bit pattern of value
+  NameId name = kNoName;
+  NameId category = kNoName;
+  EventKind kind = EventKind::kSpan;
+};
+
+/// Single-writer counter bump: the atomic is for the exporter's benefit,
+/// but only the track's owner thread stores it, so this is a plain
+/// load/add/store — one add on x86 instead of a serializing lock-prefixed
+/// fetch_add.
+inline void bump(std::atomic<std::uint64_t>& c, std::uint64_t d = 1) {
+  c.store(c.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+}
+
+/// Always-on per-track totals, preallocated as one dense array (two tracks
+/// per cache line) so the sampled-away record path — which touches nothing
+/// but these — stays cache-resident even with dozens of live tracks.  The
+/// per-kind totals double as the sampling phase.  Single-writer per track
+/// (the ring-mode concurrency contract); 32-byte aligned so an entry never
+/// straddles a line.
+struct alignas(32) HotCounters {
+  std::atomic<std::uint64_t> spans_total{0};
+  std::atomic<std::uint64_t> instants_total{0};
+  std::atomic<std::uint64_t> counters_total{0};
+  // Busy nanoseconds: exact for complete_span (duration known before the
+  // sampling gate); begin/end spans contribute only when sampled.
+  std::atomic<std::uint64_t> span_ns_total{0};
+};
+
+/// Single-producer/single-consumer bounded event ring plus the producer's
+/// open-span slot pool and drop accounting for one track.  Only reached on
+/// the sampled (1-in-N) path — the always-on totals live in the dense
+/// HotCounters array instead, so a sampled-away event never pulls a ring
+/// header into cache.
+struct TrackRing {
+  explicit TrackRing(const RingOptions& opts);
+
+  // Producer side (the track's owner thread).
+  bool push(const CompactEvent& ev) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail.load(std::memory_order_acquire);
+    if (h - t >= buf.size()) {
+      // Drop-newest keeps the ring a coherent prefix of each track's
+      // history and never blocks the producer.
+      bump(dropped_ring_full);
+      return false;
+    }
+    buf[static_cast<std::size_t>(h) & mask] = ev;
+    head.store(h + 1, std::memory_order_release);
+    bump(sampled_events);
+    return true;
+  }
+
+  std::uint32_t claim_slot() {
+    if (free_slots.empty()) return kNoSlot;
+    const std::uint32_t slot = free_slots.back();
+    free_slots.pop_back();
+    return slot;
+  }
+
+  void release_slot(std::uint32_t slot) { free_slots.push_back(slot); }
+
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  struct OpenSpan {
+    std::int64_t start_ns = 0;
+    NameId name = kNoName;
+    NameId category = kNoName;
+  };
+
+  std::vector<CompactEvent> buf;
+  std::size_t mask = 0;
+  // Producer line: the head index, slot pool and sampled/drop accounting,
+  // padded away from tail so the consumer's tail stores never invalidate
+  // it.  Single-writer relaxed atomics (see bump()).
+  alignas(64) std::atomic<std::uint64_t> head{0};
+  std::vector<OpenSpan> open;
+  std::vector<std::uint32_t> free_slots;
+  std::atomic<std::uint64_t> sampled_events{0};
+  std::atomic<std::uint64_t> dropped_ring_full{0};
+  std::atomic<std::uint64_t> dropped_no_slot{0};
+  // Consumer-owned: advanced by the drainer.
+  alignas(64) std::atomic<std::uint64_t> tail{0};
+};
+
+/// Lock-free track -> ring lookup table, republished (RCU-style) when a
+/// track is added; retired tables stay alive until the tracer dies so a
+/// concurrent reader never touches freed memory.
+struct RingTable {
+  TrackRing* const* rings = nullptr;
+  std::size_t count = 0;
+};
+
+}  // namespace detail
+
 class Tracer {
  public:
-  /// Spans stamped by `clock`; the clock must outlive the tracer.
+  /// Full-fidelity tracer stamped by `clock`; the clock must outlive the
+  /// tracer.  Retains every event verbatim.
   explicit Tracer(const ClockSource& clock) : clock_(&clock) {}
+
+  /// Ring-mode tracer: bounded per-track rings, interned names, sampling.
+  Tracer(const ClockSource& clock, const RingOptions& opts)
+      : clock_(&clock), ring_opts_(opts), ring_mode_(true) {
+    init_ring_mode();
+  }
 
   /// Clockless tracer: only complete_span/instant_at with explicit
   /// timestamps are meaningful (e.g. post-hoc Gantt export).
   Tracer() = default;
 
+  /// Clockless ring-mode tracer (explicit-timestamp record calls only).
+  explicit Tracer(const RingOptions& opts)
+      : ring_opts_(opts), ring_mode_(true) {
+    init_ring_mode();
+  }
+
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
+  ~Tracer();
 
   /// Registers a track.  `process` groups tracks into one Chrome process
   /// row ("ranks", "links", "jobs"); `name` labels the thread timeline.
   TrackId add_track(std::string process, std::string name);
 
+  /// Interns a name, returning a stable id usable on any record call.
+  /// Takes a mutex: call at attach time (or for cold dynamic names), cache
+  /// the id on the hot path.  The same string always yields the same id.
+  NameId intern(std::string_view s);
+
+  /// Resolves an interned id (registry lookup under the intern mutex).
+  std::string name_of(NameId id) const;
+
+  bool ring_mode() const { return ring_mode_; }
+
+  /// Master record switch.  While disabled every record call returns after
+  /// one relaxed atomic load — the "attached but idle" state benched in
+  /// BENCH_OBS.  Export and track registration still work.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
   std::int64_t now_ns() const { return clock_ ? clock_->now_ns() : 0; }
 
   /// Opens a span at the current clock time.  end_span() closes it; a span
-  /// never closed is exported with zero duration.
+  /// never closed is exported with zero duration (full mode) or dropped at
+  /// destruction (ring mode).
   SpanId begin_span(TrackId track, std::string name,
-                    std::string category = {});
-  void end_span(SpanId id);
+                    std::string category = {}) {
+    if (!enabled()) return SpanId{};
+    return begin_span_slow(track, std::move(name), std::move(category));
+  }
+  SpanId begin_span(TrackId track, NameId name, NameId category = kNoName) {
+    if (!enabled()) return SpanId{};
+    if (!ring_mode_) return begin_span_id(track, name, category);
+    // Sampled-away spans are counted and nothing else: no clock read, no
+    // slot claim, no ring lookup; the invalid id makes end_span a no-op.
+    if (!tick(hot(track).spans_total)) return SpanId{};
+    return begin_span_sampled(track, ring(track), name, category);
+  }
+  void end_span(SpanId id) {
+    if (!id.valid()) return;
+    end_span_impl(id);
+  }
 
   /// Records an already-finished span with explicit timestamps.
   void complete_span(TrackId track, std::string name, std::string category,
-                     std::int64_t start_ns, std::int64_t dur_ns);
+                     std::int64_t start_ns, std::int64_t dur_ns) {
+    if (!enabled()) return;
+    complete_span_slow(track, std::move(name), std::move(category), start_ns,
+                       dur_ns);
+  }
+  void complete_span(TrackId track, NameId name, NameId category,
+                     std::int64_t start_ns, std::int64_t dur_ns) {
+    if (!enabled()) return;
+    if (!ring_mode_) {
+      complete_span_id(track, name, category, start_ns, dur_ns);
+      return;
+    }
+    POLARIS_DCHECK(dur_ns >= 0);
+    detail::HotCounters& h = hot(track);
+    // Duration is already known here, so the busy-ns counter stays exact
+    // for every completed span even when the event itself is sampled away.
+    detail::bump(h.span_ns_total, static_cast<std::uint64_t>(dur_ns));
+    if (!tick(h.spans_total)) return;
+    ring(track).push({start_ns, dur_ns, name, category, EventKind::kSpan});
+  }
 
   /// Point event at the current clock time.
-  void instant(TrackId track, std::string name, std::string category = {});
+  void instant(TrackId track, std::string name, std::string category = {}) {
+    if (!enabled()) return;
+    instant_at_slow(track, std::move(name), std::move(category), now_ns());
+  }
+  void instant(TrackId track, NameId name, NameId category = kNoName) {
+    if (!enabled()) return;
+    if (!ring_mode_) {
+      instant_at_id(track, name, category, now_ns());
+      return;
+    }
+    if (!tick(hot(track).instants_total)) return;
+    // Clock read and ring lookup only behind the sampling gate.
+    ring(track).push({now_ns(), 0, name, category, EventKind::kInstant});
+  }
   void instant_at(TrackId track, std::string name, std::string category,
-                  std::int64_t at_ns);
+                  std::int64_t at_ns) {
+    if (!enabled()) return;
+    instant_at_slow(track, std::move(name), std::move(category), at_ns);
+  }
 
   /// Samples a counter series (rendered as a stacked area in the viewer).
-  void counter(TrackId track, std::string name, double value);
+  void counter(TrackId track, std::string name, double value) {
+    if (!enabled()) return;
+    counter_slow(track, std::move(name), value);
+  }
+  void counter(TrackId track, NameId name, double value) {
+    if (!enabled()) return;
+    if (!ring_mode_) {
+      counter_id(track, name, value);
+      return;
+    }
+    detail::bump(hot(track).counters_total);
+    ring(track).push({
+        now_ns(),
+        static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(value)),
+        name, kNoName, EventKind::kCounter});
+  }
 
   std::size_t event_count() const;
   std::size_t track_count() const;
 
   /// Snapshot of the event log; open spans are closed at the current clock
-  /// time so analysis never sees negative durations.
+  /// time so analysis never sees negative durations.  Ring mode: decodes
+  /// the rings without consuming them (events already drained by a
+  /// TraceStreamWriter are gone; still-open spans are not included).
   std::vector<TraceEvent> snapshot() const;
 
   struct Track {
@@ -107,14 +353,154 @@ class Tracer {
   std::vector<Track> tracks() const;
 
   /// Chrome trace-event JSON ({"traceEvents": [...]}), one event per line,
-  /// sorted by start time within each exported lane.
+  /// sorted by start time within each exported lane.  Ring mode: streams
+  /// the current (undrained) ring contents; use TraceStreamWriter to
+  /// export more events than the rings hold.
   void write_json(std::ostream& os) const;
 
+  /// Aggregate record-path accounting (ring mode; full mode fills the
+  /// event/track counts only).  Used by tests and the BENCH_OBS
+  /// steady-state allocation check: interned_names and
+  /// ring_capacity_events must not move between warmup and steady state.
+  struct Stats {
+    std::uint64_t spans_total = 0;
+    std::uint64_t instants_total = 0;
+    std::uint64_t counters_total = 0;
+    std::uint64_t span_ns_total = 0;
+    std::uint64_t sampled_events = 0;
+    std::uint64_t dropped_ring_full = 0;
+    std::uint64_t dropped_no_slot = 0;
+    std::uint64_t drained_events = 0;
+    std::size_t interned_names = 0;
+    std::size_t ring_capacity_events = 0;
+    std::size_t track_count = 0;
+  };
+  Stats stats() const;
+
  private:
+  friend class TraceStreamWriter;
+
+  SpanId begin_span_slow(TrackId track, std::string name,
+                         std::string category);
+  SpanId begin_span_id(TrackId track, NameId name, NameId category);
+  SpanId begin_span_sampled(TrackId track, detail::TrackRing& r, NameId name,
+                            NameId category);
+  void end_span_impl(SpanId id);
+  void complete_span_slow(TrackId track, std::string name,
+                          std::string category, std::int64_t start_ns,
+                          std::int64_t dur_ns);
+  void complete_span_id(TrackId track, NameId name, NameId category,
+                        std::int64_t start_ns, std::int64_t dur_ns);
+  void instant_at_slow(TrackId track, std::string name, std::string category,
+                       std::int64_t at_ns);
+  void instant_at_id(TrackId track, NameId name, NameId category,
+                     std::int64_t at_ns);
+  void counter_slow(TrackId track, std::string name, double value);
+  void counter_id(TrackId track, NameId name, double value);
+
+  detail::TrackRing& ring(TrackId track) const {
+    const detail::RingTable* table =
+        ring_table_.load(std::memory_order_acquire);
+    POLARIS_CHECK(table != nullptr && track < table->count);
+    return *table->rings[track];
+  }
+
+  /// Dense always-on counters for a track (ring mode; preallocated for
+  /// max_tracks at construction, so the pointer never moves).
+  detail::HotCounters& hot(TrackId track) const {
+    POLARIS_DCHECK(hot_ != nullptr && track < ring_opts_.max_tracks);
+    return hot_[track];
+  }
+
+  /// Counts one event of a kind and reports whether it is the sampled one
+  /// (the 1st, N+1th, ... of that kind on the track).
+  bool tick(std::atomic<std::uint64_t>& total) const {
+    const std::uint64_t seen = total.load(std::memory_order_relaxed);
+    total.store(seen + 1, std::memory_order_relaxed);
+    return (seen & sample_mask_) == 0;
+  }
+
+  NameId intern_locked(std::string_view s);
+  TraceEvent decode(TrackId track, const detail::CompactEvent& ev) const;
+  /// Allocates the dense counter array and derives the sampling mask
+  /// (sample_every rounded up to a power of two).
+  void init_ring_mode();
+
   const ClockSource* clock_ = nullptr;
+  RingOptions ring_opts_;
+  bool ring_mode_ = false;
+  std::atomic<bool> enabled_{true};
+  // Record-path hot members, grouped: the sampling mask and the dense
+  // counter array base are read on every ring-mode record call.
+  std::uint64_t sample_mask_ = 0;
+  std::unique_ptr<detail::HotCounters[]> hot_;
+
   mutable std::mutex mu_;
   std::vector<Track> tracks_;
-  std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> events_;  // full mode only
+
+  // Name interning (both modes; ids resolve to strings at export).
+  mutable std::mutex intern_mu_;
+  std::vector<std::string> names_{std::string()};  // names_[0] == ""
+  std::unordered_map<std::string, NameId> name_ids_;
+
+  // Ring mode: address-stable rings plus an RCU-republished lookup table
+  // so record() never takes mu_.
+  std::deque<detail::TrackRing> rings_;
+  std::atomic<detail::RingTable*> ring_table_{nullptr};
+  std::vector<std::unique_ptr<detail::RingTable>> retired_tables_;
+  std::vector<std::unique_ptr<detail::TrackRing*[]>> retired_arrays_;
+  std::atomic<std::uint64_t> drained_events_{0};
+};
+
+/// Streams a ring-mode tracer's events to Chrome trace JSON in bounded
+/// memory: construct (writes the header), call drain() as often as desired
+/// while producers are still recording (each call consumes the rings), and
+/// finish() once they quiesce.  Thread/process metadata is emitted inline
+/// the first time a track (or overflow lane) appears, so the output is
+/// deterministic for deterministic per-track event streams regardless of
+/// how record work was spread over threads.
+class TraceStreamWriter {
+ public:
+  TraceStreamWriter(Tracer& tracer, std::ostream& os);
+  TraceStreamWriter(const TraceStreamWriter&) = delete;
+  TraceStreamWriter& operator=(const TraceStreamWriter&) = delete;
+  ~TraceStreamWriter();
+
+  /// Consumes everything currently in the rings; returns events written.
+  std::size_t drain();
+  /// Final drain plus the JSON footer (idempotent).
+  void finish();
+
+  std::size_t events_written() const { return events_written_; }
+
+ private:
+  friend class Tracer;
+
+  struct LaneState {
+    std::vector<std::int64_t> open_ends;
+    bool announced = false;
+  };
+
+  /// consume=false reads rings without advancing their tails (the
+  /// repeatable Tracer::write_json convenience path).
+  TraceStreamWriter(Tracer& tracer, std::ostream& os, bool consume);
+
+  void emit_event(const TraceEvent& ev);
+  void announce_lane(TrackId track, int lane);
+  int pid_of_track(TrackId track);
+  int tid_of(TrackId track, int lane);
+
+  Tracer* tracer_;
+  std::ostream* os_;
+  bool consume_ = true;
+  bool first_ = true;
+  bool finished_ = false;
+  std::size_t events_written_ = 0;
+  std::unordered_map<std::string, int> pids_;
+  std::vector<int> track_pid_;                 // -1 = not yet announced
+  std::vector<std::vector<LaneState>> lanes_;  // per track
+  std::vector<TraceEvent> batch_;              // reused scratch
 };
 
 /// RAII span; a null tracer makes every operation a no-op, so call sites
@@ -129,6 +515,11 @@ class ScopedSpan {
     if (tracer_) {
       id_ = tracer_->begin_span(track, std::move(name), std::move(category));
     }
+  }
+  ScopedSpan(Tracer* tracer, TrackId track, NameId name,
+             NameId category = kNoName)
+      : tracer_(tracer) {
+    if (tracer_) id_ = tracer_->begin_span(track, name, category);
   }
   ~ScopedSpan() { end(); }
 

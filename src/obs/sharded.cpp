@@ -1,0 +1,91 @@
+#include "polaris/obs/sharded.hpp"
+
+#include <algorithm>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::obs {
+
+ShardedRegistry::ShardedRegistry(std::size_t shards)
+    : shards_(shards > 0 ? shards : 1) {}
+
+ShardedRegistry::CounterId ShardedRegistry::counter(std::string_view name) {
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    if (counter_names_[i] == name) {
+      return CounterId{static_cast<std::uint32_t>(i)};
+    }
+  }
+  counter_names_.emplace_back(name);
+  for (Shard& s : shards_) s.counters_.push_back(0);
+  return CounterId{static_cast<std::uint32_t>(counter_names_.size() - 1)};
+}
+
+ShardedRegistry::GaugeId ShardedRegistry::gauge_max(std::string_view name) {
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    if (gauge_names_[i] == name) {
+      return GaugeId{static_cast<std::uint32_t>(i)};
+    }
+  }
+  gauge_names_.emplace_back(name);
+  for (Shard& s : shards_) s.gauges_.push_back(0.0);
+  return GaugeId{static_cast<std::uint32_t>(gauge_names_.size() - 1)};
+}
+
+ShardedRegistry::HistId ShardedRegistry::log_histogram(
+    std::string_view name) {
+  for (std::size_t i = 0; i < hist_names_.size(); ++i) {
+    if (hist_names_[i] == name) {
+      return HistId{static_cast<std::uint32_t>(i)};
+    }
+  }
+  hist_names_.emplace_back(name);
+  for (Shard& s : shards_) s.hists_.emplace_back();
+  return HistId{static_cast<std::uint32_t>(hist_names_.size() - 1)};
+}
+
+std::uint64_t ShardedRegistry::counter_value(CounterId id) const {
+  POLARIS_CHECK(id.v < counter_names_.size());
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.counters_[id.v];
+  return total;
+}
+
+double ShardedRegistry::gauge_max_value(GaugeId id) const {
+  POLARIS_CHECK(id.v < gauge_names_.size());
+  double max = 0.0;
+  for (const Shard& s : shards_) max = std::max(max, s.gauges_[id.v]);
+  return max;
+}
+
+LogHistogram ShardedRegistry::merged(HistId id) const {
+  POLARIS_CHECK(id.v < hist_names_.size());
+  std::vector<const LogHistogram*> parts;
+  parts.reserve(shards_.size());
+  for (const Shard& s : shards_) parts.push_back(&s.hists_[id.v]);
+  return LogHistogram::merge(parts);
+}
+
+void ShardedRegistry::export_into(MetricsRegistry& reg) const {
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    reg.counter(counter_names_[i])
+        .add(counter_value(CounterId{static_cast<std::uint32_t>(i)}));
+  }
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    reg.gauge(gauge_names_[i])
+        .observe_max(gauge_max_value(GaugeId{static_cast<std::uint32_t>(i)}));
+  }
+  for (std::size_t i = 0; i < hist_names_.size(); ++i) {
+    reg.log_histogram(hist_names_[i])
+        .merge_from(merged(HistId{static_cast<std::uint32_t>(i)}));
+  }
+}
+
+void ShardedRegistry::reset() {
+  for (Shard& s : shards_) {
+    std::fill(s.counters_.begin(), s.counters_.end(), std::uint64_t{0});
+    std::fill(s.gauges_.begin(), s.gauges_.end(), 0.0);
+    for (LogHistogram& h : s.hists_) h.reset();
+  }
+}
+
+}  // namespace polaris::obs

@@ -1,6 +1,7 @@
 #include "polaris/obs/trace.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <map>
 
@@ -8,14 +9,110 @@
 
 namespace polaris::obs {
 
-TrackId Tracer::add_track(std::string process, std::string name) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  tracks_.push_back(Track{std::move(process), std::move(name)});
-  return static_cast<TrackId>(tracks_.size() - 1);
+namespace {
+
+std::uint64_t round_up_pow2(std::uint64_t v) {
+  if (v <= 1) return 1;
+  return std::bit_ceil(v);
 }
 
-SpanId Tracer::begin_span(TrackId track, std::string name,
-                          std::string category) {
+// Ring-mode SpanId encoding: tag bit | track | open slot.
+constexpr std::size_t kRingSpanBit = std::size_t{1} << 63;
+
+std::size_t encode_ring_span(TrackId track, std::uint32_t slot) {
+  return kRingSpanBit | (static_cast<std::size_t>(track) << 32) | slot;
+}
+
+}  // namespace
+
+namespace detail {
+
+TrackRing::TrackRing(const RingOptions& opts) {
+  const std::uint64_t cap = round_up_pow2(opts.ring_capacity);
+  buf.resize(static_cast<std::size_t>(cap));
+  mask = static_cast<std::size_t>(cap - 1);
+  const std::uint32_t slots = opts.open_span_slots > 0
+                                  ? opts.open_span_slots
+                                  : 1;
+  open.resize(slots);
+  free_slots.reserve(slots);
+  for (std::uint32_t s = slots; s > 0; --s) free_slots.push_back(s - 1);
+}
+
+}  // namespace detail
+
+Tracer::~Tracer() = default;
+
+void Tracer::init_ring_mode() {
+  POLARIS_CHECK(ring_opts_.max_tracks > 0);
+  sample_mask_ = round_up_pow2(ring_opts_.sample_every) - 1;
+  hot_ = std::make_unique<detail::HotCounters[]>(ring_opts_.max_tracks);
+}
+
+TrackId Tracer::add_track(std::string process, std::string name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  POLARIS_CHECK_MSG(!ring_mode_ || tracks_.size() < ring_opts_.max_tracks,
+                    "RingOptions::max_tracks exceeded");
+  tracks_.push_back(Track{std::move(process), std::move(name)});
+  const auto id = static_cast<TrackId>(tracks_.size() - 1);
+  if (ring_mode_) {
+    rings_.emplace_back(ring_opts_);
+    // Republish the lookup table; the old one is retired, not freed, so a
+    // concurrent recording thread can keep using the pointer it loaded.
+    const std::size_t n = rings_.size();
+    auto arr = std::make_unique<detail::TrackRing*[]>(n);
+    std::size_t i = 0;
+    for (detail::TrackRing& r : rings_) arr[i++] = &r;
+    auto table = std::make_unique<detail::RingTable>();
+    table->rings = arr.get();
+    table->count = n;
+    detail::RingTable* published = table.get();
+    retired_arrays_.push_back(std::move(arr));
+    retired_tables_.push_back(std::move(table));
+    ring_table_.store(published, std::memory_order_release);
+  }
+  return id;
+}
+
+NameId Tracer::intern(std::string_view s) {
+  const std::lock_guard<std::mutex> lock(intern_mu_);
+  return intern_locked(s);
+}
+
+NameId Tracer::intern_locked(std::string_view s) {
+  if (s.empty()) return kNoName;
+  if (auto it = name_ids_.find(std::string(s)); it != name_ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<NameId>(names_.size());
+  names_.emplace_back(s);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::string Tracer::name_of(NameId id) const {
+  const std::lock_guard<std::mutex> lock(intern_mu_);
+  POLARIS_CHECK(id < names_.size());
+  return names_[id];
+}
+
+// ------------------------------------------------------------ record paths
+//
+// The NameId ring-mode fast paths live inline in the header; what remains
+// here is the full-mode retained log, the string-interning conveniences,
+// and the sampled tail of begin_span (slot claim + clock read).
+
+SpanId Tracer::begin_span_slow(TrackId track, std::string name,
+                               std::string category) {
+  if (ring_mode_) {
+    NameId n, c;
+    {
+      const std::lock_guard<std::mutex> lock(intern_mu_);
+      n = intern_locked(name);
+      c = intern_locked(category);
+    }
+    return begin_span_id(track, n, c);
+  }
   const std::int64_t t = now_ns();
   const std::lock_guard<std::mutex> lock(mu_);
   POLARIS_CHECK(track < tracks_.size());
@@ -30,18 +127,68 @@ SpanId Tracer::begin_span(TrackId track, std::string name,
   return SpanId{events_.size() - 1};
 }
 
-void Tracer::end_span(SpanId id) {
+SpanId Tracer::begin_span_id(TrackId track, NameId name, NameId category) {
+  if (!ring_mode_) {
+    return begin_span_slow(track, name_of(name), name_of(category));
+  }
+  if (!tick(hot(track).spans_total)) return SpanId{};
+  return begin_span_sampled(track, ring(track), name, category);
+}
+
+SpanId Tracer::begin_span_sampled(TrackId track, detail::TrackRing& r,
+                                  NameId name, NameId category) {
+  const std::uint32_t slot = r.claim_slot();
+  if (slot == detail::TrackRing::kNoSlot) {
+    detail::bump(r.dropped_no_slot);
+    return SpanId{};
+  }
+  detail::TrackRing::OpenSpan& o = r.open[slot];
+  o.start_ns = now_ns();
+  o.name = name;
+  o.category = category;
+  return SpanId{encode_ring_span(track, slot)};
+}
+
+void Tracer::end_span_impl(SpanId id) {
+  if (ring_mode_ && (id.index & kRingSpanBit) != 0) {
+    const auto track = static_cast<TrackId>((id.index >> 32) & 0x7fffffffu);
+    const auto slot = static_cast<std::uint32_t>(id.index & 0xffffffffu);
+    detail::TrackRing& r = ring(track);
+    POLARIS_CHECK(slot < r.open.size());
+    const detail::TrackRing::OpenSpan o = r.open[slot];
+    r.release_slot(slot);
+    const std::int64_t dur = std::max<std::int64_t>(now_ns() - o.start_ns, 0);
+    detail::bump(hot(track).span_ns_total, static_cast<std::uint64_t>(dur));
+    detail::CompactEvent ev;
+    ev.start_ns = o.start_ns;
+    ev.aux = dur;
+    ev.name = o.name;
+    ev.category = o.category;
+    ev.kind = EventKind::kSpan;
+    r.push(ev);
+    return;
+  }
   const std::int64_t t = now_ns();
   const std::lock_guard<std::mutex> lock(mu_);
-  POLARIS_CHECK(id.valid() && id.index < events_.size());
+  POLARIS_CHECK(id.index < events_.size());
   TraceEvent& ev = events_[id.index];
   POLARIS_CHECK_MSG(ev.open(), "end_span on a closed span");
   ev.dur_ns = t - ev.start_ns;
 }
 
-void Tracer::complete_span(TrackId track, std::string name,
-                           std::string category, std::int64_t start_ns,
-                           std::int64_t dur_ns) {
+void Tracer::complete_span_slow(TrackId track, std::string name,
+                                std::string category, std::int64_t start_ns,
+                                std::int64_t dur_ns) {
+  if (ring_mode_) {
+    NameId n, c;
+    {
+      const std::lock_guard<std::mutex> lock(intern_mu_);
+      n = intern_locked(name);
+      c = intern_locked(category);
+    }
+    complete_span_id(track, n, c, start_ns, dur_ns);
+    return;
+  }
   POLARIS_CHECK(dur_ns >= 0);
   const std::lock_guard<std::mutex> lock(mu_);
   POLARIS_CHECK(track < tracks_.size());
@@ -55,12 +202,32 @@ void Tracer::complete_span(TrackId track, std::string name,
   events_.push_back(std::move(ev));
 }
 
-void Tracer::instant(TrackId track, std::string name, std::string category) {
-  instant_at(track, std::move(name), std::move(category), now_ns());
+void Tracer::complete_span_id(TrackId track, NameId name, NameId category,
+                              std::int64_t start_ns, std::int64_t dur_ns) {
+  if (!ring_mode_) {
+    complete_span_slow(track, name_of(name), name_of(category), start_ns,
+                       dur_ns);
+    return;
+  }
+  POLARIS_CHECK(dur_ns >= 0);
+  detail::HotCounters& h = hot(track);
+  detail::bump(h.span_ns_total, static_cast<std::uint64_t>(dur_ns));
+  if (!tick(h.spans_total)) return;
+  ring(track).push({start_ns, dur_ns, name, category, EventKind::kSpan});
 }
 
-void Tracer::instant_at(TrackId track, std::string name,
-                        std::string category, std::int64_t at_ns) {
+void Tracer::instant_at_slow(TrackId track, std::string name,
+                             std::string category, std::int64_t at_ns) {
+  if (ring_mode_) {
+    NameId n, c;
+    {
+      const std::lock_guard<std::mutex> lock(intern_mu_);
+      n = intern_locked(name);
+      c = intern_locked(category);
+    }
+    instant_at_id(track, n, c, at_ns);
+    return;
+  }
   const std::lock_guard<std::mutex> lock(mu_);
   POLARIS_CHECK(track < tracks_.size());
   TraceEvent ev;
@@ -73,7 +240,26 @@ void Tracer::instant_at(TrackId track, std::string name,
   events_.push_back(std::move(ev));
 }
 
-void Tracer::counter(TrackId track, std::string name, double value) {
+void Tracer::instant_at_id(TrackId track, NameId name, NameId category,
+                           std::int64_t at_ns) {
+  if (!ring_mode_) {
+    instant_at_slow(track, name_of(name), name_of(category), at_ns);
+    return;
+  }
+  if (!tick(hot(track).instants_total)) return;
+  ring(track).push({at_ns, 0, name, category, EventKind::kInstant});
+}
+
+void Tracer::counter_slow(TrackId track, std::string name, double value) {
+  if (ring_mode_) {
+    NameId n;
+    {
+      const std::lock_guard<std::mutex> lock(intern_mu_);
+      n = intern_locked(name);
+    }
+    counter_id(track, n, value);
+    return;
+  }
   const std::int64_t t = now_ns();
   const std::lock_guard<std::mutex> lock(mu_);
   POLARIS_CHECK(track < tracks_.size());
@@ -87,7 +273,33 @@ void Tracer::counter(TrackId track, std::string name, double value) {
   events_.push_back(std::move(ev));
 }
 
+void Tracer::counter_id(TrackId track, NameId name, double value) {
+  if (!ring_mode_) {
+    counter_slow(track, name_of(name), value);
+    return;
+  }
+  detail::bump(hot(track).counters_total);
+  ring(track).push({now_ns(),
+                    static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(value)),
+                    name, kNoName, EventKind::kCounter});
+}
+
+// ----------------------------------------------------------------- readers
+
 std::size_t Tracer::event_count() const {
+  if (ring_mode_) {
+    std::size_t n = 0;
+    const detail::RingTable* table =
+        ring_table_.load(std::memory_order_acquire);
+    if (!table) return 0;
+    for (std::size_t t = 0; t < table->count; ++t) {
+      const detail::TrackRing& r = *table->rings[t];
+      n += static_cast<std::size_t>(
+          r.head.load(std::memory_order_acquire) -
+          r.tail.load(std::memory_order_relaxed));
+    }
+    return n;
+  }
   const std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
 }
@@ -97,7 +309,40 @@ std::size_t Tracer::track_count() const {
   return tracks_.size();
 }
 
+TraceEvent Tracer::decode(TrackId track,
+                          const detail::CompactEvent& ev) const {
+  TraceEvent out;
+  out.track = track;
+  out.kind = ev.kind;
+  out.start_ns = ev.start_ns;
+  if (ev.kind == EventKind::kCounter) {
+    out.dur_ns = 0;
+    out.value = std::bit_cast<double>(static_cast<std::uint64_t>(ev.aux));
+  } else {
+    out.dur_ns = ev.kind == EventKind::kSpan ? ev.aux : 0;
+  }
+  out.name = name_of(ev.name);
+  out.category = name_of(ev.category);
+  return out;
+}
+
 std::vector<TraceEvent> Tracer::snapshot() const {
+  if (ring_mode_) {
+    std::vector<TraceEvent> out;
+    const detail::RingTable* table =
+        ring_table_.load(std::memory_order_acquire);
+    if (!table) return out;
+    for (std::size_t t = 0; t < table->count; ++t) {
+      const detail::TrackRing& r = *table->rings[t];
+      std::uint64_t lo = r.tail.load(std::memory_order_relaxed);
+      const std::uint64_t hi = r.head.load(std::memory_order_acquire);
+      for (; lo != hi; ++lo) {
+        out.push_back(decode(static_cast<TrackId>(t),
+                             r.buf[static_cast<std::size_t>(lo) & r.mask]));
+      }
+    }
+    return out;
+  }
   const std::int64_t t = now_ns();
   const std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> out = events_;
@@ -110,6 +355,51 @@ std::vector<TraceEvent> Tracer::snapshot() const {
 std::vector<Tracer::Track> Tracer::tracks() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return tracks_;
+}
+
+Tracer::Stats Tracer::stats() const {
+  Stats s;
+  s.track_count = track_count();
+  if (!ring_mode_) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const TraceEvent& ev : events_) {
+      switch (ev.kind) {
+        case EventKind::kSpan:
+          ++s.spans_total;
+          break;
+        case EventKind::kInstant:
+          ++s.instants_total;
+          break;
+        case EventKind::kCounter:
+          ++s.counters_total;
+          break;
+      }
+    }
+    s.sampled_events = s.spans_total + s.instants_total + s.counters_total;
+    return s;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(intern_mu_);
+    s.interned_names = names_.size();
+  }
+  s.drained_events = drained_events_.load(std::memory_order_relaxed);
+  const detail::RingTable* table =
+      ring_table_.load(std::memory_order_acquire);
+  if (!table) return s;
+  for (std::size_t t = 0; t < table->count; ++t) {
+    const detail::TrackRing& r = *table->rings[t];
+    const detail::HotCounters& h = hot_[t];
+    s.spans_total += h.spans_total.load(std::memory_order_relaxed);
+    s.instants_total += h.instants_total.load(std::memory_order_relaxed);
+    s.counters_total += h.counters_total.load(std::memory_order_relaxed);
+    s.span_ns_total += h.span_ns_total.load(std::memory_order_relaxed);
+    s.sampled_events += r.sampled_events.load(std::memory_order_relaxed);
+    s.dropped_ring_full +=
+        r.dropped_ring_full.load(std::memory_order_relaxed);
+    s.dropped_no_slot += r.dropped_no_slot.load(std::memory_order_relaxed);
+    s.ring_capacity_events += r.buf.size();
+  }
+  return s;
 }
 
 // ------------------------------------------------------------- JSON export
@@ -176,9 +466,57 @@ void write_metadata(std::ostream& os, const char* what, int pid, int tid,
   }
 }
 
+void write_event(std::ostream& os, const TraceEvent& ev, int pid, int tid,
+                 bool* first) {
+  std::string name, cat;
+  append_escaped(name, ev.name);
+  append_escaped(cat, ev.category.empty() ? std::string("polaris")
+                                          : ev.category);
+  if (!*first) os << ",\n";
+  *first = false;
+  switch (ev.kind) {
+    case EventKind::kSpan:
+      os << R"({"ph":"X","pid":)" << pid << R"(,"tid":)" << tid
+         << R"(,"ts":)" << format_us(ev.start_ns) << R"(,"dur":)"
+         << format_us(ev.dur_ns) << R"(,"name":")" << name
+         << R"(","cat":")" << cat << R"("})";
+      break;
+    case EventKind::kInstant:
+      os << R"({"ph":"i","pid":)" << pid << R"(,"tid":)" << tid
+         << R"(,"ts":)" << format_us(ev.start_ns) << R"(,"s":"t","name":")"
+         << name << R"(","cat":")" << cat << R"("})";
+      break;
+    case EventKind::kCounter:
+      os << R"({"ph":"C","pid":)" << pid << R"(,"tid":)" << tid
+         << R"(,"ts":)" << format_us(ev.start_ns) << R"(,"name":")" << name
+         << R"(","args":{"value":)" << ev.value << "}}";
+      break;
+  }
+}
+
+constexpr int kMaxLanesPerTrack = 64;
+
+/// Sort key shared by the retained-log and streaming exporters: by track,
+/// then start time, longer spans first so parents precede children.
+bool event_order(const TraceEvent& a, const TraceEvent& b) {
+  if (a.track != b.track) return a.track < b.track;
+  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+  return a.dur_ns > b.dur_ns;
+}
+
 }  // namespace
 
 void Tracer::write_json(std::ostream& os) const {
+  if (ring_mode_) {
+    // Bounded by ring capacity; a non-consuming convenience wrapper over
+    // the streaming path (repeatable, const).  For runs bigger than the
+    // rings, attach a TraceStreamWriter and drain as the run progresses.
+    TraceStreamWriter writer(const_cast<Tracer&>(*this), os,
+                             /*consume=*/false);
+    writer.drain();
+    writer.finish();
+    return;
+  }
   const std::vector<TraceEvent> events = snapshot();
   const std::vector<Track> tracks = this->tracks();
 
@@ -199,14 +537,7 @@ void Tracer::write_json(std::ostream& os) const {
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
-                     if (events[a].track != events[b].track) {
-                       return events[a].track < events[b].track;
-                     }
-                     if (events[a].start_ns != events[b].start_ns) {
-                       return events[a].start_ns < events[b].start_ns;
-                     }
-                     // Longer spans first so parents precede children.
-                     return events[a].dur_ns > events[b].dur_ns;
+                     return event_order(events[a], events[b]);
                    });
 
   // Lane allocation: spans that only nest share lane 0; a span that
@@ -242,7 +573,6 @@ void Tracer::write_json(std::ostream& os) const {
 
   // tid assignment: lanes of one track are adjacent; lane 0 keeps the
   // track's name, extra lanes get a ~n suffix.
-  constexpr int kMaxLanesPerTrack = 64;
   auto tid_of = [&](TrackId track, int lane) {
     return static_cast<int>(track) * kMaxLanesPerTrack +
            std::min(lane, kMaxLanesPerTrack - 1);
@@ -269,34 +599,131 @@ void Tracer::write_json(std::ostream& os) const {
 
   for (const std::size_t i : order) {
     const TraceEvent& ev = events[i];
-    std::string name, cat;
-    append_escaped(name, ev.name);
-    append_escaped(cat, ev.category.empty() ? std::string("polaris")
-                                            : ev.category);
-    const int pid = track_pid[ev.track];
-    const int tid = tid_of(ev.track, event_lane[i]);
-    if (!first) os << ",\n";
-    first = false;
-    switch (ev.kind) {
-      case EventKind::kSpan:
-        os << R"({"ph":"X","pid":)" << pid << R"(,"tid":)" << tid
-           << R"(,"ts":)" << format_us(ev.start_ns) << R"(,"dur":)"
-           << format_us(ev.dur_ns) << R"(,"name":")" << name
-           << R"(","cat":")" << cat << R"("})";
-        break;
-      case EventKind::kInstant:
-        os << R"({"ph":"i","pid":)" << pid << R"(,"tid":)" << tid
-           << R"(,"ts":)" << format_us(ev.start_ns) << R"(,"s":"t","name":")"
-           << name << R"(","cat":")" << cat << R"("})";
-        break;
-      case EventKind::kCounter:
-        os << R"({"ph":"C","pid":)" << pid << R"(,"tid":)" << tid
-           << R"(,"ts":)" << format_us(ev.start_ns) << R"(,"name":")" << name
-           << R"(","args":{"value":)" << ev.value << "}}";
-        break;
-    }
+    write_event(os, ev, track_pid[ev.track], tid_of(ev.track, event_lane[i]),
+                &first);
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+// ------------------------------------------------------- streaming export
+
+TraceStreamWriter::TraceStreamWriter(Tracer& tracer, std::ostream& os)
+    : TraceStreamWriter(tracer, os, /*consume=*/true) {}
+
+TraceStreamWriter::TraceStreamWriter(Tracer& tracer, std::ostream& os,
+                                     bool consume)
+    : tracer_(&tracer), os_(&os), consume_(consume) {
+  POLARIS_CHECK_MSG(tracer.ring_mode(),
+                    "TraceStreamWriter requires a ring-mode tracer");
+  *os_ << "{\"traceEvents\":[\n";
+}
+
+TraceStreamWriter::~TraceStreamWriter() { finish(); }
+
+int TraceStreamWriter::tid_of(TrackId track, int lane) {
+  return static_cast<int>(track) * kMaxLanesPerTrack +
+         std::min(lane, kMaxLanesPerTrack - 1);
+}
+
+int TraceStreamWriter::pid_of_track(TrackId track) {
+  if (track < track_pid_.size() && track_pid_[track] >= 0) {
+    return track_pid_[track];
+  }
+  const std::vector<Tracer::Track> tracks = tracer_->tracks();
+  POLARIS_CHECK(track < tracks.size());
+  if (track_pid_.size() < tracks.size()) track_pid_.resize(tracks.size(), -1);
+  auto [it, inserted] = pids_.emplace(tracks[track].process,
+                                      static_cast<int>(pids_.size()));
+  if (inserted) {
+    write_metadata(*os_, "process_name", it->second, -1,
+                   tracks[track].process, it->second, &first_);
+  }
+  track_pid_[track] = it->second;
+  return it->second;
+}
+
+void TraceStreamWriter::announce_lane(TrackId track, int lane) {
+  if (lanes_.size() <= track) lanes_.resize(track + 1);
+  auto& track_lanes = lanes_[track];
+  if (track_lanes.size() <= static_cast<std::size_t>(lane)) {
+    track_lanes.resize(static_cast<std::size_t>(lane) + 1);
+  }
+  LaneState& state = track_lanes[static_cast<std::size_t>(lane)];
+  if (state.announced) return;
+  state.announced = true;
+  const int pid = pid_of_track(track);
+  std::string name = tracer_->tracks()[track].name;
+  if (lane > 0) name += " ~" + std::to_string(lane);
+  write_metadata(*os_, "thread_name", pid, tid_of(track, lane), name,
+                 tid_of(track, lane), &first_);
+}
+
+void TraceStreamWriter::emit_event(const TraceEvent& ev) {
+  int lane = 0;
+  if (ev.kind == EventKind::kSpan) {
+    if (lanes_.size() <= ev.track) lanes_.resize(ev.track + 1);
+    auto& track_lanes = lanes_[ev.track];
+    lane = -1;
+    for (std::size_t l = 0; l < track_lanes.size(); ++l) {
+      auto& open = track_lanes[l].open_ends;
+      while (!open.empty() && open.back() <= ev.start_ns) open.pop_back();
+      if (open.empty() || ev.end_ns() <= open.back()) {
+        lane = static_cast<int>(l);
+        break;
+      }
+    }
+    if (lane < 0) {
+      track_lanes.emplace_back();
+      lane = static_cast<int>(track_lanes.size()) - 1;
+    }
+    track_lanes[static_cast<std::size_t>(lane)].open_ends.push_back(
+        ev.end_ns());
+  }
+  announce_lane(ev.track, lane);
+  write_event(*os_, ev, track_pid_[ev.track], tid_of(ev.track, lane),
+              &first_);
+  ++events_written_;
+}
+
+std::size_t TraceStreamWriter::drain() {
+  POLARIS_CHECK_MSG(!finished_, "drain after finish");
+  batch_.clear();
+  const detail::RingTable* table =
+      tracer_->ring_table_.load(std::memory_order_acquire);
+  std::uint64_t consumed = 0;
+  if (table) {
+    for (std::size_t t = 0; t < table->count; ++t) {
+      detail::TrackRing& r = *table->rings[t];
+      std::uint64_t lo = r.tail.load(std::memory_order_relaxed);
+      const std::uint64_t hi = r.head.load(std::memory_order_acquire);
+      consumed += hi - lo;
+      for (; lo != hi; ++lo) {
+        batch_.push_back(tracer_->decode(
+            static_cast<TrackId>(t),
+            r.buf[static_cast<std::size_t>(lo) & r.mask]));
+      }
+      if (consume_) r.tail.store(lo, std::memory_order_release);
+    }
+  }
+  if (consume_) {
+    tracer_->drained_events_.fetch_add(consumed,
+                                       std::memory_order_relaxed);
+  }
+  // Within a batch the full-mode order is reproduced exactly; across
+  // batches events stay grouped per drain (a long-lived span can land in
+  // an overflow lane of an earlier-drained child — cosmetic only).
+  std::stable_sort(batch_.begin(), batch_.end(), event_order);
+  const std::size_t n = batch_.size();
+  for (const TraceEvent& ev : batch_) emit_event(ev);
+  batch_.clear();
+  return n;
+}
+
+void TraceStreamWriter::finish() {
+  if (finished_) return;
+  drain();
+  finished_ = true;
+  *os_ << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
 
 }  // namespace polaris::obs

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "polaris/fabric/partition.hpp"
+#include "polaris/obs/sharded.hpp"
 #include "polaris/pdes/config.hpp"
 #include "polaris/pdes/world.hpp"
 #include "polaris/rt/spsc_ring.hpp"
@@ -67,6 +68,20 @@ class ShardedEngine {
   /// Consumer side: only shard `dst`'s worker drains its inbound channels.
   void drain_into(std::size_t dst, std::vector<fabric::ShardHandoff>& out);
 
+  /// Per-shard metric shards (one per simulation shard); each ShardWorld
+  /// records into its own shard and run() folds them via the registry's
+  /// merge path — no hand-rolled per-shard histogram folding.
+  obs::ShardedRegistry& obs_shards() { return obs_; }
+  obs::ShardedRegistry::HistId hist_window_events() const {
+    return h_window_events_;
+  }
+  obs::ShardedRegistry::HistId hist_window_ns() const {
+    return h_window_ns_;
+  }
+  obs::ShardedRegistry::HistId hist_drain_batch() const {
+    return h_drain_batch_;
+  }
+
  private:
   struct Channel {
     explicit Channel(std::size_t cap) : ring(cap) {}
@@ -82,6 +97,10 @@ class ShardedEngine {
 
   Config cfg_;
   fabric::Partition part_;
+  obs::ShardedRegistry obs_{1};
+  obs::ShardedRegistry::HistId h_window_events_{};
+  obs::ShardedRegistry::HistId h_window_ns_{};
+  obs::ShardedRegistry::HistId h_drain_batch_{};
   std::vector<std::unique_ptr<ShardWorld>> worlds_;
   std::vector<std::unique_ptr<Channel>> channels_;
   bool ran_ = false;

@@ -107,12 +107,7 @@ class ShardWorld {
     return engine_.stats().max_pool_in_use;
   }
   std::uint64_t peak_inflight_recs() const { return recs_.size(); }
-  const obs::LogHistogram& window_events_hist() const {
-    return window_events_;
-  }
-  const obs::LogHistogram& window_ns_hist() const { return window_ns_; }
-  const obs::LogHistogram& drain_batch_hist() const { return drain_batch_; }
-  void note_window_ns(std::uint64_t ns) { window_ns_.record(ns); }
+  void note_window_ns(std::uint64_t ns) { window_ns_->record(ns); }
 
  private:
   enum class Kind : std::uint8_t {
@@ -205,7 +200,11 @@ class ShardWorld {
 
   std::uint64_t events_ = 0;
   std::uint64_t msgs_intra_ = 0, msgs_cross_ = 0, nacks_ = 0;
-  obs::LogHistogram window_events_, window_ns_, drain_batch_;
+  // Hot handles into this shard's slice of the parent's ShardedRegistry
+  // (single-writer by construction; the parent merges after the run).
+  obs::LogHistogram* window_events_ = nullptr;
+  obs::LogHistogram* window_ns_ = nullptr;
+  obs::LogHistogram* drain_batch_ = nullptr;
 };
 
 }  // namespace polaris::pdes

@@ -276,7 +276,7 @@ class ResourceManager final : public fault::FaultListener {
   obs::Counter* c_backfilled_ = nullptr;
   obs::Counter* c_preemptions_ = nullptr;
   obs::Counter* c_requeues_ = nullptr;
-  obs::Histogram* h_wait_ = nullptr;
+  obs::LogHistogram* h_wait_ = nullptr;  ///< queue wait, microseconds
   obs::Tracer* tracer_ = nullptr;
   obs::TrackId track_ = 0;
   bool have_track_ = false;

@@ -272,7 +272,11 @@ void ResourceManager::start_job(RmJob& job, bool via_backfill) {
   if (via_backfill) ++backfilled_;
   if (c_started_) c_started_->add();
   if (via_backfill && c_backfilled_) c_backfilled_->add();
-  if (h_wait_) h_wait_->record(job.start - job.spec.submit);
+  if (h_wait_) {
+    // Sim-seconds -> integer microseconds for the log-bucketed histogram.
+    h_wait_->record(static_cast<std::uint64_t>(
+        (job.start - job.spec.submit) * 1e6));
+  }
 }
 
 void ResourceManager::completion_cb(void* ctx) {
@@ -579,7 +583,7 @@ void ResourceManager::attach_metrics(obs::MetricsRegistry& metrics) {
   c_backfilled_ = &metrics.counter("rm.backfilled");
   c_preemptions_ = &metrics.counter("rm.preemptions");
   c_requeues_ = &metrics.counter("rm.requeues");
-  h_wait_ = &metrics.histogram("rm.wait_time");
+  h_wait_ = &metrics.log_histogram("rm.wait_time_us");
   update_gauges();
 }
 

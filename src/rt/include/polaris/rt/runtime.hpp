@@ -30,6 +30,7 @@
 #include "polaris/msg/completion.hpp"
 #include "polaris/msg/tag_matcher.hpp"
 #include "polaris/obs/metrics.hpp"
+#include "polaris/obs/sharded.hpp"
 #include "polaris/obs/trace.hpp"
 #include "polaris/rt/spsc_ring.hpp"
 
@@ -192,7 +193,9 @@ class Communicator {
   obs::TrackId track_ = 0;
   obs::Gauge* ring_depth_ = nullptr;
   obs::Counter* sends_counter_ = nullptr;
-  obs::Histogram* msg_bytes_ = nullptr;
+  // This rank's shard of the world's ShardedRegistry: recorded from the
+  // rank's own thread with plain stores, merged after run().
+  obs::LogHistogram* msg_bytes_ = nullptr;
 };
 
 /// Spawns `ranks` threads, each running `fn(Communicator&)`, and joins.
@@ -228,6 +231,8 @@ class ShmWorld {
   std::vector<std::unique_ptr<SpscRing<detail::WireMsg>>> rings_;
   std::vector<std::unique_ptr<Communicator>> comms_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::ShardedRegistry obs_{1};  ///< one shard per rank (attach_metrics)
+  obs::ShardedRegistry::HistId h_msg_bytes_{};
 };
 
 }  // namespace polaris::rt

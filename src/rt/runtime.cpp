@@ -71,7 +71,7 @@ void Communicator::send(int dst, int tag, std::span<const std::byte> data) {
                        eager ? "eager" : "rendezvous");
   if (sends_counter_) {
     sends_counter_->add();
-    msg_bytes_->record(static_cast<double>(data.size()));
+    msg_bytes_->record(data.size());
   }
   if (dst == rank_) {
     deliver_local(tag, data);
@@ -411,9 +411,12 @@ void ShmWorld::attach_tracer(obs::Tracer& tracer) {
 
 void ShmWorld::attach_metrics(obs::MetricsRegistry& metrics) {
   metrics_ = &metrics;
+  obs_ = obs::ShardedRegistry(static_cast<std::size_t>(size_));
+  h_msg_bytes_ = obs_.log_histogram("rt.msg_bytes");
   for (auto& c : comms_) {
     c->sends_counter_ = &metrics.counter("rt.sends");
-    c->msg_bytes_ = &metrics.histogram("rt.msg_bytes");
+    c->msg_bytes_ =
+        &obs_.shard(static_cast<std::size_t>(c->rank_)).hist(h_msg_bytes_);
     c->ring_depth_ = &metrics.gauge("rt.ring_depth_max");
   }
 }
@@ -450,6 +453,11 @@ void ShmWorld::run(const std::function<void(Communicator&)>& fn) {
     metrics_->gauge("rt.eager_sends").set(static_cast<double>(eager));
     metrics_->gauge("rt.rendezvous_sends")
         .set(static_cast<double>(rendezvous));
+    // Rank threads are joined: fold the per-rank shards into the shared
+    // registry and clear them so repeated run() calls accumulate exactly
+    // once per send.
+    metrics_->log_histogram("rt.msg_bytes").merge_from(obs_.merged(h_msg_bytes_));
+    obs_.reset();
   }
 }
 

@@ -41,6 +41,7 @@
 #include "polaris/fabric/topology.hpp"
 #include "polaris/fault/injector.hpp"
 #include "polaris/obs/metrics.hpp"
+#include "polaris/obs/sharded.hpp"
 #include "polaris/support/arrival.hpp"
 #include "polaris/support/rng.hpp"
 
@@ -158,7 +159,8 @@ class ServeSim : public fault::FaultListener {
   struct Frontend {
     support::Random rng{0};             ///< LB sampling (re-seeded by split)
     std::unique_ptr<support::ArrivalProcess> arrivals;
-    obs::LogHistogram latency_ns;
+    /// This front-end's shard in the sim's ShardedRegistry.
+    obs::LogHistogram* latency_ns = nullptr;
     std::uint32_t rr_next = 0;          ///< round-robin cursor
     des::SimTime next_arrival = 0;
     std::uint32_t index = 0;
@@ -199,6 +201,8 @@ class ServeSim : public fault::FaultListener {
   std::unique_ptr<fabric::SimNetwork> network_;
   std::unique_ptr<fault::Injector> injector_;
 
+  obs::ShardedRegistry obs_{1};  ///< one shard per front-end
+  obs::ShardedRegistry::HistId h_latency_{};
   std::vector<Frontend> frontends_;
   std::vector<Shard> shards_;
 

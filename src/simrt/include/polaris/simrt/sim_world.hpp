@@ -139,6 +139,74 @@ struct InFlightId {
   std::uint32_t gen = 0;
 };
 
+/// Name ids for every hot span/instant SimComm records, interned once in
+/// SimWorld::attach_tracer.  The record path then never touches the
+/// tracer's intern table and never builds a std::string — required for the
+/// ring tracer's no-allocation guarantee, harmless in full mode.
+struct TraceIds {
+  /// Rendezvous protocol-phase names ("rdv:*" or "rdma:*").
+  struct Phase {
+    obs::NameId rts = obs::kNoName;
+    obs::NameId sync = obs::kNoName;
+    obs::NameId stage = obs::kNoName;
+    obs::NameId reg = obs::kNoName;
+    obs::NameId payload = obs::kNoName;
+  };
+
+  obs::NameId send = obs::kNoName;
+  obs::NameId eager_inject = obs::kNoName;
+  obs::NameId retry = obs::kNoName;
+  obs::NameId recv = obs::kNoName;
+  obs::NameId recv_wait = obs::kNoName;
+  obs::NameId recv_cpu = obs::kNoName;
+  obs::NameId reg_miss = obs::kNoName;
+  obs::NameId reg_hit = obs::kNoName;
+  obs::NameId wait = obs::kNoName;
+  obs::NameId wait_all = obs::kNoName;
+  obs::NameId put = obs::kNoName;
+  obs::NameId get = obs::kNoName;
+  obs::NameId am_send = obs::kNoName;
+  obs::NameId compute = obs::kNoName;
+  obs::NameId barrier = obs::kNoName;
+  obs::NameId broadcast = obs::kNoName;
+  obs::NameId allreduce = obs::kNoName;
+  obs::NameId allgather = obs::kNoName;
+  obs::NameId alltoall = obs::kNoName;
+
+  obs::NameId cat_eager = obs::kNoName;
+  obs::NameId cat_rendezvous = obs::kNoName;
+  obs::NameId cat_rdma = obs::kNoName;
+  obs::NameId cat_protocol = obs::kNoName;
+  obs::NameId cat_fault = obs::kNoName;
+  obs::NameId cat_p2p = obs::kNoName;
+  obs::NameId cat_reg = obs::kNoName;
+  obs::NameId cat_am = obs::kNoName;
+  obs::NameId cat_cpu = obs::kNoName;
+  obs::NameId cat_coll = obs::kNoName;
+
+  Phase rdv;
+  Phase rdma;
+
+  void intern_all(obs::Tracer& tracer);
+
+  obs::NameId proto_cat(msg::Protocol p) const {
+    switch (p) {
+      case msg::Protocol::kEager:
+        return cat_eager;
+      case msg::Protocol::kRendezvous:
+        return cat_rendezvous;
+      case msg::Protocol::kRdma:
+        return cat_rdma;
+    }
+    return obs::kNoName;
+  }
+};
+
+/// All-kNoName ids: SimComm::ids_ points here until a tracer attaches, so
+/// record sites may dereference unconditionally (a null tracer ignores the
+/// arguments anyway).
+inline constexpr TraceIds kNoTraceIds{};
+
 }  // namespace detail
 
 /// Completion info for a simulated receive (or a waited send, which fills
@@ -387,8 +455,9 @@ class SimComm {
   // instrumented path branches on that (zero cost when unobserved).
   obs::Tracer* tracer_ = nullptr;
   obs::TrackId track_ = 0;
+  const detail::TraceIds* ids_ = &detail::kNoTraceIds;  ///< set with tracer_
   obs::Counter* sends_counter_ = nullptr;
-  obs::Histogram* msg_bytes_ = nullptr;
+  obs::LogHistogram* msg_bytes_ = nullptr;  ///< single DES thread: plain ops
 };
 
 /// Owner of the simulated cluster: engine, topology, network, node model
@@ -481,8 +550,22 @@ class SimWorld {
   /// one track per rank plus the network's per-link tracks.  Rank spans
   /// cover every operation — send/recv with protocol-phase sub-spans,
   /// collectives, compute, waits — so TraceAnalysis can reconstruct the
-  /// critical path.  Call before launch().
+  /// critical path.  Call before launch().  Re-attaching the same tracer
+  /// (e.g. after detach_tracer) rebinds the record pointers without
+  /// creating duplicate tracks.
   void attach_tracer(obs::Tracer& tracer);
+
+  /// Stops all recording: the hot paths fall back to their null-tracer
+  /// branches, exactly as if no tracer had ever been attached.  Tracks and
+  /// interned names survive for a later re-attach.
+  void detach_tracer();
+
+  /// Cheap enable gate over the bound tracer: flips every rank's (and the
+  /// network's) record-path pointer between the bound tracer and null, so
+  /// disabled tracing costs exactly the null-pointer branch an untraced
+  /// run pays — no per-event enabled check.  Requires a prior
+  /// attach_tracer.
+  void set_tracing_enabled(bool on);
 
   /// Attaches a metrics registry: live send counters/size histograms
   /// during the run, plus engine, fabric, matcher and registration-cache
@@ -519,6 +602,8 @@ class SimWorld {
   hw::NodeModel node_;
   std::uint32_t eager_threshold_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  detail::TraceIds trace_ids_;  ///< interned in attach_tracer
+  obs::Tracer* bound_tracer_ = nullptr;  ///< tracer tracks were built for
   fault::Injector* injector_ = nullptr;
   RetryPolicy retry_policy_;
   AdmissionControl admission_;

@@ -92,10 +92,10 @@ des::Task<SimStatus> SimComm::send_impl(int dst, int tag,
   f.proto = msg::choose_protocol(world_->params(), bytes,
                                  world_->eager_threshold());
 
-  obs::ScopedSpan span(tracer_, track_, "send", msg::to_string(f.proto));
+  obs::ScopedSpan span(tracer_, track_, ids_->send, ids_->proto_cat(f.proto));
   if (sends_counter_) {
     sends_counter_->add();
-    msg_bytes_->record(static_cast<double>(bytes));
+    msg_bytes_->record(bytes);
   }
 
   // Enforce the NIC's inter-message gap.
@@ -121,7 +121,8 @@ des::Task<void> SimComm::send_eager(detail::InFlight& f) {
   // CPU: overhead plus the copy into the injection/bounce path.
   const double copy = static_cast<double>(f.bytes) / p.copy_bw;
   {
-    obs::ScopedSpan inject(tracer_, track_, "eager:inject", "protocol");
+    obs::ScopedSpan inject(tracer_, track_, ids_->eager_inject,
+                           ids_->cat_protocol);
     co_await des::delay(eng, des::from_seconds(p.o_send + copy));
   }
   earliest_next_send_ =
@@ -213,7 +214,7 @@ des::Task<fabric::XferStatus> SimComm::transfer_retry(fabric::NodeId src,
   double backoff = rp.backoff;
   for (std::uint32_t attempt = 0; attempt < rp.max_retries; ++attempt) {
     world_->count_retry();
-    if (tracer_) tracer_->instant(track_, "retry", "fault");
+    if (tracer_) tracer_->instant(track_, ids_->retry, ids_->cat_fault);
     co_await des::delay(world_->engine(), des::from_seconds(backoff));
     backoff *= rp.backoff_factor;
     st = co_await net.transfer(src, dst, bytes);
@@ -248,11 +249,10 @@ des::Task<SimStatus> SimComm::send_rendezvous(detail::InFlight& f,
   // Protocol-phase prefix: the RDMA variant shares the rendezvous
   // handshake but lands the payload without receiver CPU.
   const bool is_rdma = f.proto == msg::Protocol::kRdma;
-  const char* pre = is_rdma ? "rdma" : "rdv";
+  const detail::TraceIds::Phase& ph = is_rdma ? ids_->rdma : ids_->rdv;
 
   // RTS (header-only).
-  obs::ScopedSpan rts(tracer_, track_, std::string(pre) + ":rts",
-                      "protocol");
+  obs::ScopedSpan rts(tracer_, track_, ph.rts, ids_->cat_protocol);
   co_await des::delay(eng, des::from_seconds(p.o_send));
   earliest_next_send_ =
       eng.now() + des::from_seconds(std::max(p.gap - p.o_send, 0.0));
@@ -274,8 +274,7 @@ des::Task<SimStatus> SimComm::send_rendezvous(detail::InFlight& f,
 
   // Wait for the receive to be posted, then the CTS travels back.
   {
-    obs::ScopedSpan sync(tracer_, track_, std::string(pre) + ":sync",
-                         "protocol");
+    obs::ScopedSpan sync(tracer_, track_, ph.sync, ids_->cat_protocol);
     if (world_->faults_enabled() &&
         world_->retry_policy().recv_timeout > 0.0 && !f.matched.fired()) {
       f.sync_timeout = eng.schedule_raw_after(
@@ -310,8 +309,7 @@ des::Task<SimStatus> SimComm::send_rendezvous(detail::InFlight& f,
   // Kernel-path fabrics cannot DMA from user memory: they still pay the
   // socket-buffer staging copy here (and the receiver pays its own).
   if (!p.os_bypass) {
-    obs::ScopedSpan stage(tracer_, track_, std::string(pre) + ":stage",
-                          "protocol");
+    obs::ScopedSpan stage(tracer_, track_, ph.stage, ids_->cat_protocol);
     co_await des::delay(
         eng,
         des::from_seconds(static_cast<double>(f.bytes) / p.copy_bw));
@@ -320,17 +318,16 @@ des::Task<SimStatus> SimComm::send_rendezvous(detail::InFlight& f,
         buffer_addr != 0 ? buffer_addr : default_addr();
     const double reg = reg_cache_->acquire(addr, f.bytes);
     if (tracer_) {
-      tracer_->instant(track_, reg > 0.0 ? "reg-miss" : "reg-hit", "reg");
+      tracer_->instant(track_, reg > 0.0 ? ids_->reg_miss : ids_->reg_hit,
+                       ids_->cat_reg);
     }
     if (reg > 0.0) {
-      obs::ScopedSpan pin(tracer_, track_, std::string(pre) + ":reg",
-                          "protocol");
+      obs::ScopedSpan pin(tracer_, track_, ph.reg, ids_->cat_protocol);
       co_await des::delay(eng, des::from_seconds(reg));
     }
   }
   {
-    obs::ScopedSpan payload(tracer_, track_, std::string(pre) + ":payload",
-                            "protocol");
+    obs::ScopedSpan payload(tracer_, track_, ph.payload, ids_->cat_protocol);
     xst = co_await transfer_retry(src_node, dst_node, f.bytes);
   }
   if (xst != fabric::XferStatus::kOk) {
@@ -456,8 +453,9 @@ des::Task<SimRecvStatus> SimComm::recv(int src, int tag) {
 
 des::Task<SimRecvStatus> SimComm::recv_impl(RecvTicket ticket) {
   auto& eng = world_->engine();
-  obs::ScopedSpan span(tracer_, track_, "recv", "p2p");
-  obs::ScopedSpan wait_span(tracer_, track_, "recv:wait", "protocol");
+  obs::ScopedSpan span(tracer_, track_, ids_->recv, ids_->cat_p2p);
+  obs::ScopedSpan wait_span(tracer_, track_, ids_->recv_wait,
+                            ids_->cat_protocol);
   std::uint32_t slot = ticket.inflight_slot;
   if (slot == kNilSlot) {
     // Pool references stay valid across awaits (deque slab).
@@ -494,7 +492,8 @@ des::Task<SimRecvStatus> SimComm::recv_impl(RecvTicket ticket) {
     const double reg = reg_cache_->acquire(default_addr() + (1u << 30),
                                            inf.bytes);
     if (tracer_) {
-      tracer_->instant(track_, reg > 0.0 ? "reg-miss" : "reg-hit", "reg");
+      tracer_->instant(track_, reg > 0.0 ? ids_->reg_miss : ids_->reg_hit,
+                       ids_->cat_reg);
     }
     if (reg > 0.0) co_await des::delay(eng, des::from_seconds(reg));
   }
@@ -531,7 +530,8 @@ des::Task<SimRecvStatus> SimComm::recv_impl(RecvTicket ticket) {
       break;
   }
   if (cpu > 0.0) {
-    obs::ScopedSpan cpu_span(tracer_, track_, "recv:cpu", "protocol");
+    obs::ScopedSpan cpu_span(tracer_, track_, ids_->recv_cpu,
+                             ids_->cat_protocol);
     co_await des::delay(eng, des::from_seconds(cpu));
   }
 
@@ -633,7 +633,7 @@ des::Task<SimRecvStatus> SimComm::wait(SimRequest request) {
   Request& r = request_pool_[request.slot_];
   POLARIS_CHECK_MSG(r.gen == request.gen_,
                     "wait on a request that was already waited");
-  obs::ScopedSpan span(tracer_, track_, "wait", "p2p");
+  obs::ScopedSpan span(tracer_, track_, ids_->wait, ids_->cat_p2p);
   co_await r.done.wait();
   SimRecvStatus st = r.status;
   release_request(request.slot_);
@@ -641,7 +641,7 @@ des::Task<SimRecvStatus> SimComm::wait(SimRequest request) {
 }
 
 des::Task<SimStatus> SimComm::wait_all(std::span<const SimRequest> requests) {
-  obs::ScopedSpan span(tracer_, track_, "wait_all", "p2p");
+  obs::ScopedSpan span(tracer_, track_, ids_->wait_all, ids_->cat_p2p);
   SimStatus first_error = SimStatus::kOk;
   for (const SimRequest& req : requests) {
     POLARIS_CHECK_MSG(req.valid(), "wait_all on an empty request");
@@ -663,7 +663,7 @@ des::Task<SimStatus> SimComm::put(int dst, std::uint64_t bytes,
   const auto& p = world_->params();
   POLARIS_CHECK_MSG(p.rdma, "put() requires an RDMA-capable fabric");
   auto& eng = world_->engine();
-  obs::ScopedSpan span(tracer_, track_, "put", "rdma");
+  obs::ScopedSpan span(tracer_, track_, ids_->put, ids_->cat_rdma);
   co_await des::delay(eng, des::from_seconds(p.o_send));
   const std::uintptr_t addr =
       buffer_addr != 0 ? buffer_addr : default_addr();
@@ -681,7 +681,7 @@ des::Task<SimStatus> SimComm::get(int src, std::uint64_t bytes,
   const auto& p = world_->params();
   POLARIS_CHECK_MSG(p.rdma, "get() requires an RDMA-capable fabric");
   auto& eng = world_->engine();
-  obs::ScopedSpan span(tracer_, track_, "get", "rdma");
+  obs::ScopedSpan span(tracer_, track_, ids_->get, ids_->cat_rdma);
   co_await des::delay(eng, des::from_seconds(p.o_send));
   const std::uintptr_t addr =
       buffer_addr != 0 ? buffer_addr : default_addr();
@@ -710,7 +710,7 @@ des::Task<SimStatus> SimComm::am_send(int dst, std::uint32_t handler,
   POLARIS_CHECK(dst >= 0 && dst < size());
   const auto& p = world_->params();
   auto& eng = world_->engine();
-  obs::ScopedSpan span(tracer_, track_, "am_send", "am");
+  obs::ScopedSpan span(tracer_, track_, ids_->am_send, ids_->cat_am);
   const double copy = static_cast<double>(bytes) / p.copy_bw;
   co_await des::delay(eng, des::from_seconds(p.o_send + copy));
   const fabric::XferStatus xst =
@@ -733,7 +733,7 @@ des::Task<SimStatus> SimComm::am_send(int dst, std::uint32_t handler,
 
 des::Task<void> SimComm::compute(double flops, double mem_bytes) {
   const double t = world_->node().kernel_time(flops, mem_bytes);
-  obs::ScopedSpan span(tracer_, track_, "compute", "cpu");
+  obs::ScopedSpan span(tracer_, track_, ids_->compute, ids_->cat_cpu);
   co_await des::delay(world_->engine(), des::from_seconds(t));
 }
 
@@ -789,27 +789,27 @@ des::Task<SimStatus> SimComm::run_schedule(const coll::Schedule& schedule,
 }
 
 des::Task<SimStatus> SimComm::barrier() {
-  obs::ScopedSpan span(tracer_, track_, "barrier", "coll");
+  obs::ScopedSpan span(tracer_, track_, ids_->barrier, ids_->cat_coll);
   co_return co_await run_schedule(
       world_->collective_schedule(coll::Collective::kBarrier, 0, 0), 1);
 }
 
 des::Task<SimStatus> SimComm::broadcast(std::uint64_t bytes, int root) {
-  obs::ScopedSpan span(tracer_, track_, "broadcast", "coll");
+  obs::ScopedSpan span(tracer_, track_, ids_->broadcast, ids_->cat_coll);
   co_return co_await run_schedule(
       world_->collective_schedule(coll::Collective::kBroadcast, bytes, root),
       1);
 }
 
 des::Task<SimStatus> SimComm::allreduce(std::uint64_t bytes) {
-  obs::ScopedSpan span(tracer_, track_, "allreduce", "coll");
+  obs::ScopedSpan span(tracer_, track_, ids_->allreduce, ids_->cat_coll);
   co_return co_await run_schedule(
       world_->collective_schedule(coll::Collective::kAllreduce, bytes, 0),
       1);
 }
 
 des::Task<SimStatus> SimComm::allgather(std::uint64_t block_bytes) {
-  obs::ScopedSpan span(tracer_, track_, "allgather", "coll");
+  obs::ScopedSpan span(tracer_, track_, ids_->allgather, ids_->cat_coll);
   co_return co_await run_schedule(
       world_->collective_schedule(coll::Collective::kAllgather, block_bytes,
                                   0),
@@ -817,7 +817,7 @@ des::Task<SimStatus> SimComm::allgather(std::uint64_t block_bytes) {
 }
 
 des::Task<SimStatus> SimComm::alltoall(std::uint64_t block_bytes) {
-  obs::ScopedSpan span(tracer_, track_, "alltoall", "coll");
+  obs::ScopedSpan span(tracer_, track_, ids_->alltoall, ids_->cat_coll);
   co_return co_await run_schedule(
       world_->collective_schedule(coll::Collective::kAlltoall, block_bytes,
                                   0),
@@ -888,13 +888,79 @@ void SimWorld::launch(std::function<des::Task<void>(SimComm&)> program) {
 }
 
 void SimWorld::attach_tracer(obs::Tracer& tracer) {
+  const bool rebind = bound_tracer_ == &tracer;
+  bound_tracer_ = &tracer;
+  if (!rebind) trace_ids_.intern_all(tracer);
   for (auto& c : comms_) {
     c->tracer_ = &tracer;
-    c->track_ =
-        tracer.add_track("ranks", "rank " + std::to_string(c->rank_));
+    c->ids_ = &trace_ids_;
+    if (!rebind) {
+      c->track_ =
+          tracer.add_track("ranks", "rank " + std::to_string(c->rank_));
+    }
   }
   network_->attach_tracer(tracer);
 }
+
+void SimWorld::detach_tracer() {
+  for (auto& c : comms_) c->tracer_ = nullptr;
+  network_->detach_tracer();
+}
+
+void SimWorld::set_tracing_enabled(bool on) {
+  POLARIS_CHECK(bound_tracer_ != nullptr);
+  obs::Tracer* t = on ? bound_tracer_ : nullptr;
+  for (auto& c : comms_) c->tracer_ = t;
+  network_->set_tracing_enabled(on);
+}
+
+namespace detail {
+
+void TraceIds::intern_all(obs::Tracer& tracer) {
+  send = tracer.intern("send");
+  eager_inject = tracer.intern("eager:inject");
+  retry = tracer.intern("retry");
+  recv = tracer.intern("recv");
+  recv_wait = tracer.intern("recv:wait");
+  recv_cpu = tracer.intern("recv:cpu");
+  reg_miss = tracer.intern("reg-miss");
+  reg_hit = tracer.intern("reg-hit");
+  wait = tracer.intern("wait");
+  wait_all = tracer.intern("wait_all");
+  put = tracer.intern("put");
+  get = tracer.intern("get");
+  am_send = tracer.intern("am_send");
+  compute = tracer.intern("compute");
+  barrier = tracer.intern("barrier");
+  broadcast = tracer.intern("broadcast");
+  allreduce = tracer.intern("allreduce");
+  allgather = tracer.intern("allgather");
+  alltoall = tracer.intern("alltoall");
+
+  cat_eager = tracer.intern("eager");
+  cat_rendezvous = tracer.intern("rendezvous");
+  cat_rdma = tracer.intern("rdma");
+  cat_protocol = tracer.intern("protocol");
+  cat_fault = tracer.intern("fault");
+  cat_p2p = tracer.intern("p2p");
+  cat_reg = tracer.intern("reg");
+  cat_am = tracer.intern("am");
+  cat_cpu = tracer.intern("cpu");
+  cat_coll = tracer.intern("coll");
+
+  rdv.rts = tracer.intern("rdv:rts");
+  rdv.sync = tracer.intern("rdv:sync");
+  rdv.stage = tracer.intern("rdv:stage");
+  rdv.reg = tracer.intern("rdv:reg");
+  rdv.payload = tracer.intern("rdv:payload");
+  rdma.rts = tracer.intern("rdma:rts");
+  rdma.sync = tracer.intern("rdma:sync");
+  rdma.stage = tracer.intern("rdma:stage");
+  rdma.reg = tracer.intern("rdma:reg");
+  rdma.payload = tracer.intern("rdma:payload");
+}
+
+}  // namespace detail
 
 void SimWorld::enable_faults(fault::Injector& injector, RetryPolicy policy) {
   POLARIS_CHECK(policy.max_retries < 250 && policy.backoff > 0.0 &&
@@ -914,7 +980,7 @@ void SimWorld::attach_metrics(obs::MetricsRegistry& metrics) {
   metrics_ = &metrics;
   for (auto& c : comms_) {
     c->sends_counter_ = &metrics.counter("simrt.sends");
-    c->msg_bytes_ = &metrics.histogram("simrt.msg_bytes");
+    c->msg_bytes_ = &metrics.log_histogram("simrt.msg_bytes");
   }
 }
 

@@ -133,6 +133,24 @@ TEST(LogHistogram, HandlesHugeValues) {
   EXPECT_LT(LogHistogram::bucket_index(huge), LogHistogram::kBuckets);
 }
 
+TEST(LogHistogram, ResetClearsEverythingAndIsReusable) {
+  LogHistogram h;
+  h.record(3);
+  h.record(1'000'000);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+  // A reset histogram behaves exactly like a fresh one.
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_EQ(h.sum(), 42u);
+}
+
 TEST(MetricsRegistry, LogHistogramsAreNamedAndListed) {
   MetricsRegistry reg;
   reg.log_histogram("x.latency").record(100);

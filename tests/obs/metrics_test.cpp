@@ -92,6 +92,41 @@ TEST(HistogramMetric, EmptyIsZeroes) {
   EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
 }
 
+TEST(HistogramMetric, ReservoirBoundsMemoryAboveCap) {
+  constexpr std::size_t kCap = 256;
+  Histogram h(kCap);
+  constexpr std::uint64_t kN = 100'000;
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= kN; ++i) {
+    h.record(static_cast<double>(i));
+    sum += static_cast<double>(i);
+  }
+  // Count/sum/min/max stay exact; only the percentile sample is bounded.
+  EXPECT_EQ(h.count(), kN);
+  EXPECT_DOUBLE_EQ(h.sum(), sum);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(kN));
+  EXPECT_EQ(h.reservoir_size(), kCap);
+  EXPECT_EQ(h.reservoir_cap(), kCap);
+  // Algorithm R keeps a uniform sample: the median estimate is loose but
+  // must land well inside the bulk of the distribution.
+  const double p50 = h.percentile(50.0);
+  EXPECT_GT(p50, 0.25 * static_cast<double>(kN));
+  EXPECT_LT(p50, 0.75 * static_cast<double>(kN));
+}
+
+TEST(HistogramMetric, ReservoirSamplingIsDeterministic) {
+  Histogram a(128), b(128);
+  for (int i = 0; i < 50'000; ++i) {
+    const double x = static_cast<double>((i * 2654435761u) % 1'000'003);
+    a.record(x);
+    b.record(x);
+  }
+  for (const double p : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p)) << "p" << p;
+  }
+}
+
 TEST(MetricsRegistry, StableIdentityAcrossLookups) {
   MetricsRegistry registry;
   Counter& a = registry.counter("x");

@@ -64,8 +64,8 @@ TEST(RtTrace, MetricsCountSendsAndMirrorProtocolSplit) {
   });
 
   EXPECT_EQ(metrics.counter("rt.sends").value(), 2u);
-  EXPECT_EQ(metrics.histogram("rt.msg_bytes").count(), 2u);
-  EXPECT_DOUBLE_EQ(metrics.histogram("rt.msg_bytes").max(), 64.0 * 1024);
+  EXPECT_EQ(metrics.log_histogram("rt.msg_bytes").count(), 2u);
+  EXPECT_EQ(metrics.log_histogram("rt.msg_bytes").max(), 64u * 1024);
   EXPECT_DOUBLE_EQ(metrics.gauge("rt.eager_sends").value(), 1.0);
   EXPECT_DOUBLE_EQ(metrics.gauge("rt.rendezvous_sends").value(), 1.0);
   EXPECT_GE(metrics.gauge("rt.ring_depth_max").value(), 0.0);

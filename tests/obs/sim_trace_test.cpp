@@ -208,7 +208,7 @@ TEST(SimTrace, MetricsMirrorRunTotals) {
   world.run();
 
   EXPECT_EQ(metrics.counter("simrt.sends").value(), 2u);
-  EXPECT_EQ(metrics.histogram("simrt.msg_bytes").count(), 2u);
+  EXPECT_EQ(metrics.log_histogram("simrt.msg_bytes").count(), 2u);
   EXPECT_DOUBLE_EQ(metrics.gauge("simrt.eager_sends").value(), 1.0);
   EXPECT_DOUBLE_EQ(metrics.gauge("simrt.rendezvous_sends").value(), 1.0);
   EXPECT_DOUBLE_EQ(

@@ -71,6 +71,8 @@ FailureTimeline::Event FailureTimeline::next() {
 
 std::vector<FailureTimeline::Event> FailureTimeline::until(double horizon) {
   std::vector<Event> out;
+  // Half-open [cursor, horizon): strictly-before keeps a boundary event
+  // (t == horizon) pending for next()/a later until() — see the header.
   while (heap_.front().time < horizon) {
     out.push_back(next());
   }

@@ -69,7 +69,15 @@ class FailureTimeline {
   /// Next failure event at or after the internal cursor; advances it.
   Event next();
 
-  /// Failures with time < horizon, consuming them.
+  /// Time of the next failure event without consuming it.
+  double peek_time() const { return heap_.front().time; }
+
+  /// Drains the HALF-OPEN window [cursor, horizon): returns every failure
+  /// with time strictly below `horizon`, consuming them.  An event at
+  /// exactly t == horizon is NOT included — it stays pending, so the very
+  /// next next() (or an until() with a larger horizon) returns it.  This
+  /// makes consecutive until(h1), until(h2) calls partition the stream
+  /// with no duplicated and no lost events at the boundaries.
   std::vector<Event> until(double horizon);
 
  private:

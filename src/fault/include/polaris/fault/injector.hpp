@@ -63,9 +63,10 @@ class Injector {
   void schedule_link_outage(double at, fabric::LinkId link,
                             double repair_after = 0.0);
 
-  /// Drains `timeline` up to `horizon` and schedules each event as a node
-  /// crash (node ids taken modulo the topology size).  Returns the number
-  /// of crashes scheduled.
+  /// Drains `timeline` over the half-open window [cursor, horizon) and
+  /// schedules each event as a node crash (node ids taken modulo the
+  /// topology size — distinct timeline ids may collide on one node; see
+  /// the overlap rules below).  Returns the number of crashes scheduled.
   std::size_t load_node_timeline(FailureTimeline& timeline, double horizon,
                                  double repair_after);
 
@@ -79,6 +80,17 @@ class Injector {
   bool all_nodes_up() const { return nodes_down_ == 0; }
   std::uint64_t crashes() const { return crashes_; }
   std::uint64_t link_outages() const { return link_outages_; }
+  std::uint32_t nodes_down() const { return nodes_down_; }
+  std::uint32_t links_down() const { return links_down_; }
+  /// Faults that landed on an already-down node/link.  An overlapping
+  /// fault never double-counts (crashes_/nodes_down_ move only on real
+  /// state flips) and never resurrects early: its repair window is merged
+  /// into the pending one — the repair deadline extends to the later of
+  /// the two, and an overlapping permanent fault (repair_after <= 0) pins
+  /// the target down by cancelling the pending repair.
+  std::uint64_t overlapped_faults() const { return overlapped_faults_; }
+  /// Overlaps that pushed a pending repair later (or pinned it permanent).
+  std::uint64_t repair_extensions() const { return repair_extensions_; }
   /// Sim time of the node's most recent crash (-1 if it never crashed).
   double downed_at(std::uint32_t node) const;
   const std::vector<FaultEvent>& history() const { return history_; }
@@ -105,9 +117,28 @@ class Injector {
     Injector* injector;
     des::OneShotEvent event;
   };
+  /// Pending-repair bookkeeping for one node or link.  While the target is
+  /// down, `at` holds the scheduled repair time (< 0 = permanent — no
+  /// repair pending).  `gen` stamps the currently-valid repair event:
+  /// extending or cancelling a repair bumps it, so a superseded repair
+  /// event recognises itself as stale and does nothing — the target can
+  /// never resurrect before the latest fault's window elapses.
+  struct RepairPlan {
+    double at = -1.0;
+    std::uint32_t gen = 0;
+  };
+
   static void work_timer_cb(void* ctx);
 
   void apply(FaultEvent ev, double repair_after);
+  void apply_repair(FaultEvent ev, std::uint32_t gen);
+  /// Merges an overlapping fault's repair window into `plan`; schedules
+  /// the extended repair when the deadline moved.  Returns true when the
+  /// plan changed.
+  bool extend_repair(RepairPlan& plan, FaultEvent::Kind repair_kind,
+                     std::uint32_t id, double at, double repair_after);
+  void schedule_repair(const RepairPlan& plan, FaultEvent::Kind repair_kind,
+                       std::uint32_t id);
   void notify_fault();
   void update_gauges();
 
@@ -117,10 +148,14 @@ class Injector {
   std::uint64_t crashes_ = 0;
   std::uint64_t link_outages_ = 0;
   std::uint64_t faults_applied_ = 0;  ///< crashes + outages (repairs excluded)
+  std::uint64_t overlapped_faults_ = 0;
+  std::uint64_t repair_extensions_ = 0;
   std::uint32_t nodes_down_ = 0;
   std::uint32_t links_down_ = 0;
   std::vector<double> crash_time_;     ///< per node, -1 if never crashed
   std::vector<des::SimTime> down_since_;  ///< per node, for down-span traces
+  std::vector<RepairPlan> node_repair_;   ///< per node, valid while down
+  std::vector<RepairPlan> link_repair_;   ///< per link, valid while down
   std::vector<FaultEvent> history_;
 
   std::vector<des::OneShotEvent*> fault_waiters_;  ///< work_for parks here

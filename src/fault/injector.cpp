@@ -13,6 +13,8 @@ Injector::Injector(des::Engine& engine, fabric::SimNetwork& network)
   const std::size_t n = network_->topology().node_count();
   crash_time_.assign(n, -1.0);
   down_since_.assign(n, 0);
+  node_repair_.assign(n, RepairPlan{});
+  link_repair_.assign(network_->topology().link_count(), RepairPlan{});
 }
 
 void Injector::schedule_node_crash(double at, std::uint32_t node,
@@ -65,11 +67,52 @@ double Injector::downed_at(std::uint32_t node) const {
   return crash_time_[node];
 }
 
+bool Injector::extend_repair(RepairPlan& plan, FaultEvent::Kind repair_kind,
+                             std::uint32_t id, double at,
+                             double repair_after) {
+  ++overlapped_faults_;
+  if (repair_after <= 0.0) {
+    // Overlapping permanent fault: cancel any pending repair.  The stale
+    // repair event (if one is queued) sees the bumped generation and
+    // ignores itself.
+    if (plan.at < 0.0) return false;  // already permanent
+    plan.at = -1.0;
+    ++plan.gen;
+    ++repair_extensions_;
+    return true;
+  }
+  const double deadline = at + repair_after;
+  // Never shorten: a pending-permanent plan (at < 0) or a later deadline
+  // wins.  Equal deadlines collapse without a new event.
+  if (plan.at < 0.0 || deadline <= plan.at) return false;
+  plan.at = deadline;
+  ++plan.gen;
+  ++repair_extensions_;
+  schedule_repair(plan, repair_kind, id);
+  return true;
+}
+
+void Injector::schedule_repair(const RepairPlan& plan,
+                               FaultEvent::Kind repair_kind,
+                               std::uint32_t id) {
+  const FaultEvent up{repair_kind, plan.at, id};
+  const std::uint32_t gen = plan.gen;
+  engine_->schedule_at(des::from_seconds(plan.at),
+                       [this, up, gen] { apply_repair(up, gen); });
+}
+
 void Injector::apply(FaultEvent ev, double repair_after) {
-  const std::uint64_t before = history_.size();
   switch (ev.kind) {
     case FaultEvent::Kind::kNodeCrash: {
-      if (!network_->node_up(ev.id)) return;  // overlapping schedules collapse
+      if (!network_->node_up(ev.id)) {
+        // Overlapping fault on a down node: no double count, no listener
+        // notification (the survivors' view did not change) — but the
+        // repair window merges so the node cannot resurrect early.
+        extend_repair(node_repair_[ev.id], FaultEvent::Kind::kNodeRepair,
+                      ev.id, ev.time, repair_after);
+        update_gauges();
+        return;
+      }
       network_->set_node_up(ev.id, false);
       ++crashes_;
       ++faults_applied_;
@@ -81,33 +124,22 @@ void Injector::apply(FaultEvent ev, double repair_after) {
         tracer_->instant(track_, "crash node " + std::to_string(ev.id),
                          "fault");
       }
-      if (repair_after > 0.0) {
-        const FaultEvent up{FaultEvent::Kind::kNodeRepair,
-                            ev.time + repair_after, ev.id};
-        engine_->schedule_at(des::from_seconds(up.time),
-                             [this, up] { apply(up, 0.0); });
+      RepairPlan& plan = node_repair_[ev.id];
+      ++plan.gen;  // invalidates any stale repair event for this node
+      plan.at = repair_after > 0.0 ? ev.time + repair_after : -1.0;
+      if (plan.at >= 0.0) {
+        schedule_repair(plan, FaultEvent::Kind::kNodeRepair, ev.id);
       }
       notify_fault();
       break;
     }
-    case FaultEvent::Kind::kNodeRepair: {
-      if (network_->node_up(ev.id)) return;
-      network_->set_node_up(ev.id, true);
-      --nodes_down_;
-      history_.push_back(ev);
-      if (tracer_ && have_track_) {
-        tracer_->complete_span(track_, "node " + std::to_string(ev.id) + " down",
-                               "fault", down_since_[ev.id],
-                               engine_->now() - down_since_[ev.id]);
-      }
-      if (nodes_down_ == 0) {
-        for (des::OneShotEvent* w : up_waiters_) w->fire(*engine_);
-        up_waiters_.clear();
-      }
-      break;
-    }
     case FaultEvent::Kind::kLinkDown: {
-      if (!network_->link_up(ev.id)) return;
+      if (!network_->link_up(ev.id)) {
+        extend_repair(link_repair_[ev.id], FaultEvent::Kind::kLinkUp, ev.id,
+                      ev.time, repair_after);
+        update_gauges();
+        return;
+      }
       network_->set_link_up(ev.id, false);
       ++link_outages_;
       ++faults_applied_;
@@ -117,19 +149,55 @@ void Injector::apply(FaultEvent ev, double repair_after) {
         tracer_->instant(track_, "link " + std::to_string(ev.id) + " down",
                          "fault");
       }
-      if (repair_after > 0.0) {
-        const FaultEvent up{FaultEvent::Kind::kLinkUp, ev.time + repair_after,
-                            ev.id};
-        engine_->schedule_at(des::from_seconds(up.time),
-                             [this, up] { apply(up, 0.0); });
+      RepairPlan& plan = link_repair_[ev.id];
+      ++plan.gen;
+      plan.at = repair_after > 0.0 ? ev.time + repair_after : -1.0;
+      if (plan.at >= 0.0) {
+        schedule_repair(plan, FaultEvent::Kind::kLinkUp, ev.id);
       }
       notify_fault();
       break;
     }
+    case FaultEvent::Kind::kNodeRepair:
+    case FaultEvent::Kind::kLinkUp:
+      // Repairs are only ever scheduled internally, through
+      // schedule_repair -> apply_repair.
+      POLARIS_CHECK_MSG(false, "repair events go through apply_repair");
+      break;
+  }
+  for (FaultListener* l : listeners_) l->on_fault(ev);
+  update_gauges();
+}
+
+void Injector::apply_repair(FaultEvent ev, std::uint32_t gen) {
+  switch (ev.kind) {
+    case FaultEvent::Kind::kNodeRepair: {
+      RepairPlan& plan = node_repair_[ev.id];
+      if (gen != plan.gen) return;  // superseded by a later/permanent fault
+      if (network_->node_up(ev.id)) return;
+      network_->set_node_up(ev.id, true);
+      --nodes_down_;
+      plan.at = -1.0;
+      history_.push_back(ev);
+      if (tracer_ && have_track_) {
+        tracer_->complete_span(track_,
+                               "node " + std::to_string(ev.id) + " down",
+                               "fault", down_since_[ev.id],
+                               engine_->now() - down_since_[ev.id]);
+      }
+      if (nodes_down_ == 0) {
+        for (des::OneShotEvent* w : up_waiters_) w->fire(*engine_);
+        up_waiters_.clear();
+      }
+      break;
+    }
     case FaultEvent::Kind::kLinkUp: {
+      RepairPlan& plan = link_repair_[ev.id];
+      if (gen != plan.gen) return;
       if (network_->link_up(ev.id)) return;
       network_->set_link_up(ev.id, true);
       --links_down_;
+      plan.at = -1.0;
       history_.push_back(ev);
       if (tracer_ && have_track_) {
         tracer_->instant(track_, "link " + std::to_string(ev.id) + " up",
@@ -137,12 +205,11 @@ void Injector::apply(FaultEvent ev, double repair_after) {
       }
       break;
     }
+    default:
+      POLARIS_CHECK_MSG(false, "apply_repair only handles repairs");
+      break;
   }
-  // history_ grows iff the event was not collapsed as a duplicate; only
-  // real state changes reach the listeners.
-  if (history_.size() != before) {
-    for (FaultListener* l : listeners_) l->on_fault(ev);
-  }
+  for (FaultListener* l : listeners_) l->on_fault(ev);
   update_gauges();
 }
 

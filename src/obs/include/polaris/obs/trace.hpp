@@ -503,6 +503,13 @@ class TraceStreamWriter {
   std::vector<TraceEvent> batch_;              // reused scratch
 };
 
+/// FNV-1a fingerprint of the tracer's exported JSON (write_json byte
+/// stream).  Two runs that produced the same trace hash to the same value
+/// on every platform — the cheap "did these runs behave identically?"
+/// check the scenario runner's determinism verdicts are built on.  Ring
+/// mode hashes the current (undrained) ring contents, like write_json.
+std::uint64_t trace_hash(const Tracer& tracer);
+
 /// RAII span; a null tracer makes every operation a no-op, so call sites
 /// need no branches of their own.  Safe to keep across co_await (lives in
 /// the coroutine frame).

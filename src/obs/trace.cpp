@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdio>
 #include <map>
+#include <sstream>
 
 #include "polaris/support/check.hpp"
 
@@ -724,6 +725,18 @@ void TraceStreamWriter::finish() {
   drain();
   finished_ = true;
   *os_ << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::uint64_t trace_hash(const Tracer& tracer) {
+  std::ostringstream os;
+  tracer.write_json(os);
+  const std::string json = os.str();
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char c : json) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
 }
 
 }  // namespace polaris::obs

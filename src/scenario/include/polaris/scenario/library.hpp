@@ -1,0 +1,23 @@
+// Built-in starter scenarios.
+//
+// Each is a complete JSON spec exercising one fault-tolerance story across
+// the stack — drains, cascading link failures, correlated rack loss, flash
+// crowds, detector tuning, crash-during-collective at pdes scale, and a
+// crash inside a simrt ring.  They double as executable documentation of
+// the spec grammar and as the regression corpus test_scenario runs in CI.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace polaris::scenario {
+
+/// Names of all built-in scenarios, in a fixed order.
+std::vector<std::string> library_names();
+
+/// The spec text for `name`; throws support::ContractViolation on unknown
+/// names.
+std::string_view library_spec(std::string_view name);
+
+}  // namespace polaris::scenario

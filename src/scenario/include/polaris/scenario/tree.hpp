@@ -1,0 +1,246 @@
+// Behavior trees over the DES clock.
+//
+// A chaos scenario is control flow over a simulated machine: inject a
+// fault, wait for the detector, assert the tail stayed bounded, repeat.
+// Behavior trees (the robotics formulation: every node returns Running /
+// Success / Failure per tick) express that as data — leaves act on or
+// observe the harness, decorators and composites provide sequencing,
+// fallback, parallelism, repetition and timeouts — while the DES engine
+// provides the ticks, so a scenario interleaves deterministically with the
+// workload it is perturbing.
+//
+// Semantics chosen here (the "memory" variants, matching scripted
+// orchestration rather than reactive control):
+//   - tick() LATCHES: a node that returned Success or Failure is finished
+//     and will not be re-ticked until reset() (Repeat resets its child).
+//   - Sequence/Fallback keep a cursor: earlier children are not revisited.
+//   - Parallel ticks every unfinished child each tick.
+//   - Timeout fails a child still Running after its deadline; the budget
+//     starts at the decorator's first tick.
+//
+// Monitors sit OUTSIDE the tree: an always-on invariant checked on every
+// tick regardless of what the tree is doing (no lost requests, no wedged
+// ranks, bounded queues).  A monitor never stops the run; it records
+// violations for the verdict.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace polaris::scenario {
+
+enum class Status : std::uint8_t { kRunning = 0, kSuccess = 1, kFailure = 2 };
+
+const char* to_string(Status status);
+
+struct TickContext {
+  double now_s = 0.0;      ///< simulated seconds at this tick
+  std::uint64_t tick = 0;  ///< tick ordinal (0-based)
+};
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Advances the node one tick.  Latches: once Success/Failure is
+  /// returned, further ticks return the same status without work.
+  Status tick(TickContext& ctx) {
+    if (status_ == Status::kRunning) status_ = on_tick(ctx);
+    return status_;
+  }
+
+  /// Returns the node to fresh Running state (recursively, for interior
+  /// nodes) so Repeat can re-run a finished subtree.
+  virtual void reset() { status_ = Status::kRunning; }
+
+  Status status() const { return status_; }
+  const std::string& name() const { return name_; }
+
+ protected:
+  virtual Status on_tick(TickContext& ctx) = 0;
+
+ private:
+  std::string name_;
+  Status status_ = Status::kRunning;
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+/// Runs children in order; fails on the first child failure.
+class Sequence final : public Node {
+ public:
+  Sequence(std::string name, std::vector<NodePtr> children)
+      : Node(std::move(name)), children_(std::move(children)) {}
+  void reset() override;
+
+ protected:
+  Status on_tick(TickContext& ctx) override;
+
+ private:
+  std::vector<NodePtr> children_;
+  std::size_t cursor_ = 0;
+};
+
+/// Tries children in order; succeeds on the first child success, fails
+/// only when every child failed.
+class Fallback final : public Node {
+ public:
+  Fallback(std::string name, std::vector<NodePtr> children)
+      : Node(std::move(name)), children_(std::move(children)) {}
+  void reset() override;
+
+ protected:
+  Status on_tick(TickContext& ctx) override;
+
+ private:
+  std::vector<NodePtr> children_;
+  std::size_t cursor_ = 0;
+};
+
+/// Ticks all unfinished children every tick.  Succeeds once `quota`
+/// children have succeeded (0 = all); fails as soon as the quota becomes
+/// unreachable.
+class Parallel final : public Node {
+ public:
+  Parallel(std::string name, std::vector<NodePtr> children,
+           std::size_t quota = 0);
+  void reset() override;
+
+ protected:
+  Status on_tick(TickContext& ctx) override;
+
+ private:
+  std::vector<NodePtr> children_;
+  std::size_t quota_;
+};
+
+/// Re-runs its child `times` times (0 = forever); any child failure fails
+/// the repeat immediately.
+class Repeat final : public Node {
+ public:
+  Repeat(std::string name, NodePtr child, std::uint64_t times)
+      : Node(std::move(name)), child_(std::move(child)), times_(times) {}
+  void reset() override;
+
+ protected:
+  Status on_tick(TickContext& ctx) override;
+
+ private:
+  NodePtr child_;
+  std::uint64_t times_;
+  std::uint64_t done_ = 0;
+};
+
+/// Fails a child still Running `deadline_s` after the decorator's first
+/// tick; otherwise transparent.
+class Timeout final : public Node {
+ public:
+  Timeout(std::string name, NodePtr child, double deadline_s)
+      : Node(std::move(name)), child_(std::move(child)),
+        deadline_s_(deadline_s) {}
+  void reset() override;
+
+ protected:
+  Status on_tick(TickContext& ctx) override;
+
+ private:
+  NodePtr child_;
+  double deadline_s_;
+  double started_s_ = -1.0;
+};
+
+/// Leaf performing a side effect (or returning Running to span ticks).
+class Action final : public Node {
+ public:
+  using Fn = std::function<Status(TickContext&)>;
+  Action(std::string name, Fn fn) : Node(std::move(name)), fn_(std::move(fn)) {}
+
+ protected:
+  Status on_tick(TickContext& ctx) override { return fn_(ctx); }
+
+ private:
+  Fn fn_;
+};
+
+/// Leaf evaluating a predicate ONCE: Success/Failure on its first tick.
+/// This is the `assert` leaf; the runner records its outcome.
+class Condition final : public Node {
+ public:
+  using Fn = std::function<bool(TickContext&)>;
+  Condition(std::string name, Fn fn)
+      : Node(std::move(name)), fn_(std::move(fn)) {}
+
+ protected:
+  Status on_tick(TickContext& ctx) override {
+    return fn_(ctx) ? Status::kSuccess : Status::kFailure;
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Leaf returning Running until its predicate first holds (the `await`
+/// leaf — wrap in Timeout for a deadline).
+class WaitUntil final : public Node {
+ public:
+  using Fn = std::function<bool(TickContext&)>;
+  WaitUntil(std::string name, Fn fn)
+      : Node(std::move(name)), fn_(std::move(fn)) {}
+
+ protected:
+  Status on_tick(TickContext& ctx) override {
+    return fn_(ctx) ? Status::kSuccess : Status::kRunning;
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Leaf that idles for a fixed simulated duration (from its first tick).
+class Wait final : public Node {
+ public:
+  Wait(std::string name, double seconds)
+      : Node(std::move(name)), seconds_(seconds) {}
+  void reset() override {
+    Node::reset();
+    started_s_ = -1.0;
+  }
+
+ protected:
+  Status on_tick(TickContext& ctx) override {
+    if (started_s_ < 0.0) started_s_ = ctx.now_s;
+    return ctx.now_s - started_s_ >= seconds_ ? Status::kSuccess
+                                              : Status::kRunning;
+  }
+
+ private:
+  double seconds_;
+  double started_s_ = -1.0;
+};
+
+/// Always-on invariant, checked every tick for the whole run.
+struct Monitor {
+  std::string name;
+  std::function<bool(TickContext&)> ok;
+
+  std::uint64_t checks = 0;
+  std::uint64_t violations = 0;
+  double first_violation_s = -1.0;
+
+  void check(TickContext& ctx) {
+    ++checks;
+    if (ok(ctx)) return;
+    if (violations == 0) first_violation_s = ctx.now_s;
+    ++violations;
+  }
+  bool clean() const { return violations == 0; }
+};
+
+}  // namespace polaris::scenario

@@ -1,0 +1,214 @@
+#include "polaris/scenario/library.hpp"
+
+#include <array>
+#include <utility>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::scenario {
+namespace {
+
+// Rolling upgrade: drain each shard in turn, wait for it to empty, bring
+// it back.  Nothing may be lost — a drain is not a crash.
+constexpr std::string_view kRollingUpgradeDrain = R"({
+  "name": "rolling-upgrade-drain",
+  "seed": 7,
+  "tick_s": 0.0005,
+  "harness": {"kind": "serve", "frontends": 2, "shards": 4,
+              "rate": 20000, "service_mean_s": 20e-6, "lb": "po2c",
+              "duration_s": 0.08, "warmup_s": 0.0},
+  "monitors": [
+    {"name": "no-lost-requests", "expect": "conservation == 0"},
+    {"name": "bounded-queues", "expect": "live_queue < 400"}
+  ],
+  "tree": {"seq": [
+    {"wait": 0.01},
+    {"drain": {"shard": 0}},
+    {"await": "shard_drained:0", "timeout": 0.02},
+    {"undrain": {"shard": 0}},
+    {"wait": 0.01},
+    {"drain": {"shard": 1}},
+    {"await": "shard_drained:1", "timeout": 0.02},
+    {"undrain": {"shard": 1}},
+    {"wait": 0.01},
+    {"drain": {"shard": 2}},
+    {"await": "shard_drained:2", "timeout": 0.02},
+    {"undrain": {"shard": 2}},
+    {"wait": 0.01},
+    {"drain": {"shard": 3}},
+    {"await": "shard_drained:3", "timeout": 0.02},
+    {"undrain": {"shard": 3}},
+    {"await": "offered > 2000", "timeout": 0.05},
+    {"assert": "dropped == 0"},
+    {"assert": "failovers == 0"}
+  ]}
+})";
+
+// Three link outages rolling across a fat tree while heartbeats flow; the
+// fabric must heal (links repaired) and no node may ever look dead.
+constexpr std::string_view kCascadingLinkFailures = R"({
+  "name": "cascading-link-failures",
+  "seed": 11,
+  "tick_s": 0.01,
+  "harness": {"kind": "cluster", "topology": "fattree", "radix": 4,
+              "heartbeat": {"period": 0.05, "timeout": 0.4, "horizon": 10.0}},
+  "monitors": [
+    {"name": "no-node-loss", "expect": "nodes_down == 0"}
+  ],
+  "tree": {"seq": [
+    {"wait": 0.2},
+    {"inject": {"kind": "link-outage", "route": [0, 1], "repair_after": 1.5}},
+    {"wait": 0.5},
+    {"inject": {"kind": "link-outage", "route": [1, 2], "repair_after": 1.5}},
+    {"wait": 0.5},
+    {"inject": {"kind": "link-outage", "route": [2, 3], "repair_after": 1.5}},
+    {"await": "links_down == 0", "timeout": 8.0},
+    {"assert": "link_outages == 3"},
+    {"assert": "hb_delivered > 0"}
+  ]}
+})";
+
+// A rack (4 contiguous nodes) loses power under a running job mix; the
+// resource manager must requeue the victims and still finish every job.
+constexpr std::string_view kRackPowerLoss = R"({
+  "name": "rack-power-loss",
+  "seed": 3,
+  "tick_s": 0.05,
+  "harness": {"kind": "cluster", "topology": "crossbar", "nodes": 16,
+              "rm": {"jobs": 12, "runtime": 20, "width": 4, "interval": 1.0}},
+  "monitors": [
+    {"name": "no-lost-jobs", "expect": "rm.in_system <= 12"}
+  ],
+  "tree": {"seq": [
+    {"inject": {"kind": "rack", "first": 4, "count": 4,
+                "after": 5.0, "repair_after": 30.0}},
+    {"await": "crashes == 4", "timeout": 10.0},
+    {"await": "nodes_down == 0", "timeout": 60.0},
+    {"await": "rm.completed == 12", "timeout": 300.0},
+    {"assert": "rm.requeues >= 1"},
+    {"assert": "rm.running == 0"},
+    {"assert": "rm.queue_depth == 0"}
+  ]}
+})";
+
+// A flash crowd hits the serving tier: 8x load for 20 ms with an admission
+// limit armed.  Overload must shed by REJECTING (a counted, bounded act),
+// never by dropping, and queues must respect the limit.
+constexpr std::string_view kFlashCrowd = R"({
+  "name": "flash-crowd-on-serve",
+  "seed": 13,
+  "tick_s": 0.0005,
+  "harness": {"kind": "serve", "frontends": 2, "shards": 4,
+              "rate": 30000, "service_mean_s": 20e-6, "lb": "po2c",
+              "duration_s": 0.06, "warmup_s": 0.0},
+  "monitors": [
+    {"name": "no-lost-requests", "expect": "conservation == 0"},
+    {"name": "admission-respected", "expect": "live_queue <= 280"}
+  ],
+  "tree": {"seq": [
+    {"set_admission": {"limit": 64}},
+    {"wait": 0.01},
+    {"ramp": {"factor": 8.0}},
+    {"wait": 0.02},
+    {"ramp": {"factor": 1.0}},
+    {"await": "live_queue == 0", "timeout": 0.1},
+    {"assert": "rejected > 0"},
+    {"assert": "dropped == 0"},
+    {"assert": "completed > 1000"}
+  ]}
+})";
+
+// Offline detector characterization as a scenario: sweep the timeout
+// detector and the phi-accrual detector across thresholds and check the
+// tuning curve's shape (false positives fall as thresholds loosen).
+constexpr std::string_view kDetectorTuningSweep = R"({
+  "name": "detector-tuning-sweep",
+  "seed": 17,
+  "tick_s": 0.001,
+  "harness": {"kind": "cluster", "topology": "crossbar", "nodes": 4},
+  "tree": {"seq": [
+    {"sweep": {"detector": "timeout", "period": 0.1, "jitter": 0.3,
+               "heartbeats": 4000,
+               "thresholds": [0.15, 0.2, 0.3, 0.5, 0.8]}},
+    {"sweep": {"detector": "phi", "period": 0.1, "jitter": 0.3,
+               "heartbeats": 4000,
+               "thresholds": [1, 2, 4, 8, 12]}},
+    {"assert": "sweep.points == 10"},
+    {"assert": "sweep.fp_monotone == 1"},
+    {"assert": "sweep.best_fp <= 0.02"}
+  ]}
+})";
+
+// Crash during a collective at pdes scale: one rank dies mid-allreduce on
+// a 256-rank machine, and the golden hash must not care how many shards or
+// workers executed the simulation.  Recursive doubling makes every rank
+// transitively depend on the dead one, so the blast radius is total — the
+// whole machine fails, deterministically, and the verdict pins that.
+constexpr std::string_view kCrashDuringCollective = R"({
+  "name": "crash-during-collective",
+  "seed": 23,
+  "tick_s": 0.001,
+  "harness": {"kind": "pdes", "app": "allreduce", "grid_w": 16, "grid_h": 16,
+              "iters": 6, "bytes": 8192,
+              "faults": [{"rank": 37, "time_s": 0.001}]},
+  "tree": {"seq": [
+    {"run": {"shards": 1}},
+    {"run": {"shards": 4}},
+    {"run": {"shards": 8}},
+    {"assert": "pdes.runs == 3"},
+    {"assert": "pdes.hashes_equal == 1"},
+    {"assert": "pdes.ranks_failed == 256"},
+    {"assert": "pdes.events > 1000"}
+  ]}
+})";
+
+// Crash inside a simrt ring pipeline: the messaging layer's retries and
+// receive timeouts must unwedge every rank — degraded completion, never a
+// hang.
+constexpr std::string_view kCrashMidRing = R"({
+  "name": "crash-mid-ring",
+  "seed": 29,
+  "tick_s": 0.001,
+  "harness": {"kind": "simrt", "ranks": 8, "iters": 40, "bytes": 4096,
+              "compute_s": 1e-4, "recv_timeout": 0.01, "retries": 2},
+  "monitors": [
+    {"name": "bounded-drops", "expect": "drops < 1000"}
+  ],
+  "tree": {"seq": [
+    {"inject": {"kind": "node-crash", "node": 3, "after": 0.004}},
+    {"await": "nodes_down == 1", "timeout": 1.0},
+    {"await": "ranks_finished == 8", "timeout": 5.0},
+    {"assert": "wedged == 0"},
+    {"assert": "timeouts >= 1"}
+  ]}
+})";
+
+constexpr std::array<std::pair<std::string_view, std::string_view>, 7>
+    kLibrary = {{
+        {"rolling-upgrade-drain", kRollingUpgradeDrain},
+        {"cascading-link-failures", kCascadingLinkFailures},
+        {"rack-power-loss", kRackPowerLoss},
+        {"flash-crowd-on-serve", kFlashCrowd},
+        {"detector-tuning-sweep", kDetectorTuningSweep},
+        {"crash-during-collective", kCrashDuringCollective},
+        {"crash-mid-ring", kCrashMidRing},
+    }};
+
+}  // namespace
+
+std::vector<std::string> library_names() {
+  std::vector<std::string> names;
+  names.reserve(kLibrary.size());
+  for (const auto& [name, spec] : kLibrary) names.emplace_back(name);
+  return names;
+}
+
+std::string_view library_spec(std::string_view name) {
+  for (const auto& [key, spec] : kLibrary) {
+    if (key == name) return spec;
+  }
+  POLARIS_CHECK_MSG(false, "unknown library scenario: " + std::string(name));
+  return {};
+}
+
+}  // namespace polaris::scenario

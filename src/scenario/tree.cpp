@@ -1,0 +1,124 @@
+#include "polaris/scenario/tree.hpp"
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::scenario {
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kRunning:
+      return "running";
+    case Status::kSuccess:
+      return "success";
+    case Status::kFailure:
+      return "failure";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- Sequence
+
+void Sequence::reset() {
+  Node::reset();
+  cursor_ = 0;
+  for (NodePtr& c : children_) c->reset();
+}
+
+Status Sequence::on_tick(TickContext& ctx) {
+  while (cursor_ < children_.size()) {
+    const Status s = children_[cursor_]->tick(ctx);
+    if (s == Status::kRunning) return Status::kRunning;
+    if (s == Status::kFailure) return Status::kFailure;
+    // A child finishing within this tick lets the next child start in the
+    // same tick — instantaneous steps (inject, assert) do not each burn a
+    // tick of simulated time.
+    ++cursor_;
+  }
+  return Status::kSuccess;
+}
+
+// ---------------------------------------------------------------- Fallback
+
+void Fallback::reset() {
+  Node::reset();
+  cursor_ = 0;
+  for (NodePtr& c : children_) c->reset();
+}
+
+Status Fallback::on_tick(TickContext& ctx) {
+  while (cursor_ < children_.size()) {
+    const Status s = children_[cursor_]->tick(ctx);
+    if (s == Status::kRunning) return Status::kRunning;
+    if (s == Status::kSuccess) return Status::kSuccess;
+    ++cursor_;
+  }
+  return Status::kFailure;
+}
+
+// ---------------------------------------------------------------- Parallel
+
+Parallel::Parallel(std::string name, std::vector<NodePtr> children,
+                   std::size_t quota)
+    : Node(std::move(name)), children_(std::move(children)), quota_(quota) {
+  if (quota_ == 0) quota_ = children_.size();
+  POLARIS_CHECK_MSG(quota_ <= children_.size(),
+                    "parallel quota exceeds child count");
+}
+
+void Parallel::reset() {
+  Node::reset();
+  for (NodePtr& c : children_) c->reset();
+}
+
+Status Parallel::on_tick(TickContext& ctx) {
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  for (NodePtr& c : children_) {
+    const Status s = c->tick(ctx);
+    if (s == Status::kSuccess) ++succeeded;
+    if (s == Status::kFailure) ++failed;
+  }
+  if (succeeded >= quota_) return Status::kSuccess;
+  if (children_.size() - failed < quota_) return Status::kFailure;
+  return Status::kRunning;
+}
+
+// ------------------------------------------------------------------ Repeat
+
+void Repeat::reset() {
+  Node::reset();
+  done_ = 0;
+  child_->reset();
+}
+
+Status Repeat::on_tick(TickContext& ctx) {
+  while (true) {
+    const Status s = child_->tick(ctx);
+    if (s == Status::kRunning) return Status::kRunning;
+    if (s == Status::kFailure) return Status::kFailure;
+    ++done_;
+    if (times_ != 0 && done_ >= times_) return Status::kSuccess;
+    child_->reset();
+    // A child that completes instantly would spin forever inside one tick;
+    // yield and restart it next tick instead.
+    return Status::kRunning;
+  }
+}
+
+// ----------------------------------------------------------------- Timeout
+
+void Timeout::reset() {
+  Node::reset();
+  started_s_ = -1.0;
+  child_->reset();
+}
+
+Status Timeout::on_tick(TickContext& ctx) {
+  if (started_s_ < 0.0) started_s_ = ctx.now_s;
+  const Status s = child_->tick(ctx);
+  if (s != Status::kRunning) return s;
+  return ctx.now_s - started_s_ >= deadline_s_ ? Status::kFailure
+                                               : Status::kRunning;
+}
+
+}  // namespace polaris::scenario

@@ -93,6 +93,7 @@ struct ServeResult {
   std::uint64_t completed = 0;   ///< responses landed
   std::uint64_t recorded = 0;    ///< completed with arrival >= warmup
   std::uint64_t dropped = 0;     ///< no live shard / response lost
+  std::uint64_t rejected = 0;    ///< turned away by the admission limit
   std::uint64_t failovers = 0;   ///< re-dispatches after a shard failure
 
   double measured_s = 0.0;        ///< duration - warmup
@@ -141,6 +142,59 @@ class ServeSim : public fault::FaultListener {
   fabric::NodeId frontend_node(std::size_t f) const;
   fabric::NodeId shard_node(std::size_t s) const;
 
+  // -- live control (scenario hooks; safe to call from DES events mid-run) --
+
+  /// Administratively drains (`accept` false) or restores a shard: a
+  /// drained shard takes no NEW dispatches but finishes everything it
+  /// already holds — the rolling-upgrade primitive.  Distinct from a
+  /// crash, which kills in-flight work.
+  void set_shard_admin(std::size_t shard, bool accept);
+  /// Scales the open-loop arrival rate by `factor` (> 0) for all gaps
+  /// drawn from now on.  1.0 restores the configured rate.
+  void set_load_factor(double factor);
+  /// Caps each shard's wait queue: a request landing on a full queue is
+  /// turned away (counted in `rejected`, not `dropped`).  0 = unlimited.
+  void set_admission_limit(std::size_t max_queue);
+
+  // -- live probes (cheap, valid mid-run) --
+
+  std::size_t shard_count() const { return shards_.size(); }
+  bool shard_up(std::size_t s) const { return shards_[s].up; }
+  bool shard_accepting(std::size_t s) const {
+    return shards_[s].up && shards_[s].accepting;
+  }
+  /// True once a shard holds no work at all (empty queue, idle server, no
+  /// in-flight responses) — the "safe to upgrade" signal after a drain.
+  bool shard_drained(std::size_t s) const;
+  std::size_t queue_depth(std::size_t s) const {
+    const Shard& sh = shards_[s];
+    return sh.queue.size() + (sh.in_service == kNilSlot ? 0 : 1);
+  }
+  std::uint64_t offered() const { return result_.offered; }
+  std::uint64_t completed() const { return result_.completed; }
+  std::uint64_t dropped() const { return result_.dropped; }
+  std::uint64_t rejected() const { return result_.rejected; }
+  std::uint64_t failovers() const { return result_.failovers; }
+  std::size_t max_queue_depth() const { return result_.max_queue_depth; }
+  /// Requests generated but not yet completed/dropped/rejected.  The
+  /// conservation invariant: offered == completed + dropped + rejected +
+  /// in_flight at every instant, and in_flight == 0 once the engine runs
+  /// dry.
+  std::uint64_t in_flight() const {
+    return result_.offered - result_.completed - result_.dropped -
+           result_.rejected;
+  }
+  /// Live request records in the pool — measures in-flight work from the
+  /// allocator side, independently of the counters, so a conservation
+  /// monitor can cross-check the two.
+  std::size_t active_requests() const {
+    return requests_.size() - request_free_.size();
+  }
+  /// p99 of everything recorded so far (merged across front-ends).
+  double live_p99_us() const {
+    return obs_.merged(h_latency_).quantile(0.99) * 1e-3;
+  }
+
   void on_fault(const fault::FaultEvent& ev) override;
 
  private:
@@ -175,6 +229,7 @@ class ServeSim : public fault::FaultListener {
     std::uint64_t served = 0;
     des::EventId service_ev{};          ///< pending completion (fault cancel)
     bool up = true;
+    bool accepting = true;              ///< admin drain flag (see set_shard_admin)
   };
 
   static void arrival_cb(void* ctx);
@@ -189,6 +244,7 @@ class ServeSim : public fault::FaultListener {
   void start_service(std::uint32_t shard_idx);
   void complete(Request& req);
   void drop(Request& req);
+  void reject(Request& req);
 
   Request& acquire_request();
   void release_request(std::uint32_t slot);
@@ -212,6 +268,8 @@ class ServeSim : public fault::FaultListener {
   des::SimTime duration_ticks_ = 0;
   des::SimTime warmup_ticks_ = 0;
   des::SimTime bucket_ticks_ = 0;
+  double load_factor_ = 1.0;
+  std::size_t admission_limit_ = 0;  ///< 0 = unlimited
 
   ServeResult result_;
   bool ran_ = false;

@@ -101,6 +101,28 @@ std::size_t ServeSim::live_shards() const {
   return n;
 }
 
+// ------------------------------------------------------------- live control
+
+void ServeSim::set_shard_admin(std::size_t shard, bool accept) {
+  POLARIS_CHECK(shard < shards_.size());
+  shards_[shard].accepting = accept;
+}
+
+void ServeSim::set_load_factor(double factor) {
+  POLARIS_CHECK(factor > 0.0);
+  load_factor_ = factor;
+}
+
+void ServeSim::set_admission_limit(std::size_t max_queue) {
+  admission_limit_ = max_queue;
+}
+
+bool ServeSim::shard_drained(std::size_t s) const {
+  const Shard& sh = shards_[s];
+  return sh.queue.empty() && sh.in_service == kNilSlot &&
+         sh.outstanding == 0;
+}
+
 // ------------------------------------------------------------- request pool
 
 ServeSim::Request& ServeSim::acquire_request() {
@@ -133,7 +155,7 @@ std::uint32_t ServeSim::pick_shard(Frontend& fe) {
   auto next_up = [&](std::uint32_t from) {
     for (std::uint32_t i = 0; i < n; ++i) {
       const std::uint32_t s = (from + i) % n;
-      if (shards_[s].up) return s;
+      if (shards_[s].up && shards_[s].accepting) return s;
     }
     return kNilSlot;
   };
@@ -149,7 +171,7 @@ std::uint32_t ServeSim::pick_shard(Frontend& fe) {
     case LbPolicy::kJsq: {
       std::uint32_t best = kNilSlot;
       for (std::uint32_t s = 0; s < n; ++s) {
-        if (!shards_[s].up) continue;
+        if (!shards_[s].up || !shards_[s].accepting) continue;
         if (best == kNilSlot ||
             shards_[s].outstanding < shards_[best].outstanding) {
           best = s;
@@ -192,7 +214,8 @@ void ServeSim::arrival_cb(void* ctx) {
   // Open loop: the next arrival rides its own clock, system state be
   // damned.  Generation stops at the duration boundary; in-flight work
   // then drains and the engine runs dry.
-  const des::SimTime gap = des::from_seconds(fe.arrivals->next());
+  const des::SimTime gap =
+      des::from_seconds(fe.arrivals->next() / sim.load_factor_);
   const des::SimTime next = sim.engine_.now() + std::max<des::SimTime>(gap, 1);
   if (next < sim.duration_ticks_) {
     sim.engine_.schedule_raw_at(next, &ServeSim::arrival_cb, &fe);
@@ -221,6 +244,12 @@ void ServeSim::request_landed_cb(void* ctx, fabric::XferStatus status) {
   if (sh.in_service == kNilSlot) {
     sh.in_service = req.slot;
     sim.start_service(req.shard);
+  } else if (sim.admission_limit_ > 0 &&
+             sh.queue.size() >= sim.admission_limit_) {
+    // Queue full: shed at admission rather than letting the tail grow
+    // unboundedly.
+    --sh.outstanding;
+    sim.reject(req);
   } else {
     sh.queue.push_back(req.slot);
     sim.result_.max_queue_depth =
@@ -309,6 +338,11 @@ void ServeSim::drop(Request& req) {
   release_request(req.slot);
 }
 
+void ServeSim::reject(Request& req) {
+  ++result_.rejected;
+  release_request(req.slot);
+}
+
 // ------------------------------------------------------------------- faults
 
 void ServeSim::on_fault(const fault::FaultEvent& ev) {
@@ -353,7 +387,7 @@ ServeResult ServeSim::run() {
   ran_ = true;
   for (Frontend& fe : frontends_) {
     const des::SimTime first = std::max<des::SimTime>(
-        des::from_seconds(fe.arrivals->next()), 1);
+        des::from_seconds(fe.arrivals->next() / load_factor_), 1);
     if (first < duration_ticks_) {
       engine_.schedule_raw_at(first, &ServeSim::arrival_cb, &fe);
     }
@@ -372,6 +406,7 @@ void export_metrics(const ServeResult& r, obs::MetricsRegistry& reg) {
   reg.counter("serve.offered").add(r.offered);
   reg.counter("serve.completed").add(r.completed);
   reg.counter("serve.dropped").add(r.dropped);
+  reg.counter("serve.rejected").add(r.rejected);
   reg.counter("serve.failovers").add(r.failovers);
   reg.gauge("serve.throughput_rps").set(r.throughput_rps);
   reg.gauge("serve.p99_us").set(r.p99_us());

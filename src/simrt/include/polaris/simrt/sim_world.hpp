@@ -528,6 +528,13 @@ class SimWorld {
   std::uint64_t msg_drops() const { return msg_drops_; }
   std::uint64_t recv_timeouts() const { return recv_timeouts_; }
 
+  /// Program instances spawned / completed so far (one per rank per
+  /// launch() call).  launched == finished once every rank's program ran
+  /// to the end — the difference, mid-run, is the number of still-working
+  /// or wedged ranks.
+  std::uint64_t ranks_launched() const { return ranks_launched_; }
+  std::uint64_t ranks_finished() const { return ranks_finished_; }
+
   // -- eager admission control -------------------------------------------------
   /// Arms congestion-aware eager admission (see AdmissionControl).  Call
   /// before launch(); never call with messages on the wire.
@@ -612,6 +619,8 @@ class SimWorld {
   std::uint64_t msg_retries_ = 0;
   std::uint64_t msg_drops_ = 0;
   std::uint64_t recv_timeouts_ = 0;
+  std::uint64_t ranks_launched_ = 0;
+  std::uint64_t ranks_finished_ = 0;
   std::vector<std::unique_ptr<SimComm>> comms_;
   // Launched programs; std::list keeps closure addresses stable because
   // coroutine frames created from a closure reference that exact object.

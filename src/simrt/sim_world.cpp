@@ -882,8 +882,15 @@ void SimWorld::release_inflight_ref(std::uint32_t slot) {
 void SimWorld::launch(std::function<des::Task<void>(SimComm&)> program) {
   programs_.push_back(std::move(program));
   auto& prog = programs_.back();
+  ranks_launched_ += comms_.size();
   for (auto& c : comms_) {
-    engine_.spawn(prog(*c));
+    // Wrap the program so rank completion is observable mid-run (the
+    // scenario runner's "no wedged ranks" monitor reads ranks_finished()).
+    engine_.spawn([](SimWorld& w, std::function<des::Task<void>(SimComm&)>& p,
+                     SimComm& comm) -> des::Task<void> {
+      co_await p(comm);
+      ++w.ranks_finished_;
+    }(*this, prog, *c));
   }
 }
 

@@ -32,7 +32,15 @@ ArrivalProcess::ArrivalProcess(ArrivalSpec spec, std::uint64_t seed)
   // Dwell times with burst fraction f: calm dwell = burst dwell * (1-f)/f.
   mean_dwell_burst_s_ = spec_.mean_burst_s;
   mean_dwell_calm_s_ = spec_.mean_burst_s * (1.0 - f) / f;
-  dwell_left_s_ = rng_.exponential(1.0 / mean_dwell_calm_s_);
+  // Stationary initial state: the chain spends fraction f of its time in
+  // burst, so a fresh process starts there with probability f.  (A cold
+  // start pinned to calm biases the short-horizon mean rate toward
+  // rate_calm_ — a run much shorter than a dwell cycle would average
+  // rate/(1 + f*(B-1)) instead of rate.)  Dwell times are exponential,
+  // hence memoryless: a full dwell draw IS the stationary residual.
+  in_burst_ = rng_.bernoulli(f);
+  dwell_left_s_ = rng_.exponential(
+      1.0 / (in_burst_ ? mean_dwell_burst_s_ : mean_dwell_calm_s_));
 }
 
 double ArrivalProcess::next() {

@@ -11,7 +11,10 @@
 //     dwell times.  The burst state arrives `burst_factor` times faster
 //     than the calm state, and the state rates are solved so the long-run
 //     average equals the configured rate — a bursty process is directly
-//     comparable to the Poisson process of the same nominal load.
+//     comparable to the Poisson process of the same nominal load.  The
+//     modulating chain starts in its stationary distribution (burst with
+//     probability burst_fraction), so even a run much shorter than one
+//     dwell cycle offers the nominal rate in expectation.
 //
 // All randomness flows from one seeded support::Random stream, so a
 // process is reproducible bit-for-bit and safe inside des::SweepRunner

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "polaris/support/check.hpp"
 
 namespace polaris::fault {
@@ -75,6 +77,57 @@ TEST(FailureTimeline, UntilConsumesEvents) {
   const auto next = tl.next();
   EXPECT_GE(next.time, 100.0);
   EXPECT_FALSE(first.empty());
+}
+
+// until(horizon) is half-open: an event at exactly t == horizon must NOT
+// be drained — it stays pending so until()/next() agree at the boundary.
+// Two same-seed timelines are bit-identical streams, so one can probe the
+// other's exact event times.
+TEST(FailureTimeline, UntilIsHalfOpenAtTheBoundary) {
+  const auto model = FailureModel::exponential(10.0);
+  FailureTimeline probe(model, 4, /*seed=*/21);
+  FailureTimeline tl(model, 4, /*seed=*/21);
+
+  const auto first = probe.next();
+  // Horizon exactly on the first event: the half-open window is empty.
+  EXPECT_TRUE(tl.until(first.time).empty());
+  EXPECT_DOUBLE_EQ(tl.peek_time(), first.time);
+  const auto got = tl.next();
+  EXPECT_DOUBLE_EQ(got.time, first.time);
+  EXPECT_EQ(got.node, first.node);
+
+  // A window ending exactly on a later event excludes it too; the follow-up
+  // window starting there includes it — no duplicate, no loss.
+  const auto second = probe.next();
+  const auto third = probe.next();
+  const auto mid = tl.until(third.time);
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_DOUBLE_EQ(mid[0].time, second.time);
+  const auto rest = tl.until(third.time + 1e-12);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_DOUBLE_EQ(rest[0].time, third.time);
+  EXPECT_EQ(rest[0].node, third.node);
+}
+
+// Consecutive until() windows partition the stream: concatenating the
+// per-window drains reproduces the same-seed next() stream exactly.
+TEST(FailureTimeline, ConsecutiveUntilWindowsPartitionTheStream) {
+  const auto model = FailureModel::exponential(5.0);
+  FailureTimeline windows(model, 8, /*seed=*/22);
+  FailureTimeline stream(model, 8, /*seed=*/22);
+
+  std::vector<FailureTimeline::Event> drained;
+  for (double h = 2.0; h <= 40.0; h += 2.0) {
+    for (const auto& ev : windows.until(h)) drained.push_back(ev);
+  }
+  ASSERT_FALSE(drained.empty());
+  for (const auto& ev : drained) {
+    const auto want = stream.next();
+    EXPECT_DOUBLE_EQ(ev.time, want.time);
+    EXPECT_EQ(ev.node, want.node);
+  }
+  // Everything still pending is at or past the last horizon.
+  EXPECT_GE(windows.peek_time(), 40.0);
 }
 
 TEST(FailureModel, RejectsBadParameters) {

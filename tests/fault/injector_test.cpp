@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "polaris/fault/heartbeat.hpp"
 #include "polaris/fault/failure.hpp"
 
@@ -42,6 +44,118 @@ TEST_F(InjectorTest, OverlappingCrashesCollapse) {
   engine_.run();
   EXPECT_EQ(inj.crashes(), 1u);
   EXPECT_TRUE(inj.node_up(3));
+}
+
+// Regression: an overlapping crash used to be swallowed whole, so the
+// FIRST fault's repair resurrected the node inside the SECOND fault's
+// window.  The merged plan must hold the node down until the later
+// deadline, and the early (stale) repair event must do nothing.
+TEST_F(InjectorTest, OverlappingCrashExtendsTheRepairWindow) {
+  Injector inj(engine_, net_);
+  inj.schedule_node_crash(1.0, 3, /*repair_after=*/2.0);  // repair at 3.0
+  inj.schedule_node_crash(2.0, 3, /*repair_after=*/5.0);  // repair at 7.0
+  // Pre-fix the node came back at t=3.0 — well inside the second window.
+  engine_.run_until(des::from_seconds(3.5));
+  EXPECT_FALSE(inj.node_up(3));
+  EXPECT_EQ(inj.nodes_down(), 1u);
+  engine_.run();
+  EXPECT_TRUE(inj.node_up(3));
+  EXPECT_NEAR(des::to_seconds(engine_.now()), 7.0, 1e-9);
+  // No double count: one crash, one repair, one recorded overlap.
+  EXPECT_EQ(inj.crashes(), 1u);
+  EXPECT_EQ(inj.overlapped_faults(), 1u);
+  EXPECT_EQ(inj.repair_extensions(), 1u);
+  ASSERT_EQ(inj.history().size(), 2u);
+  EXPECT_EQ(inj.history()[0].kind, FaultEvent::Kind::kNodeCrash);
+  EXPECT_EQ(inj.history()[1].kind, FaultEvent::Kind::kNodeRepair);
+  EXPECT_DOUBLE_EQ(inj.history()[1].time, 7.0);
+}
+
+// An overlap whose window ends EARLIER than the pending repair must not
+// shorten it (never resurrect early, in either direction).
+TEST_F(InjectorTest, OverlappingCrashNeverShortensTheRepairWindow) {
+  Injector inj(engine_, net_);
+  inj.schedule_node_crash(1.0, 3, /*repair_after=*/6.0);  // repair at 7.0
+  inj.schedule_node_crash(2.0, 3, /*repair_after=*/1.0);  // would end at 3.0
+  engine_.run_until(des::from_seconds(5.0));
+  EXPECT_FALSE(inj.node_up(3));
+  engine_.run();
+  EXPECT_TRUE(inj.node_up(3));
+  EXPECT_NEAR(des::to_seconds(engine_.now()), 7.0, 1e-9);
+  EXPECT_EQ(inj.overlapped_faults(), 1u);
+  EXPECT_EQ(inj.repair_extensions(), 0u);  // plan unchanged
+}
+
+// An overlapping PERMANENT fault pins the node down: the pending repair
+// is cancelled, not raced.
+TEST_F(InjectorTest, OverlappingPermanentFaultCancelsThePendingRepair) {
+  Injector inj(engine_, net_);
+  inj.schedule_node_crash(1.0, 3, /*repair_after=*/2.0);
+  inj.schedule_node_crash(2.0, 3, /*repair_after=*/0.0);  // permanent
+  engine_.run();
+  EXPECT_FALSE(inj.node_up(3));
+  EXPECT_EQ(inj.nodes_down(), 1u);
+  EXPECT_EQ(inj.crashes(), 1u);
+  // Only the crash in history: the stale repair recognised itself.
+  ASSERT_EQ(inj.history().size(), 1u);
+  EXPECT_EQ(inj.history()[0].kind, FaultEvent::Kind::kNodeCrash);
+}
+
+// Same merge rules for links.
+TEST_F(InjectorTest, OverlappingLinkOutagesMergeWindows) {
+  Injector inj(engine_, net_);
+  const fabric::LinkId l = topo_.route(0, 1).front();
+  inj.schedule_link_outage(1.0, l, /*repair_after=*/1.0);  // up at 2.0
+  inj.schedule_link_outage(1.5, l, /*repair_after=*/3.0);  // up at 4.5
+  engine_.run_until(des::from_seconds(2.5));
+  EXPECT_FALSE(net_.link_up(l));
+  EXPECT_EQ(inj.links_down(), 1u);
+  engine_.run();
+  EXPECT_TRUE(net_.link_up(l));
+  EXPECT_NEAR(des::to_seconds(engine_.now()), 4.5, 1e-9);
+  EXPECT_EQ(inj.link_outages(), 1u);
+  EXPECT_EQ(inj.overlapped_faults(), 1u);
+}
+
+// Collision-heavy soak: a dense timeline folded modulo a tiny topology
+// lands many faults on each node, with windows overlapping constantly.
+// Bookkeeping invariants must hold throughout and at the end.
+TEST_F(InjectorTest, CollisionHeavyTimelineKeepsBookkeepingConsistent) {
+  fabric::Crossbar small{2};
+  fabric::SimNetwork net(engine_, fabric::fabrics::myrinet2000(), small);
+  Injector inj(engine_, net);
+  // ~1 failure every 0.25 s across the timeline, folded onto 2 nodes,
+  // each with a 1 s repair window: overlaps are the common case.
+  FailureTimeline timeline(FailureModel::exponential(25.0), 100, /*seed=*/5);
+  const std::size_t scheduled =
+      inj.load_node_timeline(timeline, /*horizon=*/50.0,
+                             /*repair_after=*/1.0);
+  EXPECT_GT(scheduled, 150u);
+  engine_.run();
+  // Every fault either flipped a node down or merged into a pending window.
+  EXPECT_EQ(inj.crashes() + inj.overlapped_faults(), scheduled);
+  EXPECT_GT(inj.overlapped_faults(), 0u);
+  // Real flips only: counters return to zero, nobody resurrected early or
+  // twice (a double repair would underflow nodes_down()).
+  EXPECT_EQ(inj.nodes_down(), 0u);
+  EXPECT_TRUE(inj.all_nodes_up());
+  // History alternates crash/repair per node — strict state flips.
+  std::vector<bool> down(2, false);
+  double prev_time = 0.0;
+  for (const FaultEvent& ev : inj.history()) {
+    EXPECT_GE(ev.time, prev_time);
+    prev_time = ev.time;
+    if (ev.kind == FaultEvent::Kind::kNodeCrash) {
+      EXPECT_FALSE(down[ev.id]) << "double-down at t=" << ev.time;
+      down[ev.id] = true;
+    } else {
+      ASSERT_EQ(ev.kind, FaultEvent::Kind::kNodeRepair);
+      EXPECT_TRUE(down[ev.id]) << "repair of an up node at t=" << ev.time;
+      down[ev.id] = false;
+    }
+  }
+  EXPECT_FALSE(down[0]);
+  EXPECT_FALSE(down[1]);
 }
 
 TEST_F(InjectorTest, LinkOutageTogglesTheLink) {

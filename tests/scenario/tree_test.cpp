@@ -1,0 +1,220 @@
+#include "polaris/scenario/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "polaris/support/check.hpp"
+
+namespace polaris::scenario {
+namespace {
+
+TickContext at(double now_s, std::uint64_t tick = 0) {
+  return TickContext{now_s, tick};
+}
+
+NodePtr action(Status result, int* fired = nullptr) {
+  return std::make_unique<Action>("act", [result, fired](TickContext&) {
+    if (fired) ++*fired;
+    return result;
+  });
+}
+
+NodePtr running_until(double t) {
+  return std::make_unique<WaitUntil>(
+      "until", [t](TickContext& ctx) { return ctx.now_s >= t; });
+}
+
+TEST(ScenarioTree, NodesLatchTheirFinalStatus) {
+  int fired = 0;
+  NodePtr n = action(Status::kSuccess, &fired);
+  TickContext ctx = at(0.0);
+  EXPECT_EQ(n->tick(ctx), Status::kSuccess);
+  EXPECT_EQ(n->tick(ctx), Status::kSuccess);
+  EXPECT_EQ(fired, 1);  // latched: the side effect never re-runs
+
+  n->reset();
+  EXPECT_EQ(n->tick(ctx), Status::kSuccess);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ScenarioTree, SequenceAdvancesThroughInstantChildrenInOneTick) {
+  int a = 0, b = 0;
+  std::vector<NodePtr> kids;
+  kids.push_back(action(Status::kSuccess, &a));
+  kids.push_back(action(Status::kSuccess, &b));
+  Sequence seq("seq", std::move(kids));
+  TickContext ctx = at(0.0);
+  EXPECT_EQ(seq.tick(ctx), Status::kSuccess);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(ScenarioTree, SequenceKeepsItsCursorAcrossTicks) {
+  int a = 0;
+  std::vector<NodePtr> kids;
+  kids.push_back(action(Status::kSuccess, &a));
+  kids.push_back(running_until(1.0));
+  Sequence seq("seq", std::move(kids));
+  TickContext t0 = at(0.0);
+  EXPECT_EQ(seq.tick(t0), Status::kRunning);
+  TickContext t1 = at(0.5);
+  EXPECT_EQ(seq.tick(t1), Status::kRunning);
+  EXPECT_EQ(a, 1);  // memory semantics: the first child is never revisited
+  TickContext t2 = at(1.0);
+  EXPECT_EQ(seq.tick(t2), Status::kSuccess);
+}
+
+TEST(ScenarioTree, SequenceFailsOnFirstChildFailure) {
+  int b = 0;
+  std::vector<NodePtr> kids;
+  kids.push_back(action(Status::kFailure));
+  kids.push_back(action(Status::kSuccess, &b));
+  Sequence seq("seq", std::move(kids));
+  TickContext ctx = at(0.0);
+  EXPECT_EQ(seq.tick(ctx), Status::kFailure);
+  EXPECT_EQ(b, 0);
+}
+
+TEST(ScenarioTree, FallbackTakesTheFirstSuccess) {
+  int c = 0;
+  std::vector<NodePtr> kids;
+  kids.push_back(action(Status::kFailure));
+  kids.push_back(action(Status::kSuccess));
+  kids.push_back(action(Status::kSuccess, &c));
+  Fallback any("any", std::move(kids));
+  TickContext ctx = at(0.0);
+  EXPECT_EQ(any.tick(ctx), Status::kSuccess);
+  EXPECT_EQ(c, 0);
+}
+
+TEST(ScenarioTree, FallbackFailsOnlyWhenAllChildrenFail) {
+  std::vector<NodePtr> kids;
+  kids.push_back(action(Status::kFailure));
+  kids.push_back(action(Status::kFailure));
+  Fallback any("any", std::move(kids));
+  TickContext ctx = at(0.0);
+  EXPECT_EQ(any.tick(ctx), Status::kFailure);
+}
+
+TEST(ScenarioTree, ParallelQuotaSemantics) {
+  {  // quota 0 = all must succeed
+    std::vector<NodePtr> kids;
+    kids.push_back(action(Status::kSuccess));
+    kids.push_back(running_until(2.0));
+    Parallel par("par", std::move(kids), 0);
+    TickContext t0 = at(0.0);
+    EXPECT_EQ(par.tick(t0), Status::kRunning);
+    TickContext t1 = at(2.0);
+    EXPECT_EQ(par.tick(t1), Status::kSuccess);
+  }
+  {  // quota 1: first success wins
+    std::vector<NodePtr> kids;
+    kids.push_back(running_until(99.0));
+    kids.push_back(action(Status::kSuccess));
+    Parallel par("par", std::move(kids), 1);
+    TickContext t0 = at(0.0);
+    EXPECT_EQ(par.tick(t0), Status::kSuccess);
+  }
+  {  // quota unreachable -> failure
+    std::vector<NodePtr> kids;
+    kids.push_back(action(Status::kFailure));
+    kids.push_back(action(Status::kSuccess));
+    Parallel par("par", std::move(kids), 2);
+    TickContext t0 = at(0.0);
+    EXPECT_EQ(par.tick(t0), Status::kFailure);
+  }
+}
+
+TEST(ScenarioTree, ParallelRejectsImpossibleQuota) {
+  std::vector<NodePtr> kids;
+  kids.push_back(action(Status::kSuccess));
+  EXPECT_THROW(Parallel("par", std::move(kids), 2),
+               support::ContractViolation);
+}
+
+TEST(ScenarioTree, RepeatYieldsBetweenIterationsAndCountsThem) {
+  int fired = 0;
+  Repeat rep("rep", action(Status::kSuccess, &fired), 3);
+  TickContext ctx = at(0.0);
+  // One completed child iteration per tick: an instantly-succeeding child
+  // cannot spin the repeat to completion inside a single tick.
+  EXPECT_EQ(rep.tick(ctx), Status::kRunning);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(rep.tick(ctx), Status::kRunning);
+  EXPECT_EQ(rep.tick(ctx), Status::kSuccess);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(ScenarioTree, RepeatPropagatesChildFailure) {
+  Repeat rep("rep", action(Status::kFailure), 0);
+  TickContext ctx = at(0.0);
+  EXPECT_EQ(rep.tick(ctx), Status::kFailure);
+}
+
+TEST(ScenarioTree, TimeoutFailsAStuckChildAfterItsDeadline) {
+  Timeout to("to", running_until(100.0), 1.0);
+  TickContext t0 = at(5.0);  // budget starts at the FIRST tick, not t=0
+  EXPECT_EQ(to.tick(t0), Status::kRunning);
+  TickContext t1 = at(5.9);
+  EXPECT_EQ(to.tick(t1), Status::kRunning);
+  TickContext t2 = at(6.0);
+  EXPECT_EQ(to.tick(t2), Status::kFailure);
+}
+
+TEST(ScenarioTree, TimeoutIsTransparentWhenTheChildFinishes) {
+  Timeout to("to", running_until(1.0), 10.0);
+  TickContext t0 = at(0.0);
+  EXPECT_EQ(to.tick(t0), Status::kRunning);
+  TickContext t1 = at(1.0);
+  EXPECT_EQ(to.tick(t1), Status::kSuccess);
+}
+
+TEST(ScenarioTree, WaitIdlesForItsDurationFromFirstTick) {
+  Wait w("w", 0.5);
+  TickContext t0 = at(2.0);
+  EXPECT_EQ(w.tick(t0), Status::kRunning);
+  TickContext t1 = at(2.4);
+  EXPECT_EQ(w.tick(t1), Status::kRunning);
+  TickContext t2 = at(2.5);
+  EXPECT_EQ(w.tick(t2), Status::kSuccess);
+}
+
+TEST(ScenarioTree, ConditionEvaluatesExactlyOnce) {
+  int evals = 0;
+  Condition cond("c", [&evals](TickContext&) {
+    ++evals;
+    return false;
+  });
+  TickContext ctx = at(0.0);
+  EXPECT_EQ(cond.tick(ctx), Status::kFailure);
+  EXPECT_EQ(cond.tick(ctx), Status::kFailure);
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(ScenarioTree, MonitorCountsViolationsWithoutStopping) {
+  int calls = 0;
+  Monitor m;
+  m.name = "inv";
+  m.ok = [&calls](TickContext&) {
+    ++calls;
+    return calls != 2 && calls != 3;  // violate on checks 2 and 3
+  };
+  TickContext c1 = at(0.1);
+  TickContext c2 = at(0.2);
+  TickContext c3 = at(0.3);
+  TickContext c4 = at(0.4);
+  m.check(c1);
+  m.check(c2);
+  m.check(c3);
+  m.check(c4);
+  EXPECT_EQ(m.checks, 4u);
+  EXPECT_EQ(m.violations, 2u);
+  EXPECT_DOUBLE_EQ(m.first_violation_s, 0.2);
+  EXPECT_FALSE(m.clean());
+}
+
+}  // namespace
+}  // namespace polaris::scenario
